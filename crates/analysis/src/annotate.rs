@@ -1,0 +1,323 @@
+//! Programmer-supplied access-pattern annotations — the third remedy the
+//! paper's conclusion proposes for unmodelable accesses (§11:
+//! "annotation of the source code with write patterns by the
+//! programmer").
+//!
+//! An annotation names a kernel, an argument and a direction, and gives
+//! the access map in the library's isl-like syntax over the canonical
+//! spaces: inputs `[boz, boy, box, biz, biy, bix]`, outputs one
+//! dimension per array rank, parameters `[bdz, bdy, bdx, gdz, gdy, gdx,
+//! <scalars…>]`:
+//!
+//! ```text
+//! // @mekong scatter write out : [bdz,bdy,bdx,gdz,gdy,gdx,n] ->
+//! //     { [boz,boy,box,biz,biy,bix] -> [e] : ... }
+//! ```
+//!
+//! Annotated write maps still go through the §4 soundness gate: the
+//! declared map must be block-injective along the split axis. What the
+//! programmer vouches for is *accuracy* (that the kernel writes no more
+//! than declared), which static analysis could not establish.
+
+use crate::injective::is_block_injective;
+use crate::model::{ArgModel, ArrayAccess, KernelModel, Verdict};
+use crate::space::{AnalysisSpace, N_FIXED_PARAMS, N_MAP_IN};
+use crate::strategy::suggest_split;
+use crate::AnalysisError;
+use mekong_poly::Map;
+use serde::{Deserialize, Serialize};
+
+/// Direction of an annotated access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AnnotationKind {
+    Read,
+    Write,
+}
+
+/// One `@mekong` annotation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Annotation {
+    pub kernel: String,
+    pub kind: AnnotationKind,
+    pub arg: String,
+    /// Access map in isl-like text.
+    pub map_text: String,
+    pub line: usize,
+}
+
+/// Scan raw source text for `@mekong <kernel> <read|write> <arg> : <map>`
+/// annotations inside `//` comments. Multi-line maps continue on
+/// subsequent `//` lines until the braces balance.
+pub fn scan_annotations(src: &str) -> Result<Vec<Annotation>, String> {
+    let mut out = Vec::new();
+    let lines: Vec<&str> = src.lines().collect();
+    let mut i = 0usize;
+    while i < lines.len() {
+        let line = lines[i].trim_start();
+        let Some(rest) = line.strip_prefix("//") else {
+            i += 1;
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(body) = rest.strip_prefix("@mekong") else {
+            i += 1;
+            continue;
+        };
+        let body = body.trim();
+        // <kernel> <read|write> <arg> : <map...>
+        let mut parts = body.splitn(3, char::is_whitespace);
+        let kernel = parts
+            .next()
+            .ok_or_else(|| format!("line {}: missing kernel name", i + 1))?
+            .to_string();
+        let kind = match parts.next() {
+            Some("read") => AnnotationKind::Read,
+            Some("write") => AnnotationKind::Write,
+            other => {
+                return Err(format!(
+                    "line {}: expected read|write, found {other:?}",
+                    i + 1
+                ))
+            }
+        };
+        let tail = parts
+            .next()
+            .ok_or_else(|| format!("line {}: missing argument", i + 1))?;
+        let (arg, mut map_text) = match tail.split_once(':') {
+            Some((a, m)) => (a.trim().to_string(), m.trim().to_string()),
+            None => return Err(format!("line {}: expected ':' before the map", i + 1)),
+        };
+        // Continue across `//` lines until braces balance.
+        let balance =
+            |s: &str| s.matches('{').count() as i64 - s.matches('}').count() as i64;
+        let mut bal = balance(&map_text);
+        let start = i;
+        while (bal > 0 || !map_text.contains('{')) && i + 1 < lines.len() {
+            i += 1;
+            let cont = lines[i].trim_start();
+            let Some(cont) = cont.strip_prefix("//") else {
+                return Err(format!(
+                    "line {}: annotation map is unterminated",
+                    start + 1
+                ));
+            };
+            map_text.push(' ');
+            map_text.push_str(cont.trim());
+            bal = balance(&map_text);
+        }
+        out.push(Annotation {
+            kernel,
+            kind,
+            arg,
+            map_text,
+            line: start + 1,
+        });
+        i += 1;
+    }
+    Ok(out)
+}
+
+/// Apply annotations to a kernel model: replace the named access maps,
+/// then re-run the §4 soundness verdict (split suggestion + injectivity).
+pub fn apply_annotations(
+    model: &mut KernelModel,
+    annotations: &[Annotation],
+) -> crate::Result<()> {
+    let mine: Vec<&Annotation> = annotations
+        .iter()
+        .filter(|a| a.kernel == model.kernel_name)
+        .collect();
+    if mine.is_empty() {
+        return Ok(());
+    }
+    let space = AnalysisSpace {
+        scalar_names: model.scalar_params.clone(),
+    };
+    for ann in &mine {
+        let map = Map::parse(&ann.map_text).map_err(AnalysisError::Poly)?;
+        let arg = model
+            .args
+            .iter_mut()
+            .find(|a| a.name() == ann.arg)
+            .ok_or_else(|| {
+                AnalysisError::Poly(mekong_poly::PolyError::Parse(format!(
+                    "annotation line {}: kernel {} has no argument {:?}",
+                    ann.line, ann.kernel, ann.arg
+                )))
+            })?;
+        let ArgModel::Array { extents, read, write, .. } = arg else {
+            return Err(AnalysisError::Poly(mekong_poly::PolyError::Parse(format!(
+                "annotation line {}: argument {:?} is not an array",
+                ann.line, ann.arg
+            ))));
+        };
+        // Shape checks: 6 inputs, rank outputs, fixed+scalar params.
+        if map.n_in() != N_MAP_IN
+            || map.n_out() != extents.len()
+            || map.n_params() != N_FIXED_PARAMS + model.scalar_params.len()
+        {
+            return Err(AnalysisError::Poly(mekong_poly::PolyError::Parse(format!(
+                "annotation line {}: map shape {}→{} with {} params does not fit \
+                 argument {:?} (need {}→{} with {} params)",
+                ann.line,
+                map.n_in(),
+                map.n_out(),
+                map.n_params(),
+                ann.arg,
+                N_MAP_IN,
+                extents.len(),
+                N_FIXED_PARAMS + model.scalar_params.len(),
+            ))));
+        }
+        let access = ArrayAccess {
+            map,
+            exact: true,
+            may: false,
+        };
+        match ann.kind {
+            AnnotationKind::Read => *read = Some(access),
+            AnnotationKind::Write => *write = Some(access),
+        }
+    }
+    // Re-derive strategy and verdict with the declared maps in place.
+    model.partitioning = suggest_split(&model.args);
+    let mut verdict = Verdict::Partitionable;
+    for a in &model.args {
+        if !verdict.is_partitionable() {
+            break;
+        }
+        if let ArgModel::Array {
+            name,
+            write: Some(w),
+            ..
+        } = a
+        {
+            if !w.exact {
+                verdict = Verdict::InexactWrite { array: name.clone() };
+            } else if !is_block_injective(&w.map, &space, model.partitioning)? {
+                verdict = Verdict::NonInjectiveWrite { array: name.clone() };
+            }
+        }
+    }
+    model.verdict = verdict;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze_kernel;
+    use mekong_kernel::builder::*;
+    use mekong_kernel::Kernel;
+
+    fn scatter_kernel() -> Kernel {
+        // out[f(i)] where f is opaque to the analysis (via a float cast
+        // dance) — but the programmer knows it is the identity.
+        Kernel {
+            name: "scatter".into(),
+            params: vec![
+                scalar("n"),
+                array_f32("idx", &[ext("n")]),
+                array_f32("out", &[ext("n")]),
+            ],
+            body: vec![
+                let_("i", global_x()),
+                guard_return(v("i").ge(v("n"))),
+                store("out", vec![to_i64(load("idx", vec![v("i")]))], f(1.0)),
+            ],
+        }
+    }
+
+    const IDENTITY_WRITE: &str = "[bdz, bdy, bdx, gdz, gdy, gdx, n] -> \
+        { [boz, boy, box, biz, biy, bix] -> [e] : \
+          box <= e and e < box + bdx and 0 <= e and e < n }";
+
+    #[test]
+    fn scan_finds_annotations() {
+        let src = format!(
+            "// @mekong scatter write out : {IDENTITY_WRITE}\n\
+             __global__ void scatter(...) {{}}\n"
+        );
+        let anns = scan_annotations(&src).unwrap();
+        assert_eq!(anns.len(), 1);
+        assert_eq!(anns[0].kernel, "scatter");
+        assert_eq!(anns[0].kind, AnnotationKind::Write);
+        assert_eq!(anns[0].arg, "out");
+    }
+
+    #[test]
+    fn scan_joins_multiline_maps() {
+        let src = "\
+// @mekong k write a : [bdz, bdy, bdx, gdz, gdy, gdx, n] ->
+//    { [boz, boy, box, biz, biy, bix] -> [e] :
+//      box <= e and e < box + bdx }
+";
+        let anns = scan_annotations(src).unwrap();
+        assert_eq!(anns.len(), 1);
+        assert!(anns[0].map_text.contains("box <= e"));
+        Map::parse(&anns[0].map_text).unwrap();
+    }
+
+    #[test]
+    fn annotation_rescues_unmodelable_write() {
+        let k = scatter_kernel();
+        let mut model = analyze_kernel(&k).unwrap();
+        assert!(!model.verdict.is_partitionable());
+        let anns = vec![Annotation {
+            kernel: "scatter".into(),
+            kind: AnnotationKind::Write,
+            arg: "out".into(),
+            map_text: IDENTITY_WRITE.into(),
+            line: 1,
+        }];
+        apply_annotations(&mut model, &anns).unwrap();
+        assert!(model.verdict.is_partitionable(), "{:?}", model.verdict);
+    }
+
+    #[test]
+    fn annotated_write_still_faces_injectivity_gate() {
+        let k = scatter_kernel();
+        let mut model = analyze_kernel(&k).unwrap();
+        let anns = vec![Annotation {
+            kernel: "scatter".into(),
+            kind: AnnotationKind::Write,
+            arg: "out".into(),
+            // Declares that everything writes element 0 — honest but
+            // non-injective: must stay rejected.
+            map_text: "[bdz, bdy, bdx, gdz, gdy, gdx, n] -> \
+                { [boz, boy, box, biz, biy, bix] -> [e] : e = 0 and box >= 0 \
+                  and 0 <= bix and bix < gdx }"
+                .into(),
+            line: 1,
+        }];
+        apply_annotations(&mut model, &anns).unwrap();
+        assert!(matches!(
+            model.verdict,
+            Verdict::NonInjectiveWrite { .. }
+        ));
+    }
+
+    #[test]
+    fn bad_shapes_are_reported() {
+        let k = scatter_kernel();
+        let mut model = analyze_kernel(&k).unwrap();
+        let anns = vec![Annotation {
+            kernel: "scatter".into(),
+            kind: AnnotationKind::Write,
+            arg: "out".into(),
+            // Wrong number of inputs.
+            map_text: "[n] -> { [i] -> [e] : e = i }".into(),
+            line: 1,
+        }];
+        assert!(apply_annotations(&mut model, &anns).is_err());
+        // Unknown argument.
+        let anns = vec![Annotation {
+            kernel: "scatter".into(),
+            kind: AnnotationKind::Write,
+            arg: "ghost".into(),
+            map_text: IDENTITY_WRITE.into(),
+            line: 1,
+        }];
+        assert!(apply_annotations(&mut model, &anns).is_err());
+    }
+}

@@ -1,0 +1,1119 @@
+//! Access-map extraction: symbolic walk of the kernel IR.
+//!
+//! The walker abstract-interprets each statement over the affine domain:
+//! integer expressions evaluate to affine forms over
+//! `[bo, bi, ti, loop dims | bd, gd, scalars]` when possible, `None`
+//! otherwise. Loops contribute fresh (existential) dimensions, guards
+//! contribute domain constraints, and every array access is recorded as a
+//! convex relation piece which is then projected down to the final
+//! `Z^6 → Z^d` map (threadIdx constrained by `0 ≤ ti < blockDim` and
+//! eliminated, paper §4.1).
+
+use crate::injective::is_block_injective;
+use crate::model::{AccessKind, ArgModel, ArrayAccess, KernelModel, Verdict};
+use crate::space::{AnalysisSpace, N_GRID_DIMS, N_MAP_IN};
+use crate::strategy::suggest_split;
+use crate::Result;
+use mekong_kernel::{Axis, BinOp, Expr, Extent, GridVar, Kernel, KernelParam, ScalarTy, Stmt, UnOp};
+use mekong_poly::{Constraint, LinExpr, Map, Polyhedron, Set, Space};
+use std::collections::BTreeMap;
+
+/// Analyze a kernel and produce its model record.
+pub fn analyze_kernel(kernel: &Kernel) -> Result<KernelModel> {
+    kernel.validate()?;
+    let space = AnalysisSpace::for_kernel(kernel);
+    let mut ex = Extractor::new(kernel, space);
+    ex.walk_block(&kernel.body)?;
+    ex.finish()
+}
+
+/// Accumulated accesses of one array.
+#[derive(Default)]
+struct AccessRec {
+    read_pieces: Vec<Polyhedron>,
+    write_pieces: Vec<Polyhedron>,
+    read_exact: bool,
+    write_exact: bool,
+    read_may: bool,
+    write_may: bool,
+    read_unmodeled: bool,
+    write_unmodeled: bool,
+    has_read: bool,
+    has_write: bool,
+}
+
+impl AccessRec {
+    fn new() -> Self {
+        AccessRec {
+            read_exact: true,
+            write_exact: true,
+            ..Default::default()
+        }
+    }
+}
+
+struct Extractor<'k> {
+    kernel: &'k Kernel,
+    space: AnalysisSpace,
+    /// Current number of set dimensions: 9 grid dims + live loop dims.
+    n_dims: usize,
+    /// Scoped symbolic values (name, affine value or `None`).
+    vars: Vec<(String, Option<LinExpr>)>,
+    /// Current path constraints over `[dims | params]`.
+    domain: Vec<Constraint>,
+    /// Below an unrepresentable condition: accesses become "may".
+    approx: bool,
+    accesses: BTreeMap<String, AccessRec>,
+}
+
+/// then/else domains of a condition in disjunctive normal form: a list of
+/// conjunctions. `None` = not expressible affinely (the access domain must
+/// then be over-approximated).
+struct CondSets {
+    then_c: Option<Vec<Vec<Constraint>>>,
+    else_c: Option<Vec<Vec<Constraint>>>,
+}
+
+impl<'k> Extractor<'k> {
+    fn new(kernel: &'k Kernel, space: AnalysisSpace) -> Self {
+        let n_dims = N_GRID_DIMS;
+        let domain = space.base_domain(n_dims);
+        Extractor {
+            kernel,
+            space,
+            n_dims,
+            vars: Vec::new(),
+            domain,
+            approx: false,
+            accesses: BTreeMap::new(),
+        }
+    }
+
+    fn width(&self) -> usize {
+        self.n_dims + self.space.n_params()
+    }
+
+    // ---- affine evaluation -------------------------------------------
+
+    fn eval(&self, e: &Expr) -> Option<LinExpr> {
+        match e {
+            Expr::Int(v) => Some(LinExpr::constant(self.width(), *v)),
+            Expr::Float(_) => None,
+            Expr::Var(name) => {
+                if let Some((_, v)) = self.vars.iter().rev().find(|(n, _)| n == name) {
+                    return v.clone();
+                }
+                // Scalar parameter?
+                if let Some(idx) = self.space.scalar_param_index(name) {
+                    // Only integer scalars participate in index arithmetic.
+                    if let Some(KernelParam::Scalar { ty, .. }) = self.kernel.param(name) {
+                        if *ty == ScalarTy::I64 {
+                            return Some(self.space.param(self.n_dims, idx));
+                        }
+                    }
+                    return None;
+                }
+                None
+            }
+            Expr::Grid(g) => Some(match g {
+                GridVar::ThreadIdx(a) => self.space.var(self.n_dims, self.space.ti_dim(*a)),
+                GridVar::BlockIdx(a) => self.space.var(self.n_dims, self.space.bi_dim(*a)),
+                GridVar::BlockDim(a) => self.space.param(self.n_dims, self.space.bd_param(*a)),
+                GridVar::GridDim(a) => self.space.param(self.n_dims, self.space.gd_param(*a)),
+            }),
+            Expr::Load { .. } => None,
+            Expr::Unary(UnOp::Neg, a) => Some(self.eval(a)?.neg()),
+            Expr::Unary(..) => None,
+            Expr::Binary(op, a, b) => self.eval_binary(*op, a, b),
+            Expr::Cast(ScalarTy::I64, a) => self.eval(a),
+            Expr::Cast(..) => None,
+            Expr::Select(..) => None,
+        }
+    }
+
+    fn eval_binary(&self, op: BinOp, a: &Expr, b: &Expr) -> Option<LinExpr> {
+        match op {
+            BinOp::Add => self.eval(a)?.add(&self.eval(b)?).ok(),
+            BinOp::Sub => self.eval(a)?.sub(&self.eval(b)?).ok(),
+            BinOp::Mul => {
+                // blockOff encapsulation (paper eq. 6): the product
+                // blockIdx.w * blockDim.w becomes the blockOff.w dimension.
+                if let Some(axis) = self.blockoff_product(a, b) {
+                    return Some(self.space.var(self.n_dims, self.space.bo_dim(axis)));
+                }
+                let av = self.eval(a);
+                let bv = self.eval(b);
+                match (av, bv) {
+                    (Some(x), Some(y)) => {
+                        if x.is_constant() {
+                            y.scale(x.konst).ok()
+                        } else if y.is_constant() {
+                            x.scale(y.konst).ok()
+                        } else {
+                            None // non-affine product
+                        }
+                    }
+                    _ => None,
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Detect `blockIdx.w * blockDim.w` (either operand order), also when
+    /// the operands flowed through locals that are exactly those values.
+    fn blockoff_product(&self, a: &Expr, b: &Expr) -> Option<Axis> {
+        let a_bi = self.as_block_idx(a);
+        let b_bi = self.as_block_idx(b);
+        let a_bd = self.as_block_dim(a);
+        let b_bd = self.as_block_dim(b);
+        match (a_bi, b_bd) {
+            (Some(w1), Some(w2)) if w1 == w2 => return Some(w1),
+            _ => {}
+        }
+        match (b_bi, a_bd) {
+            (Some(w1), Some(w2)) if w1 == w2 => Some(w1),
+            _ => None,
+        }
+    }
+
+    /// Is this expression exactly `blockIdx.w` (possibly via a local)?
+    fn as_block_idx(&self, e: &Expr) -> Option<Axis> {
+        let v = self.eval(e)?;
+        for a in Axis::ALL {
+            if v == self.space.var(self.n_dims, self.space.bi_dim(a)) {
+                return Some(a);
+            }
+        }
+        None
+    }
+
+    /// Is this expression exactly `blockDim.w`?
+    fn as_block_dim(&self, e: &Expr) -> Option<Axis> {
+        let v = self.eval(e)?;
+        for a in Axis::ALL {
+            if v == self.space.param(self.n_dims, self.space.bd_param(a)) {
+                return Some(a);
+            }
+        }
+        None
+    }
+
+    // ---- conditions -----------------------------------------------------
+
+    fn eval_cond(&self, e: &Expr) -> CondSets {
+        let none = || CondSets {
+            then_c: None,
+            else_c: None,
+        };
+        match e {
+            Expr::Binary(op, a, b) if op.is_comparison() => {
+                let (av, bv) = (self.eval(a), self.eval(b));
+                let (av, bv) = match (av, bv) {
+                    (Some(x), Some(y)) => (x, y),
+                    _ => return none(),
+                };
+                let one = |k: Constraint| -> Option<Vec<Vec<Constraint>>> { Some(vec![vec![k]]) };
+                match op {
+                    BinOp::Lt => CondSets {
+                        then_c: one(Constraint::lt(&av, &bv).unwrap()),
+                        else_c: one(Constraint::ge(&av, &bv).unwrap()),
+                    },
+                    BinOp::Le => CondSets {
+                        then_c: one(Constraint::le(&av, &bv).unwrap()),
+                        else_c: one(Constraint::lt(&bv, &av).unwrap()),
+                    },
+                    BinOp::Gt => CondSets {
+                        then_c: one(Constraint::lt(&bv, &av).unwrap()),
+                        else_c: one(Constraint::le(&av, &bv).unwrap()),
+                    },
+                    BinOp::Ge => CondSets {
+                        then_c: one(Constraint::ge(&av, &bv).unwrap()),
+                        else_c: one(Constraint::lt(&av, &bv).unwrap()),
+                    },
+                    BinOp::EqEq => CondSets {
+                        then_c: one(Constraint::eq(av.sub(&bv).unwrap())),
+                        // a != b  ≡  a < b  ∨  a > b
+                        else_c: Some(vec![
+                            vec![Constraint::lt(&av, &bv).unwrap()],
+                            vec![Constraint::lt(&bv, &av).unwrap()],
+                        ]),
+                    },
+                    BinOp::Ne => CondSets {
+                        then_c: Some(vec![
+                            vec![Constraint::lt(&av, &bv).unwrap()],
+                            vec![Constraint::lt(&bv, &av).unwrap()],
+                        ]),
+                        else_c: one(Constraint::eq(av.sub(&bv).unwrap())),
+                    },
+                    _ => unreachable!(),
+                }
+            }
+            Expr::Binary(BinOp::And, a, b) => {
+                let ca = self.eval_cond(a);
+                let cb = self.eval_cond(b);
+                CondSets {
+                    // a∧b: cross product of the disjuncts.
+                    then_c: dnf_and(ca.then_c, cb.then_c),
+                    // ¬(a∧b) = ¬a ∨ ¬b: union of the negations.
+                    else_c: dnf_or(ca.else_c, cb.else_c),
+                }
+            }
+            Expr::Binary(BinOp::Or, a, b) => {
+                let ca = self.eval_cond(a);
+                let cb = self.eval_cond(b);
+                CondSets {
+                    then_c: dnf_or(ca.then_c, cb.then_c),
+                    else_c: dnf_and(ca.else_c, cb.else_c),
+                }
+            }
+            Expr::Unary(UnOp::Not, a) => {
+                let ca = self.eval_cond(a);
+                CondSets {
+                    then_c: ca.else_c,
+                    else_c: ca.then_c,
+                }
+            }
+            _ => none(),
+        }
+    }
+
+    // ---- the walk --------------------------------------------------------
+
+    fn walk_block(&mut self, body: &[Stmt]) -> Result<()> {
+        let var_depth = self.vars.len();
+        let dom_depth = self.domain.len();
+        let approx0 = self.approx;
+        for (i, s) in body.iter().enumerate() {
+            match s {
+                Stmt::Let { var, value } => {
+                    self.record_expr_reads(value);
+                    let v = self.eval(value);
+                    self.vars.push((var.clone(), v));
+                }
+                Stmt::Assign { var, value } => {
+                    self.record_expr_reads(value);
+                    let v = self.eval(value);
+                    if let Some(slot) = self.vars.iter_mut().rev().find(|(n, _)| n == var) {
+                        slot.1 = v;
+                    }
+                }
+                Stmt::Store {
+                    array,
+                    indices,
+                    value,
+                } => {
+                    self.record_expr_reads(value);
+                    for ix in indices {
+                        self.record_expr_reads(ix);
+                    }
+                    self.record_access(array, indices, AccessKind::Write)?;
+                }
+                Stmt::If { cond, then_, else_ } => {
+                    self.record_expr_reads(cond);
+                    let cs = self.eval_cond(cond);
+                    // Each branch is walked once per disjunct of its DNF
+                    // domain; accesses from the walks union in the maps
+                    // (duplicates from overlapping disjuncts are harmless).
+                    self.walk_branch(then_, &cs.then_c)?;
+                    self.walk_branch(else_, &cs.else_c)?;
+                    // Guard idiom: a branch that always returns narrows the
+                    // domain of the remaining statements.
+                    let then_returns = always_returns(then_);
+                    let else_returns = always_returns(else_);
+                    if then_returns && !else_returns {
+                        self.narrow_rest(&cs.else_c);
+                    } else if else_returns && !then_returns {
+                        self.narrow_rest(&cs.then_c);
+                    } else if then_returns && else_returns {
+                        // Rest of the block is unreachable.
+                        let _ = i;
+                        break;
+                    }
+                }
+                Stmt::For {
+                    var,
+                    lo,
+                    hi,
+                    step,
+                    body,
+                } => {
+                    self.record_expr_reads(lo);
+                    self.record_expr_reads(hi);
+                    let lo_v = self.eval(lo);
+                    let hi_v = self.eval(hi);
+                    match (lo_v, hi_v) {
+                        (Some(lo_e), Some(hi_e)) => {
+                            self.enter_loop(var, &lo_e, &hi_e, *step, body)?;
+                        }
+                        _ => {
+                            // Non-affine bounds: iterate abstractly.
+                            let a = self.approx;
+                            self.approx = true;
+                            self.vars.push((var.clone(), None));
+                            self.walk_block(body)?;
+                            self.vars.pop();
+                            self.approx = a;
+                        }
+                    }
+                }
+                Stmt::Return => break,
+                Stmt::SyncThreads => {}
+            }
+        }
+        self.vars.truncate(var_depth);
+        self.domain.truncate(dom_depth);
+        self.approx = approx0;
+        Ok(())
+    }
+
+    /// Walk a branch body once per DNF disjunct (or once with `approx` if
+    /// the condition was not affinely representable). Afterwards, any
+    /// variable assigned inside the branch becomes unknown: its value is
+    /// conditional and we do not join states.
+    fn walk_branch(&mut self, body: &[Stmt], dnf: &Dnf) -> Result<()> {
+        if body.is_empty() {
+            return Ok(());
+        }
+        match dnf {
+            Some(disjuncts) => {
+                for conjunct in disjuncts {
+                    let d = self.domain.len();
+                    self.domain.extend(conjunct.iter().cloned());
+                    self.walk_block(body)?;
+                    self.domain.truncate(d);
+                }
+            }
+            None => {
+                let a = self.approx;
+                self.approx = true;
+                self.walk_block(body)?;
+                self.approx = a;
+            }
+        }
+        // Conditionally-assigned outer variables are no longer affine.
+        let mut assigned = Vec::new();
+        collect_assigned(body, &mut assigned);
+        for (name, val) in self.vars.iter_mut() {
+            if assigned.contains(name) {
+                *val = None;
+            }
+        }
+        Ok(())
+    }
+
+    /// Narrow the domain of the remaining statements after a guard-return.
+    /// Disjuncts that are infeasible under the current domain are pruned
+    /// first (e.g. `¬(x == n-1)` yields `x < n-1 ∨ x > n-1`, and the guard
+    /// `x < n` already rules out the second). A single surviving conjunct
+    /// extends the domain; several degrade to "may"; none means the rest of
+    /// the block is dead.
+    fn narrow_rest(&mut self, dnf: &Dnf) {
+        let disjuncts = match dnf {
+            Some(d) => d,
+            None => {
+                self.approx = true;
+                return;
+            }
+        };
+        let context = self.space.param_context();
+        let feasible: Vec<&Vec<Constraint>> = disjuncts
+            .iter()
+            .filter(|conj| {
+                let mut p = mekong_poly::Polyhedron::universe(self.n_dims, self.space.n_params());
+                for c in self.domain.iter().chain(conj.iter()) {
+                    p.add_constraint(c.clone());
+                }
+                // Keep unless provably empty.
+                !p.is_empty_symbolic(&context).unwrap_or(false)
+            })
+            .collect();
+        match feasible.len() {
+            0 => {
+                // Dead code: force an empty domain.
+                self.domain.push(Constraint::ge0(LinExpr::constant(
+                    self.width(),
+                    -1,
+                )));
+            }
+            1 => self.domain.extend(feasible[0].iter().cloned()),
+            _ => self.approx = true,
+        }
+    }
+
+    /// Append a fresh loop dimension, widen all live state, add bounds,
+    /// walk the body, and narrow back.
+    fn enter_loop(
+        &mut self,
+        var: &str,
+        lo: &LinExpr,
+        hi: &LinExpr,
+        step: i64,
+        body: &[Stmt],
+    ) -> Result<()> {
+        let at = self.n_dims;
+        // Widen all live affine state.
+        for (_, v) in self.vars.iter_mut() {
+            if let Some(e) = v {
+                *e = e.insert_vars(at, 1);
+            }
+        }
+        for c in self.domain.iter_mut() {
+            c.expr = c.expr.insert_vars(at, 1);
+        }
+        self.n_dims += 1;
+        let lo_w = lo.insert_vars(at, 1);
+        let hi_w = hi.insert_vars(at, 1);
+        let k = LinExpr::var(self.width(), at);
+        let dom_depth = self.domain.len();
+        let value = if step == 1 {
+            // lo <= k < hi, var = k
+            self.domain.push(Constraint::ge(&k, &lo_w).unwrap());
+            self.domain.push(Constraint::lt(&k, &hi_w).unwrap());
+            k.clone()
+        } else {
+            // var = lo + step*k, k >= 0, var < hi
+            let val = lo_w.add(&k.scale(step).unwrap()).unwrap();
+            self.domain.push(Constraint::ge0(k.clone()));
+            self.domain.push(Constraint::lt(&val, &hi_w).unwrap());
+            val
+        };
+        self.vars.push((var.to_string(), Some(value)));
+        self.walk_block(body)?;
+        self.vars.pop();
+        self.domain.truncate(dom_depth);
+        // Narrow state back: drop the loop dimension.
+        self.n_dims -= 1;
+        for (_, v) in self.vars.iter_mut() {
+            if let Some(e) = v {
+                if e.coeff(at) != 0 {
+                    // Value depends on the departing loop iterator.
+                    *v = None;
+                } else {
+                    *e = e.remove_var(at);
+                }
+            }
+        }
+        for c in self.domain.iter_mut() {
+            debug_assert_eq!(c.expr.coeff(at), 0, "outer domain leaked a loop dim");
+            c.expr = c.expr.remove_var(at);
+        }
+        Ok(())
+    }
+
+    /// Record all loads inside an expression as read accesses.
+    fn record_expr_reads(&mut self, e: &Expr) {
+        // Collect (array, indices) pairs first to appease the borrow
+        // checker; expression trees are small.
+        let mut loads: Vec<(String, Vec<Expr>)> = Vec::new();
+        e.visit(&mut |node| {
+            if let Expr::Load { array, indices } = node {
+                loads.push((array.clone(), indices.clone()));
+            }
+        });
+        for (array, indices) in loads {
+            // Errors here are modeling failures, recorded in the model.
+            let _ = self.record_access(&array, &indices, AccessKind::Read);
+        }
+    }
+
+    fn record_access(
+        &mut self,
+        array: &str,
+        indices: &[Expr],
+        kind: AccessKind,
+    ) -> Result<()> {
+        let idx_exprs: Option<Vec<LinExpr>> = indices.iter().map(|e| self.eval(e)).collect();
+        let rec = self
+            .accesses
+            .entry(array.to_string())
+            .or_insert_with(AccessRec::new);
+        match kind {
+            AccessKind::Read => rec.has_read = true,
+            AccessKind::Write => rec.has_write = true,
+        }
+        let idx_exprs = match idx_exprs {
+            Some(v) => v,
+            None => {
+                match kind {
+                    AccessKind::Read => rec.read_unmodeled = true,
+                    AccessKind::Write => rec.write_unmodeled = true,
+                }
+                return Ok(());
+            }
+        };
+        if self.approx {
+            match kind {
+                AccessKind::Read => rec.read_may = true,
+                AccessKind::Write => {
+                    // A write under an unknown condition: the write map
+                    // over-approximates -> partitioning must be rejected.
+                    rec.write_may = true;
+                    rec.write_exact = false;
+                }
+            }
+        }
+        let d = idx_exprs.len();
+        let n = self.n_dims;
+        // Relation dims: [current dims | out dims]; widen everything.
+        let mut piece = Polyhedron::universe(n + d, self.space.n_params());
+        for c in &self.domain {
+            piece.add_constraint(Constraint {
+                kind: c.kind,
+                expr: c.expr.insert_vars(n, d),
+            });
+        }
+        for (j, idx) in idx_exprs.iter().enumerate() {
+            let out = LinExpr::var(n + d + self.space.n_params(), n + j);
+            let rhs = idx.insert_vars(n, d);
+            piece.add_constraint(Constraint::eq(out.sub(&rhs).unwrap()));
+        }
+        // Project out loop dims and threadIdx dims: keep [bo bi | outs].
+        let (projected, exact) = piece.project_out_dims(N_MAP_IN..n)?;
+        if projected.is_marked_empty() {
+            return Ok(());
+        }
+        match kind {
+            AccessKind::Read => {
+                rec.read_exact &= exact;
+                rec.read_pieces.push(projected);
+            }
+            AccessKind::Write => {
+                rec.write_exact &= exact;
+                rec.write_pieces.push(projected);
+            }
+        }
+        Ok(())
+    }
+
+    // ---- assembly ---------------------------------------------------------
+
+    fn finish(mut self) -> Result<KernelModel> {
+        let mut args = Vec::with_capacity(self.kernel.params.len());
+        let param_names = self.space.param_names();
+        let mut unmodeled_writes = Vec::new();
+
+        for p in &self.kernel.params {
+            match p {
+                KernelParam::Scalar { name, ty } => args.push(ArgModel::Scalar {
+                    name: name.clone(),
+                    ty: *ty,
+                }),
+                KernelParam::Array {
+                    name,
+                    elem,
+                    extents,
+                } => {
+                    let rec = self.accesses.remove(name).unwrap_or_else(AccessRec::new);
+                    let d = extents.len();
+                    if rec.write_unmodeled {
+                        unmodeled_writes.push(name.clone());
+                    }
+                    let read = self.assemble_access(
+                        name,
+                        d,
+                        extents,
+                        rec.read_pieces,
+                        rec.read_exact,
+                        rec.read_may,
+                        rec.read_unmodeled,
+                        rec.has_read,
+                        &param_names,
+                    )?;
+                    let write = self.assemble_access(
+                        name,
+                        d,
+                        extents,
+                        rec.write_pieces,
+                        rec.write_exact,
+                        rec.write_may,
+                        rec.write_unmodeled,
+                        rec.has_write,
+                        &param_names,
+                    )?;
+                    args.push(ArgModel::Array {
+                        name: name.clone(),
+                        elem: *elem,
+                        extents: extents.clone(),
+                        read,
+                        write,
+                    });
+                }
+            }
+        }
+
+        // The split axis decides which block pairs can land in different
+        // partitions, so the injectivity check depends on it (see
+        // `injective`): pick the strategy first, verify against it after.
+        let partitioning = suggest_split(&args);
+        let mut verdict = Verdict::Partitionable;
+        for a in &args {
+            if !verdict.is_partitionable() {
+                break;
+            }
+            if let ArgModel::Array {
+                name,
+                write: Some(w),
+                ..
+            } = a
+            {
+                if unmodeled_writes.contains(name) {
+                    verdict = Verdict::Unmodeled { array: name.clone() };
+                } else if !w.exact {
+                    verdict = Verdict::InexactWrite { array: name.clone() };
+                } else if !is_block_injective(&w.map, &self.space, partitioning)? {
+                    verdict = Verdict::NonInjectiveWrite { array: name.clone() };
+                }
+            }
+        }
+        Ok(KernelModel {
+            kernel_name: self.kernel.name.clone(),
+            partitioning,
+            verdict,
+            args,
+            scalar_params: self.space.scalar_names.clone(),
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn assemble_access(
+        &self,
+        _array: &str,
+        d: usize,
+        extents: &[Extent],
+        pieces: Vec<Polyhedron>,
+        exact: bool,
+        may: bool,
+        unmodeled: bool,
+        has_access: bool,
+        param_names: &[String],
+    ) -> Result<Option<ArrayAccess>> {
+        if !has_access {
+            return Ok(None);
+        }
+        let dim_names: Vec<String> = AnalysisSpace::map_in_names()
+            .iter()
+            .map(|s| s.to_string())
+            .chain((0..d).map(|j| format!("e{j}")))
+            .collect();
+        let space = Space::from_names(dim_names, param_names.to_vec());
+
+        if unmodeled {
+            // Fall back to "whole array": exact=false, may=true.
+            let np = self.space.n_params();
+            let width = N_MAP_IN + d + np;
+            let mut p = Polyhedron::universe(N_MAP_IN + d, np);
+            for (j, ext) in extents.iter().enumerate() {
+                let out = LinExpr::var(width, N_MAP_IN + j);
+                let hi = match ext {
+                    Extent::Const(c) => LinExpr::constant(width, *c),
+                    Extent::Param(name) => {
+                        let idx = self
+                            .space
+                            .scalar_param_index(name)
+                            .expect("extent param must be a scalar kernel param");
+                        LinExpr::var(width, N_MAP_IN + d + idx)
+                    }
+                };
+                p.add_constraint(Constraint::ge0(out.clone()));
+                p.add_constraint(Constraint::lt(&out, &hi).unwrap());
+            }
+            let mut set = Set::from_polyhedron(space, p);
+            set.set_inexact();
+            return Ok(Some(ArrayAccess {
+                map: Map::from_relation(N_MAP_IN, set),
+                exact: false,
+                may: true,
+            }));
+        }
+
+        let mut set = Set::from_pieces(space, pieces);
+        if !exact {
+            set.set_inexact();
+        }
+        Ok(Some(ArrayAccess {
+            map: Map::from_relation(N_MAP_IN, set),
+            exact,
+            may,
+        }))
+    }
+}
+
+type Dnf = Option<Vec<Vec<Constraint>>>;
+
+/// DNF conjunction: cross product of the disjunct lists.
+fn dnf_and(a: Dnf, b: Dnf) -> Dnf {
+    match (a, b) {
+        (Some(xs), Some(ys)) => {
+            let mut out = Vec::with_capacity(xs.len() * ys.len());
+            for x in &xs {
+                for y in &ys {
+                    let mut c = x.clone();
+                    c.extend(y.iter().cloned());
+                    out.push(c);
+                }
+            }
+            Some(out)
+        }
+        _ => None,
+    }
+}
+
+/// DNF disjunction: concatenation of the disjunct lists.
+fn dnf_or(a: Dnf, b: Dnf) -> Dnf {
+    match (a, b) {
+        (Some(mut xs), Some(ys)) => {
+            xs.extend(ys);
+            Some(xs)
+        }
+        _ => None,
+    }
+}
+
+/// Names assigned (not `Let`-bound) anywhere in a block.
+fn collect_assigned(body: &[Stmt], out: &mut Vec<String>) {
+    for s in body {
+        match s {
+            Stmt::Assign { var, .. } => out.push(var.clone()),
+            Stmt::If { then_, else_, .. } => {
+                collect_assigned(then_, out);
+                collect_assigned(else_, out);
+            }
+            Stmt::For { body, .. } => collect_assigned(body, out),
+            _ => {}
+        }
+    }
+}
+
+/// Does this block return on every path?
+fn always_returns(body: &[Stmt]) -> bool {
+    match body.last() {
+        Some(Stmt::Return) => true,
+        Some(Stmt::If { then_, else_, .. }) => always_returns(then_) && always_returns(else_),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mekong_kernel::builder::*;
+    use mekong_kernel::Kernel;
+
+    /// Evaluate a 6-in map on a concrete block (bo, bi) with params
+    /// `[bd..., gd..., scalars...]`; returns sorted element coordinates.
+    fn apply(map: &Map, input: &[i64; 6], params: &[i64]) -> Vec<Vec<i64>> {
+        map.apply_point(input, params).unwrap()
+    }
+
+    fn vadd() -> Kernel {
+        Kernel {
+            name: "vadd".into(),
+            params: vec![
+                scalar("n"),
+                array_f32("a", &[ext("n")]),
+                array_f32("b", &[ext("n")]),
+                array_f32("c", &[ext("n")]),
+            ],
+            body: vec![
+                let_("i", global_x()),
+                guard_return(v("i").ge(v("n"))),
+                store(
+                    "c",
+                    vec![v("i")],
+                    load("a", vec![v("i")]) + load("b", vec![v("i")]),
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn vadd_maps_are_identity_ranges() {
+        let m = analyze_kernel(&vadd()).unwrap();
+        assert!(m.verdict.is_partitionable(), "verdict: {:?}", m.verdict);
+        let c = match m.arg("c").unwrap() {
+            ArgModel::Array { write, .. } => write.as_ref().unwrap(),
+            _ => panic!(),
+        };
+        assert!(c.exact);
+        // Block (bo=32, bi=4) with bd=8, gd=16, n=1000:
+        // writes elements 32..40.
+        let params = [1, 1, 8, 1, 1, 16, 1000];
+        let outs = apply(&c.map, &[0, 0, 32, 0, 0, 4], &params);
+        let expect: Vec<Vec<i64>> = (32..40).map(|e| vec![e]).collect();
+        assert_eq!(outs, expect);
+        // Guard clips at n: block with bo=996 writes 996..1000 only.
+        let outs = apply(&c.map, &[0, 0, 996, 0, 0, 5], &params);
+        let expect: Vec<Vec<i64>> = (996..1000).map(|e| vec![e]).collect();
+        assert_eq!(outs, expect);
+    }
+
+    #[test]
+    fn vadd_reads_match_writes() {
+        let m = analyze_kernel(&vadd()).unwrap();
+        let a = match m.arg("a").unwrap() {
+            ArgModel::Array { read, write, .. } => {
+                assert!(write.is_none());
+                read.as_ref().unwrap()
+            }
+            _ => panic!(),
+        };
+        let params = [1, 1, 8, 1, 1, 16, 1000];
+        let outs = apply(&a.map, &[0, 0, 32, 0, 0, 4], &params);
+        assert_eq!(outs.len(), 8);
+    }
+
+    fn stencil_1d() -> Kernel {
+        // out[i] = in[i-1] + in[i] + in[i+1], clamped by a guard.
+        Kernel {
+            name: "stencil".into(),
+            params: vec![
+                scalar("n"),
+                array_f32("input", &[ext("n")]),
+                array_f32("output", &[ext("n")]),
+            ],
+            body: vec![
+                let_("i", global_x()),
+                guard_return(
+                    v("i").lt(i(1)).or(v("i").ge(v("n") - i(1))),
+                ),
+                store(
+                    "output",
+                    vec![v("i")],
+                    load("input", vec![v("i") - i(1)])
+                        + load("input", vec![v("i")])
+                        + load("input", vec![v("i") + i(1)]),
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn stencil_read_includes_halo() {
+        let m = analyze_kernel(&stencil_1d()).unwrap();
+        assert!(m.verdict.is_partitionable(), "verdict: {:?}", m.verdict);
+        let rd = match m.arg("input").unwrap() {
+            ArgModel::Array { read, .. } => read.as_ref().unwrap(),
+            _ => panic!(),
+        };
+        // Block bo=8, bi=1, bd=8, n=100: threads 8..16 (all inside the
+        // guard), reads 7..=16.
+        let params = [1, 1, 8, 1, 1, 16, 100];
+        let outs = apply(&rd.map, &[0, 0, 8, 0, 0, 1], &params);
+        let expect: Vec<Vec<i64>> = (7..=16).map(|e| vec![e]).collect();
+        assert_eq!(outs, expect);
+        // Write map excludes the boundary.
+        let wr = match m.arg("output").unwrap() {
+            ArgModel::Array { write, .. } => write.as_ref().unwrap(),
+            _ => panic!(),
+        };
+        let outs = apply(&wr.map, &[0, 0, 0, 0, 0, 0], &params);
+        let expect: Vec<Vec<i64>> = (1..8).map(|e| vec![e]).collect();
+        assert_eq!(outs, expect); // thread 0 guarded out
+    }
+
+    #[test]
+    fn matmul_row_reads_whole_k_range() {
+        // C[r][c] = sum_k A[r][k] * B[k][c]
+        let k = Kernel {
+            name: "matmul".into(),
+            params: vec![
+                scalar("n"),
+                array_f32("A", &[ext("n"), ext("n")]),
+                array_f32("B", &[ext("n"), ext("n")]),
+                array_f32("C", &[ext("n"), ext("n")]),
+            ],
+            body: vec![
+                let_("r", global_y()),
+                let_("c", global_x()),
+                guard_return(v("r").ge(v("n")).or(v("c").ge(v("n")))),
+                let_("acc", f(0.0)),
+                for_(
+                    "kk",
+                    i(0),
+                    v("n"),
+                    vec![assign(
+                        "acc",
+                        v("acc") + load("A", vec![v("r"), v("kk")]) * load("B", vec![v("kk"), v("c")]),
+                    )],
+                ),
+                store("C", vec![v("r"), v("c")], v("acc")),
+            ],
+        };
+        let m = analyze_kernel(&k).unwrap();
+        assert!(m.verdict.is_partitionable(), "verdict: {:?}", m.verdict);
+        // A read by block (boy=4, biy=1) with bd=(4,4): rows 4..8, all k.
+        let params = [1, 4, 4, 1, 4, 4, 12]; // bd=(z1,y4,x4), gd=(1,4,4), n=12
+        let a = match m.arg("A").unwrap() {
+            ArgModel::Array { read, .. } => read.as_ref().unwrap(),
+            _ => panic!(),
+        };
+        let outs = apply(&a.map, &[0, 4, 0, 0, 1, 0], &params);
+        // rows 4..8 x cols 0..12 = 48 elements
+        assert_eq!(outs.len(), 48);
+        assert!(outs.contains(&vec![4, 0]) && outs.contains(&vec![7, 11]));
+        assert!(!outs.contains(&vec![8, 0]));
+        // B read: all rows, cols 0..4 for block bix=0.
+        let b = match m.arg("B").unwrap() {
+            ArgModel::Array { read, .. } => read.as_ref().unwrap(),
+            _ => panic!(),
+        };
+        let outs = apply(&b.map, &[0, 4, 0, 0, 1, 0], &params);
+        assert_eq!(outs.len(), 48); // 12 rows x 4 cols
+        assert!(outs.contains(&vec![11, 3]));
+        assert!(!outs.contains(&vec![0, 4]));
+        // C written exactly on the 4x4 tile.
+        let c = match m.arg("C").unwrap() {
+            ArgModel::Array { write, .. } => write.as_ref().unwrap(),
+            _ => panic!(),
+        };
+        let outs = apply(&c.map, &[0, 4, 0, 0, 1, 0], &params);
+        assert_eq!(outs.len(), 16);
+        assert!(c.exact);
+    }
+
+    #[test]
+    fn non_injective_write_rejected() {
+        // Every thread writes element 0 — a WAW hazard across blocks.
+        let k = Kernel {
+            name: "reduce_bad".into(),
+            params: vec![scalar("n"), array_f32("out", &[ext("n")])],
+            body: vec![store("out", vec![i(0)], f(1.0))],
+        };
+        let m = analyze_kernel(&k).unwrap();
+        assert_eq!(
+            m.verdict,
+            Verdict::NonInjectiveWrite {
+                array: "out".into()
+            }
+        );
+    }
+
+    #[test]
+    fn data_dependent_write_is_unmodeled() {
+        // out[idx[i]] = 1.0 — indirect write cannot be modeled.
+        let k = Kernel {
+            name: "scatter".into(),
+            params: vec![
+                scalar("n"),
+                array_f32("idx", &[ext("n")]),
+                array_f32("out", &[ext("n")]),
+            ],
+            body: vec![
+                let_("i", global_x()),
+                guard_return(v("i").ge(v("n"))),
+                store("out", vec![to_i64(load("idx", vec![v("i")]))], f(1.0)),
+            ],
+        };
+        let m = analyze_kernel(&k).unwrap();
+        assert_eq!(m.verdict, Verdict::Unmodeled { array: "out".into() });
+    }
+
+    #[test]
+    fn conditional_write_under_unknown_guard_is_inexact() {
+        // if (a[i] > 0) out[i] = 1.0 — data-dependent condition.
+        let k = Kernel {
+            name: "cond".into(),
+            params: vec![
+                scalar("n"),
+                array_f32("a", &[ext("n")]),
+                array_f32("out", &[ext("n")]),
+            ],
+            body: vec![
+                let_("i", global_x()),
+                guard_return(v("i").ge(v("n"))),
+                if_(
+                    load("a", vec![v("i")]).gt(f(0.0)),
+                    vec![store("out", vec![v("i")], f(1.0))],
+                    vec![],
+                ),
+            ],
+        };
+        let m = analyze_kernel(&k).unwrap();
+        assert_eq!(
+            m.verdict,
+            Verdict::InexactWrite {
+                array: "out".into()
+            }
+        );
+        // The read of a[] is still modeled (must-read).
+        let rd = match m.arg("a").unwrap() {
+            ArgModel::Array { read, .. } => read.as_ref().unwrap(),
+            _ => panic!(),
+        };
+        assert!(rd.exact);
+    }
+
+    #[test]
+    fn strided_write_is_conservatively_rejected() {
+        // out[2*i] writes only even elements. The integer projection of
+        // that set needs an existential divisibility term (isl would keep
+        // a div); our FM-based projection over-approximates, flags the
+        // write map inexact, and the kernel is rejected for partitioning —
+        // the sound direction of §4's rule.
+        let k = Kernel {
+            name: "stride".into(),
+            params: vec![scalar("n"), array_f32("out", &[ext("n")])],
+            body: vec![
+                let_("i", global_x()),
+                guard_return((v("i") * i(2)).ge(v("n"))),
+                store("out", vec![v("i") * i(2)], f(1.0)),
+            ],
+        };
+        let m = analyze_kernel(&k).unwrap();
+        assert_eq!(m.verdict, Verdict::InexactWrite { array: "out".into() });
+        // The same stride on the *read* side is a legal over-approximation
+        // and keeps the kernel partitionable.
+        let k2 = Kernel {
+            name: "stride_read".into(),
+            params: vec![
+                scalar("n"),
+                array_f32("a", &[ext("n")]),
+                array_f32("out", &[ext("n")]),
+            ],
+            body: vec![
+                let_("i", global_x()),
+                guard_return((v("i") * i(2)).ge(v("n"))),
+                store("out", vec![v("i")], load("a", vec![v("i") * i(2)])),
+            ],
+        };
+        let m2 = analyze_kernel(&k2).unwrap();
+        assert!(m2.verdict.is_partitionable(), "verdict: {:?}", m2.verdict);
+        let rd = match m2.arg("a").unwrap() {
+            ArgModel::Array { read, .. } => read.as_ref().unwrap(),
+            _ => panic!(),
+        };
+        assert!(!rd.exact, "strided read should be flagged approximate");
+        // The over-approximated read still covers the true footprint.
+        let params = [1, 1, 4, 1, 1, 4, 100];
+        let outs = apply(&rd.map, &[0, 0, 4, 0, 0, 1], &params);
+        for want in [8i64, 10, 12, 14] {
+            assert!(outs.contains(&vec![want]), "missing read of {want}");
+        }
+    }
+
+    #[test]
+    fn blockoff_detected_through_locals() {
+        // off = blockIdx.x * blockDim.x; i = off + threadIdx.x
+        let k = Kernel {
+            name: "via_local".into(),
+            params: vec![scalar("n"), array_f32("out", &[ext("n")])],
+            body: vec![
+                let_("off", bid(Axis::X) * bdim(Axis::X)),
+                let_("i", v("off") + tid(Axis::X)),
+                guard_return(v("i").ge(v("n"))),
+                store("out", vec![v("i")], f(1.0)),
+            ],
+        };
+        let m = analyze_kernel(&k).unwrap();
+        assert!(m.verdict.is_partitionable(), "verdict: {:?}", m.verdict);
+        let wr = match m.arg("out").unwrap() {
+            ArgModel::Array { write, .. } => write.as_ref().unwrap(),
+            _ => panic!(),
+        };
+        let params = [1, 1, 8, 1, 1, 4, 100];
+        let outs = apply(&wr.map, &[0, 0, 16, 0, 0, 2], &params);
+        assert_eq!(outs.len(), 8);
+        assert_eq!(outs[0], vec![16]);
+    }
+}

@@ -1,0 +1,191 @@
+//! The on-disk application model (paper §4: "the application model is
+//! saved to disk. For each kernel, a record is created that contains the
+//! kernel's name, suggested partitioning strategy, and a list of its
+//! arguments. The read and write maps of arrays are stored per-argument.")
+
+use crate::strategy::SplitAxis;
+use mekong_kernel::{Extent, ScalarTy};
+use mekong_poly::Map;
+use serde::{Deserialize, Serialize};
+
+/// Read or write access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AccessKind {
+    Read,
+    Write,
+}
+
+/// One access map of one array argument.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ArrayAccess {
+    /// The polyhedral map `Z^6 → Z^d` (blockOff/blockIdx → array coords).
+    pub map: Map,
+    /// Whether the map is exact. Inexact read maps are a legal
+    /// over-approximation; inexact write maps reject partitioning.
+    pub exact: bool,
+    /// True if some contributing access was optional ("may"). Currently
+    /// treated like "must" (paper: pessimistic but correct).
+    pub may: bool,
+}
+
+/// Model of one kernel argument.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum ArgModel {
+    Scalar {
+        name: String,
+        ty: ScalarTy,
+    },
+    Array {
+        name: String,
+        elem: ScalarTy,
+        /// Array extents (outermost first) in terms of scalar params.
+        extents: Vec<Extent>,
+        read: Option<ArrayAccess>,
+        write: Option<ArrayAccess>,
+    },
+}
+
+impl ArgModel {
+    /// Argument name.
+    pub fn name(&self) -> &str {
+        match self {
+            ArgModel::Scalar { name, .. } | ArgModel::Array { name, .. } => name,
+        }
+    }
+
+    /// Is this argument an array that the kernel reads?
+    pub fn is_read_array(&self) -> bool {
+        matches!(self, ArgModel::Array { read: Some(_), .. })
+    }
+
+    /// Is this argument an array that the kernel writes?
+    pub fn is_written_array(&self) -> bool {
+        matches!(self, ArgModel::Array { write: Some(_), .. })
+    }
+}
+
+/// Can the kernel be partitioned across devices?
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// All checks passed.
+    Partitionable,
+    /// A write map was over-approximated; tracker updates would be wrong.
+    InexactWrite { array: String },
+    /// A write map is not injective at block granularity (WAW hazard
+    /// across partitions, paper §4).
+    NonInjectiveWrite { array: String },
+    /// An access could not be modeled at all (non-affine index).
+    Unmodeled { array: String },
+}
+
+impl Verdict {
+    /// True if multi-device partitioning is allowed.
+    pub fn is_partitionable(&self) -> bool {
+        matches!(self, Verdict::Partitionable)
+    }
+}
+
+/// The per-kernel record of the application model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KernelModel {
+    pub kernel_name: String,
+    /// Suggested grid axis to split (paper: "suggested partitioning
+    /// strategy").
+    pub partitioning: SplitAxis,
+    /// Verdict of the soundness checks.
+    pub verdict: Verdict,
+    /// Per-argument models, in kernel parameter order.
+    pub args: Vec<ArgModel>,
+    /// Names of the scalar parameters (defines the parameter layout of the
+    /// maps after the six fixed grid parameters).
+    pub scalar_params: Vec<String>,
+}
+
+impl KernelModel {
+    /// The model of an argument by name.
+    pub fn arg(&self, name: &str) -> Option<&ArgModel> {
+        self.args.iter().find(|a| a.name() == name)
+    }
+
+    /// Array arguments the kernel reads.
+    pub fn read_arrays(&self) -> impl Iterator<Item = (usize, &ArgModel)> {
+        self.args
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.is_read_array())
+    }
+
+    /// Array arguments the kernel writes.
+    pub fn written_arrays(&self) -> impl Iterator<Item = (usize, &ArgModel)> {
+        self.args
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.is_written_array())
+    }
+}
+
+/// The whole application model: one record per kernel, written to disk
+/// between the two compiler passes (paper §3).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AppModel {
+    pub kernels: Vec<KernelModel>,
+}
+
+impl AppModel {
+    /// Look up a kernel's model.
+    pub fn kernel(&self, name: &str) -> Option<&KernelModel> {
+        self.kernels.iter().find(|k| k.kernel_name == name)
+    }
+
+    /// Serialize to JSON (the on-disk format between passes).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("model serialization cannot fail")
+    }
+
+    /// Deserialize from JSON.
+    pub fn from_json(text: &str) -> Result<AppModel, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_roundtrips_through_json() {
+        let m = AppModel {
+            kernels: vec![KernelModel {
+                kernel_name: "vadd".into(),
+                partitioning: SplitAxis::X,
+                verdict: Verdict::Partitionable,
+                args: vec![
+                    ArgModel::Scalar {
+                        name: "n".into(),
+                        ty: ScalarTy::I64,
+                    },
+                    ArgModel::Array {
+                        name: "a".into(),
+                        elem: ScalarTy::F32,
+                        extents: vec![Extent::Param("n".into())],
+                        read: Some(ArrayAccess {
+                            map: Map::parse("{ [boz,boy,box,biz,biy,bix] -> [e] : e = box }")
+                                .unwrap(),
+                            exact: true,
+                            may: false,
+                        }),
+                        write: None,
+                    },
+                ],
+                scalar_params: vec!["n".into()],
+            }],
+        };
+        let json = m.to_json();
+        let back = AppModel::from_json(&json).unwrap();
+        assert_eq!(back.kernels.len(), 1);
+        let k = back.kernel("vadd").unwrap();
+        assert!(k.verdict.is_partitionable());
+        assert!(k.arg("a").unwrap().is_read_array());
+        assert!(!k.arg("a").unwrap().is_written_array());
+    }
+}

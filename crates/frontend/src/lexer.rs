@@ -1,0 +1,289 @@
+//! Tokenizer for the mini-CUDA dialect.
+
+use crate::{ParseError, Result};
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    Ident(String),
+    IntLit(i64),
+    FloatLit(f64),
+    // punctuation
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Dot,
+    // operators
+    Assign,      // =
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    Ne,
+    AndAnd,
+    OrOr,
+    Not,
+    PlusPlus,
+    PlusAssign,  // +=
+    Question,
+    Colon,
+    Amp,         // & (host code pointer-out args)
+    // CUDA launch chevrons
+    LaunchOpen,  // <<<
+    LaunchClose, // >>>
+}
+
+/// A token with its source line (1-based) and byte offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: usize,
+    pub start: usize,
+}
+
+/// Tokenize `src`. Line comments (`//`) and block comments are skipped.
+pub fn lex(src: &str) -> Result<Vec<Token>> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    macro_rules! push {
+        ($kind:expr, $n:expr) => {{
+            out.push(Token { kind: $kind, line, start: i });
+            i += $n;
+        }};
+    }
+    while i < b.len() {
+        let c = b[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                i += 2;
+                while i + 1 < b.len() && !(b[i] == b'*' && b[i + 1] == b'/') {
+                    if b[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                i = (i + 2).min(b.len());
+            }
+            '(' => push!(TokenKind::LParen, 1),
+            ')' => push!(TokenKind::RParen, 1),
+            '{' => push!(TokenKind::LBrace, 1),
+            '}' => push!(TokenKind::RBrace, 1),
+            '[' => push!(TokenKind::LBracket, 1),
+            ']' => push!(TokenKind::RBracket, 1),
+            ',' => push!(TokenKind::Comma, 1),
+            ';' => push!(TokenKind::Semi, 1),
+            '.' => push!(TokenKind::Dot, 1),
+            '?' => push!(TokenKind::Question, 1),
+            ':' => push!(TokenKind::Colon, 1),
+            '&' => {
+                if i + 1 < b.len() && b[i + 1] == b'&' {
+                    push!(TokenKind::AndAnd, 2);
+                } else {
+                    push!(TokenKind::Amp, 1);
+                }
+            }
+            '|' => {
+                if i + 1 < b.len() && b[i + 1] == b'|' {
+                    push!(TokenKind::OrOr, 2);
+                } else {
+                    return Err(ParseError {
+                        line,
+                        message: "single '|' is not supported".into(),
+                    });
+                }
+            }
+            '+' => {
+                if i + 1 < b.len() && b[i + 1] == b'+' {
+                    push!(TokenKind::PlusPlus, 2);
+                } else if i + 1 < b.len() && b[i + 1] == b'=' {
+                    push!(TokenKind::PlusAssign, 2);
+                } else {
+                    push!(TokenKind::Plus, 1);
+                }
+            }
+            '-' => push!(TokenKind::Minus, 1),
+            '*' => push!(TokenKind::Star, 1),
+            '/' => push!(TokenKind::Slash, 1),
+            '%' => push!(TokenKind::Percent, 1),
+            '!' => {
+                if i + 1 < b.len() && b[i + 1] == b'=' {
+                    push!(TokenKind::Ne, 2);
+                } else {
+                    push!(TokenKind::Not, 1);
+                }
+            }
+            '=' => {
+                if i + 1 < b.len() && b[i + 1] == b'=' {
+                    push!(TokenKind::EqEq, 2);
+                } else {
+                    push!(TokenKind::Assign, 1);
+                }
+            }
+            '<' => {
+                if i + 2 < b.len() && b[i + 1] == b'<' && b[i + 2] == b'<' {
+                    push!(TokenKind::LaunchOpen, 3);
+                } else if i + 1 < b.len() && b[i + 1] == b'=' {
+                    push!(TokenKind::Le, 2);
+                } else {
+                    push!(TokenKind::Lt, 1);
+                }
+            }
+            '>' => {
+                if i + 2 < b.len() && b[i + 1] == b'>' && b[i + 2] == b'>' {
+                    push!(TokenKind::LaunchClose, 3);
+                } else if i + 1 < b.len() && b[i + 1] == b'=' {
+                    push!(TokenKind::Ge, 2);
+                } else {
+                    push!(TokenKind::Gt, 1);
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                let mut is_float = false;
+                while i < b.len() && (b[i].is_ascii_digit()) {
+                    i += 1;
+                }
+                if i < b.len() && b[i] == b'.' && i + 1 < b.len() && b[i + 1].is_ascii_digit() {
+                    is_float = true;
+                    i += 1;
+                    while i < b.len() && b[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                } else if i < b.len() && b[i] == b'.' {
+                    is_float = true;
+                    i += 1;
+                }
+                if i < b.len() && (b[i] == b'e' || b[i] == b'E') {
+                    is_float = true;
+                    i += 1;
+                    if i < b.len() && (b[i] == b'+' || b[i] == b'-') {
+                        i += 1;
+                    }
+                    while i < b.len() && b[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &src[start..i];
+                if i < b.len() && (b[i] == b'f' || b[i] == b'F') {
+                    i += 1;
+                    is_float = true;
+                }
+                if is_float {
+                    let v: f64 = text.parse().map_err(|_| ParseError {
+                        line,
+                        message: format!("bad float literal {text:?}"),
+                    })?;
+                    out.push(Token {
+                        kind: TokenKind::FloatLit(v),
+                        line,
+                        start,
+                    });
+                } else {
+                    let v: i64 = text.parse().map_err(|_| ParseError {
+                        line,
+                        message: format!("bad integer literal {text:?}"),
+                    })?;
+                    out.push(Token {
+                        kind: TokenKind::IntLit(v),
+                        line,
+                        start,
+                    });
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < b.len() && ((b[i] as char).is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                out.push(Token {
+                    kind: TokenKind::Ident(src[start..i].to_string()),
+                    line,
+                    start,
+                });
+            }
+            other => {
+                return Err(ParseError {
+                    line,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_kernel_header() {
+        let toks = lex("__global__ void f(int n, float a[n]) { }").unwrap();
+        assert!(matches!(&toks[0].kind, TokenKind::Ident(s) if s == "__global__"));
+        assert!(toks.iter().any(|t| t.kind == TokenKind::LBracket));
+    }
+
+    #[test]
+    fn lexes_launch_chevrons() {
+        let toks = lex("k<<<grid, block>>>(a);").unwrap();
+        assert!(toks.iter().any(|t| t.kind == TokenKind::LaunchOpen));
+        assert!(toks.iter().any(|t| t.kind == TokenKind::LaunchClose));
+    }
+
+    #[test]
+    fn distinguishes_comparisons_from_chevrons() {
+        let toks = lex("a << b").err();
+        // "<<" lexes as Lt Lt? Actually '<<' hits the Lt branch twice.
+        assert!(toks.is_none());
+        let toks = lex("a < b >= c <= d").unwrap();
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Ge));
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Le));
+    }
+
+    #[test]
+    fn float_literals_with_suffix() {
+        let toks = lex("0.5f 2f 1e-3 7").unwrap();
+        assert_eq!(toks[0].kind, TokenKind::FloatLit(0.5));
+        assert_eq!(toks[1].kind, TokenKind::FloatLit(2.0));
+        assert_eq!(toks[2].kind, TokenKind::FloatLit(1e-3));
+        assert_eq!(toks[3].kind, TokenKind::IntLit(7));
+    }
+
+    #[test]
+    fn comments_are_skipped_and_lines_tracked() {
+        let toks = lex("a // comment\n/* multi\nline */ b").unwrap();
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 3);
+    }
+
+    #[test]
+    fn increment_and_compound_assign() {
+        let toks = lex("i++ i += 2").unwrap();
+        assert!(toks.iter().any(|t| t.kind == TokenKind::PlusPlus));
+        assert!(toks.iter().any(|t| t.kind == TokenKind::PlusAssign));
+    }
+}

@@ -1,0 +1,49 @@
+//! # mekong-frontend — a mini-CUDA front-end
+//!
+//! The gpucc/Clang substitute: a lexer and recursive-descent parser for a
+//! CUDA dialect rich enough to express the paper's benchmarks and the
+//! class of regular data-parallel kernels it targets.
+//!
+//! * `__global__` kernels parse into `mekong-kernel` IR,
+//! * everything else (host code) is preserved verbatim for the
+//!   source-to-source rewriter (`mekong-rewriter`) — matching the paper's
+//!   split: device code goes through the compiler, host code through text
+//!   substitution (§3, §5).
+//!
+//! ## Dialect
+//!
+//! ```cuda
+//! __global__ void vadd(int n, float a[n], float b[n], float c[n]) {
+//!     int i = blockIdx.x * blockDim.x + threadIdx.x;
+//!     if (i >= n) return;
+//!     c[i] = a[i] + b[i];
+//! }
+//! ```
+//!
+//! Array parameters carry their extents in the signature (`float a[n][n]`)
+//! — the dialect's substitute for the delinearization analysis a
+//! production LLVM pass would perform on flat pointers.
+
+pub mod lexer;
+pub mod parser;
+
+pub use lexer::{lex, Token, TokenKind};
+pub use parser::{parse_program, Program};
+
+/// Frontend errors with source positions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, ParseError>;

@@ -1,0 +1,732 @@
+//! Recursive-descent parser: mini-CUDA source → kernel IR + host text.
+
+use crate::lexer::{lex, Token, TokenKind};
+use crate::{ParseError, Result};
+use mekong_kernel::{BinOp, Expr, Extent, GridVar, Kernel, KernelParam, ScalarTy, Stmt, UnOp};
+
+/// A parsed translation unit: the device kernels and the host source with
+/// kernel definitions removed (what the rewriter operates on).
+#[derive(Debug, Clone)]
+pub struct Program {
+    pub kernels: Vec<Kernel>,
+    pub host_source: String,
+}
+
+impl Program {
+    /// Look up a kernel by name.
+    pub fn kernel(&self, name: &str) -> Option<&Kernel> {
+        self.kernels.iter().find(|k| k.name == name)
+    }
+}
+
+/// Parse a mini-CUDA translation unit.
+pub fn parse_program(src: &str) -> Result<Program> {
+    let tokens = lex(src)?;
+    let mut kernels = Vec::new();
+    let mut host_source = String::new();
+    let mut host_cursor = 0usize; // byte offset into src
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if matches!(&tokens[i].kind, TokenKind::Ident(s) if s == "__global__") {
+            // Copy the host text before the kernel.
+            host_source.push_str(&src[host_cursor..tokens[i].start]);
+            let mut p = Parser {
+                toks: &tokens,
+                pos: i,
+            };
+            let kernel = p.kernel()?;
+            kernels.push(kernel);
+            // Skip past the kernel body in the host text.
+            host_cursor = if p.pos < tokens.len() {
+                tokens[p.pos].start
+            } else {
+                src.len()
+            };
+            i = p.pos;
+        } else {
+            i += 1;
+        }
+    }
+    host_source.push_str(&src[host_cursor..]);
+    Ok(Program {
+        kernels,
+        host_source,
+    })
+}
+
+struct Parser<'t> {
+    toks: &'t [Token],
+    pos: usize,
+}
+
+impl<'t> Parser<'t> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T> {
+        let line = self
+            .toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map(|t| t.line)
+            .unwrap_or(0);
+        Err(ParseError {
+            line,
+            message: message.into(),
+        })
+    }
+
+    fn peek(&self) -> Option<&TokenKind> {
+        self.toks.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn next(&mut self) -> Result<&'t TokenKind> {
+        match self.toks.get(self.pos) {
+            Some(t) => {
+                self.pos += 1;
+                Ok(&t.kind)
+            }
+            None => Err(ParseError {
+                line: self.toks.last().map(|t| t.line).unwrap_or(0),
+                message: "unexpected end of input".into(),
+            }),
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<()> {
+        let line = self.toks.get(self.pos).map(|t| t.line).unwrap_or(0);
+        let got = self.next()?;
+        if got == kind {
+            Ok(())
+        } else {
+            Err(ParseError {
+                line,
+                message: format!("expected {kind:?}, found {got:?}"),
+            })
+        }
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == Some(kind) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next()? {
+            TokenKind::Ident(s) => Ok(s.clone()),
+            other => {
+                self.pos -= 1;
+                self.err(format!("expected identifier, found {other:?}"))
+            }
+        }
+    }
+
+    fn scalar_type(&mut self) -> Result<ScalarTy> {
+        let name = self.ident()?;
+        match name.as_str() {
+            "int" | "long" | "size_t" | "unsigned" => Ok(ScalarTy::I64),
+            "float" => Ok(ScalarTy::F32),
+            "double" => Ok(ScalarTy::F64),
+            other => {
+                self.pos -= 1;
+                self.err(format!("unknown type {other:?}"))
+            }
+        }
+    }
+
+    fn is_type_name(&self) -> bool {
+        matches!(self.peek(), Some(TokenKind::Ident(s))
+            if matches!(s.as_str(), "int" | "long" | "size_t" | "unsigned" | "float" | "double"))
+    }
+
+    // __global__ void name(params) { body }
+    fn kernel(&mut self) -> Result<Kernel> {
+        let kw = self.ident()?;
+        debug_assert_eq!(kw, "__global__");
+        let void = self.ident()?;
+        if void != "void" {
+            return self.err("kernels must return void");
+        }
+        let name = self.ident()?;
+        self.expect(&TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat(&TokenKind::RParen) {
+            loop {
+                params.push(self.param()?);
+                match self.next()? {
+                    TokenKind::Comma => continue,
+                    TokenKind::RParen => break,
+                    other => {
+                        self.pos -= 1;
+                        return self.err(format!("expected ',' or ')', found {other:?}"));
+                    }
+                }
+            }
+        }
+        self.expect(&TokenKind::LBrace)?;
+        let body = self.block()?;
+        Ok(Kernel { name, params, body })
+    }
+
+    // type name   |   type name[extent]...   |   type* name (opaque 1-D)
+    fn param(&mut self) -> Result<KernelParam> {
+        let ty = self.scalar_type()?;
+        // `float* a` is rejected with guidance: the dialect needs extents.
+        if self.eat(&TokenKind::Star) {
+            return self.err(
+                "pointer parameters are not supported: declare extents, e.g. `float a[n]`",
+            );
+        }
+        let name = self.ident()?;
+        let mut extents = Vec::new();
+        while self.eat(&TokenKind::LBracket) {
+            let e = match self.next()? {
+                TokenKind::IntLit(v) => Extent::Const(*v),
+                TokenKind::Ident(s) => Extent::Param(s.clone()),
+                other => {
+                    self.pos -= 1;
+                    return self.err(format!("expected extent, found {other:?}"));
+                }
+            };
+            self.expect(&TokenKind::RBracket)?;
+            extents.push(e);
+        }
+        if extents.is_empty() {
+            Ok(KernelParam::Scalar { name, ty })
+        } else {
+            Ok(KernelParam::Array {
+                name,
+                elem: ty,
+                extents,
+            })
+        }
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>> {
+        let mut out = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            if self.peek().is_none() {
+                return self.err("unterminated block");
+            }
+            out.push(self.stmt()?);
+        }
+        Ok(out)
+    }
+
+    fn stmt_or_block(&mut self) -> Result<Vec<Stmt>> {
+        if self.eat(&TokenKind::LBrace) {
+            self.block()
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt> {
+        // declarations: `int i = ...;` / `float acc = ...;` / `auto x = ...;`
+        // (`auto` appears in pretty-printed IR; the initializer determines
+        // the type either way).
+        let is_auto = matches!(self.peek(), Some(TokenKind::Ident(s)) if s == "auto");
+        if self.is_type_name() || is_auto {
+            if is_auto {
+                self.pos += 1;
+            } else {
+                let _ty = self.scalar_type()?;
+            }
+            let var = self.ident()?;
+            self.expect(&TokenKind::Assign)?;
+            let value = self.expr()?;
+            self.expect(&TokenKind::Semi)?;
+            return Ok(Stmt::Let { var, value });
+        }
+        match self.peek() {
+            Some(TokenKind::Ident(s)) if s == "if" => {
+                self.pos += 1;
+                self.expect(&TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                let then_ = self.stmt_or_block()?;
+                let else_ = if matches!(self.peek(), Some(TokenKind::Ident(s)) if s == "else") {
+                    self.pos += 1;
+                    self.stmt_or_block()?
+                } else {
+                    vec![]
+                };
+                Ok(Stmt::If { cond, then_, else_ })
+            }
+            Some(TokenKind::Ident(s)) if s == "for" => self.for_stmt(),
+            Some(TokenKind::Ident(s)) if s == "return" => {
+                self.pos += 1;
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Return)
+            }
+            Some(TokenKind::Ident(s)) if s == "__syncthreads" => {
+                self.pos += 1;
+                self.expect(&TokenKind::LParen)?;
+                self.expect(&TokenKind::RParen)?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::SyncThreads)
+            }
+            Some(TokenKind::Ident(_)) => {
+                // assignment or store: name ([idx])* = expr ;
+                let name = self.ident()?;
+                if self.peek() == Some(&TokenKind::LBracket) {
+                    let mut indices = Vec::new();
+                    while self.eat(&TokenKind::LBracket) {
+                        indices.push(self.expr()?);
+                        self.expect(&TokenKind::RBracket)?;
+                    }
+                    self.expect(&TokenKind::Assign)?;
+                    let value = self.expr()?;
+                    self.expect(&TokenKind::Semi)?;
+                    Ok(Stmt::Store {
+                        array: name,
+                        indices,
+                        value,
+                    })
+                } else if self.eat(&TokenKind::PlusAssign) {
+                    let rhs = self.expr()?;
+                    self.expect(&TokenKind::Semi)?;
+                    Ok(Stmt::Assign {
+                        var: name.clone(),
+                        value: Expr::bin(BinOp::Add, Expr::Var(name), rhs),
+                    })
+                } else {
+                    self.expect(&TokenKind::Assign)?;
+                    let value = self.expr()?;
+                    self.expect(&TokenKind::Semi)?;
+                    Ok(Stmt::Assign { var: name, value })
+                }
+            }
+            other => self.err(format!("unexpected statement start: {other:?}")),
+        }
+    }
+
+    // for (int i = lo; i < hi; i++|i += step) body
+    fn for_stmt(&mut self) -> Result<Stmt> {
+        self.pos += 1; // 'for'
+        self.expect(&TokenKind::LParen)?;
+        if !self.is_type_name() {
+            return self.err("for-loops must declare their iterator (`for (int i = ...`)");
+        }
+        let _ty = self.scalar_type()?;
+        let var = self.ident()?;
+        self.expect(&TokenKind::Assign)?;
+        let lo = self.expr()?;
+        self.expect(&TokenKind::Semi)?;
+        let cond_var = self.ident()?;
+        if cond_var != var {
+            return self.err("for-loop condition must test the iterator");
+        }
+        self.expect(&TokenKind::Lt)?;
+        let hi = self.expr()?;
+        self.expect(&TokenKind::Semi)?;
+        let inc_var = self.ident()?;
+        if inc_var != var {
+            return self.err("for-loop increment must update the iterator");
+        }
+        let step = if self.eat(&TokenKind::PlusPlus) {
+            1
+        } else if self.eat(&TokenKind::PlusAssign) {
+            match self.next()? {
+                TokenKind::IntLit(v) if *v > 0 => *v,
+                other => {
+                    self.pos -= 1;
+                    return self.err(format!("expected positive step, found {other:?}"));
+                }
+            }
+        } else {
+            return self.err("expected `++` or `+= <step>`");
+        };
+        self.expect(&TokenKind::RParen)?;
+        let body = self.stmt_or_block()?;
+        Ok(Stmt::For {
+            var,
+            lo,
+            hi,
+            step,
+            body,
+        })
+    }
+
+    // ---- expressions (precedence climbing) -------------------------------
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.ternary()
+    }
+
+    fn ternary(&mut self) -> Result<Expr> {
+        let cond = self.or_expr()?;
+        if self.eat(&TokenKind::Question) {
+            let a = self.expr()?;
+            self.expect(&TokenKind::Colon)?;
+            let b = self.expr()?;
+            Ok(Expr::Select(Box::new(cond), Box::new(a), Box::new(b)))
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut e = self.and_expr()?;
+        while self.eat(&TokenKind::OrOr) {
+            e = Expr::bin(BinOp::Or, e, self.and_expr()?);
+        }
+        Ok(e)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut e = self.cmp_expr()?;
+        while self.eat(&TokenKind::AndAnd) {
+            e = Expr::bin(BinOp::And, e, self.cmp_expr()?);
+        }
+        Ok(e)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr> {
+        let mut e = self.add_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(TokenKind::Lt) => BinOp::Lt,
+                Some(TokenKind::Le) => BinOp::Le,
+                Some(TokenKind::Gt) => BinOp::Gt,
+                Some(TokenKind::Ge) => BinOp::Ge,
+                Some(TokenKind::EqEq) => BinOp::EqEq,
+                Some(TokenKind::Ne) => BinOp::Ne,
+                _ => break,
+            };
+            self.pos += 1;
+            e = Expr::bin(op, e, self.add_expr()?);
+        }
+        Ok(e)
+    }
+
+    fn add_expr(&mut self) -> Result<Expr> {
+        let mut e = self.mul_expr()?;
+        loop {
+            if self.eat(&TokenKind::Plus) {
+                e = Expr::bin(BinOp::Add, e, self.mul_expr()?);
+            } else if self.eat(&TokenKind::Minus) {
+                e = Expr::bin(BinOp::Sub, e, self.mul_expr()?);
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr> {
+        let mut e = self.unary_expr()?;
+        loop {
+            if self.eat(&TokenKind::Star) {
+                e = Expr::bin(BinOp::Mul, e, self.unary_expr()?);
+            } else if self.eat(&TokenKind::Slash) {
+                e = Expr::bin(BinOp::Div, e, self.unary_expr()?);
+            } else if self.eat(&TokenKind::Percent) {
+                e = Expr::bin(BinOp::Rem, e, self.unary_expr()?);
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr> {
+        if self.eat(&TokenKind::Minus) {
+            return Ok(Expr::un(UnOp::Neg, self.unary_expr()?));
+        }
+        if self.eat(&TokenKind::Not) {
+            return Ok(Expr::un(UnOp::Not, self.unary_expr()?));
+        }
+        self.postfix_expr()
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr> {
+        // cast: (float)(...)
+        if self.peek() == Some(&TokenKind::LParen) {
+            // Lookahead: `( typename )`.
+            if let Some(Token {
+                kind: TokenKind::Ident(ty),
+                ..
+            }) = self.toks.get(self.pos + 1)
+            {
+                let is_cast = matches!(
+                    ty.as_str(),
+                    "int" | "long" | "float" | "double" | "size_t" | "unsigned"
+                ) && self.toks.get(self.pos + 2).map(|t| &t.kind) == Some(&TokenKind::RParen);
+                if is_cast {
+                    self.pos += 1;
+                    let ty = self.scalar_type()?;
+                    self.expect(&TokenKind::RParen)?;
+                    let inner = self.unary_expr()?;
+                    return Ok(Expr::Cast(ty, Box::new(inner)));
+                }
+            }
+            self.pos += 1;
+            let e = self.expr()?;
+            self.expect(&TokenKind::RParen)?;
+            return Ok(e);
+        }
+        match self.next()? {
+            TokenKind::IntLit(v) => Ok(Expr::Int(*v)),
+            TokenKind::FloatLit(v) => Ok(Expr::Float(*v)),
+            TokenKind::Ident(name) => {
+                let name = name.clone();
+                // grid intrinsics: blockIdx.x etc.
+                if matches!(
+                    name.as_str(),
+                    "threadIdx" | "blockIdx" | "blockDim" | "gridDim"
+                ) {
+                    self.expect(&TokenKind::Dot)?;
+                    let comp = self.ident()?;
+                    let axis = match comp.as_str() {
+                        "x" => mekong_kernel::Axis::X,
+                        "y" => mekong_kernel::Axis::Y,
+                        "z" => mekong_kernel::Axis::Z,
+                        other => return self.err(format!("unknown grid component {other:?}")),
+                    };
+                    let gv = match name.as_str() {
+                        "threadIdx" => GridVar::ThreadIdx(axis),
+                        "blockIdx" => GridVar::BlockIdx(axis),
+                        "blockDim" => GridVar::BlockDim(axis),
+                        _ => GridVar::GridDim(axis),
+                    };
+                    return Ok(Expr::Grid(gv));
+                }
+                // calls: sqrtf(x), min(a,b), ...
+                if self.peek() == Some(&TokenKind::LParen) {
+                    self.pos += 1;
+                    let mut args = Vec::new();
+                    if !self.eat(&TokenKind::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            match self.next()? {
+                                TokenKind::Comma => continue,
+                                TokenKind::RParen => break,
+                                other => {
+                                    self.pos -= 1;
+                                    return self
+                                        .err(format!("expected ',' or ')', found {other:?}"));
+                                }
+                            }
+                        }
+                    }
+                    return self.call(&name, args);
+                }
+                // array load: name[идx]...
+                if self.peek() == Some(&TokenKind::LBracket) {
+                    let mut indices = Vec::new();
+                    while self.eat(&TokenKind::LBracket) {
+                        indices.push(self.expr()?);
+                        self.expect(&TokenKind::RBracket)?;
+                    }
+                    return Ok(Expr::Load {
+                        array: name,
+                        indices,
+                    });
+                }
+                Ok(Expr::Var(name))
+            }
+            other => {
+                self.pos -= 1;
+                self.err(format!("expected expression, found {other:?}"))
+            }
+        }
+    }
+
+    fn call(&mut self, name: &str, mut args: Vec<Expr>) -> Result<Expr> {
+        let argc = args.len();
+        let one = |args: &mut Vec<Expr>| args.pop().unwrap();
+        match (name, argc) {
+            ("sqrtf" | "sqrt", 1) => Ok(Expr::un(UnOp::Sqrt, one(&mut args))),
+            ("fabsf" | "fabs" | "abs", 1) => Ok(Expr::un(UnOp::Abs, one(&mut args))),
+            ("expf" | "exp", 1) => Ok(Expr::un(UnOp::Exp, one(&mut args))),
+            ("logf" | "log", 1) => Ok(Expr::un(UnOp::Log, one(&mut args))),
+            ("min" | "fminf" | "fmin", 2) => {
+                let b = args.pop().unwrap();
+                let a = args.pop().unwrap();
+                Ok(Expr::bin(BinOp::Min, a, b))
+            }
+            ("max" | "fmaxf" | "fmax", 2) => {
+                let b = args.pop().unwrap();
+                let a = args.pop().unwrap();
+                Ok(Expr::bin(BinOp::Max, a, b))
+            }
+            ("rsqrtf" | "rsqrt", 1) => Ok(Expr::bin(
+                BinOp::Div,
+                Expr::Float(1.0),
+                Expr::un(UnOp::Sqrt, one(&mut args)),
+            )),
+            _ => self.err(format!("unknown function {name:?} with {argc} arguments")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mekong_kernel::pretty::kernel_to_string;
+
+    const VADD: &str = r#"
+// vector addition
+__global__ void vadd(int n, float a[n], float b[n], float c[n]) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i >= n) return;
+    c[i] = a[i] + b[i];
+}
+
+int main() {
+    // host code stays verbatim
+    vadd<<<grid, block>>>(n, a, b, c);
+    return 0;
+}
+"#;
+
+    #[test]
+    fn parses_vadd_and_preserves_host() {
+        let prog = parse_program(VADD).unwrap();
+        assert_eq!(prog.kernels.len(), 1);
+        let k = prog.kernel("vadd").unwrap();
+        k.validate().unwrap();
+        assert_eq!(k.params.len(), 4);
+        assert!(prog.host_source.contains("int main()"));
+        assert!(prog.host_source.contains("vadd<<<grid, block>>>"));
+        assert!(!prog.host_source.contains("__global__"));
+    }
+
+    #[test]
+    fn parsed_kernel_executes() {
+        use mekong_kernel::{
+            execute_grid, Dim3, ExecMode, KernelArg, ScalarTy, Value, VecMem,
+        };
+        let prog = parse_program(VADD).unwrap();
+        let k = prog.kernel("vadd").unwrap();
+        let n = 100usize;
+        let mut mem = VecMem::new();
+        let a = mem.alloc_from(&(0..n).map(|i| Value::F32(i as f32)).collect::<Vec<_>>());
+        let b = mem.alloc_from(&(0..n).map(|i| Value::F32(1.0 + i as f32)).collect::<Vec<_>>());
+        let c = mem.alloc(n * 4);
+        let args = [
+            KernelArg::Scalar(Value::I64(n as i64)),
+            KernelArg::Array(a),
+            KernelArg::Array(b),
+            KernelArg::Array(c),
+        ];
+        execute_grid(
+            k,
+            &args,
+            Dim3::new1(4),
+            Dim3::new1(32),
+            &mut mem,
+            ExecMode::Functional,
+        )
+        .unwrap();
+        let out = mem.read_all(c, ScalarTy::F32);
+        assert_eq!(out[10], Value::F32(21.0));
+    }
+
+    #[test]
+    fn parses_2d_kernel_with_loops() {
+        let src = r#"
+__global__ void matmul(int n, float A[n][n], float B[n][n], float C[n][n]) {
+    int row = blockIdx.y * blockDim.y + threadIdx.y;
+    int col = blockIdx.x * blockDim.x + threadIdx.x;
+    if (row >= n || col >= n) return;
+    float acc = 0.0f;
+    for (int k = 0; k < n; k++) {
+        acc += A[row][k] * B[k][col];
+    }
+    C[row][col] = acc;
+}
+"#;
+        let prog = parse_program(src).unwrap();
+        let k = prog.kernel("matmul").unwrap();
+        k.validate().unwrap();
+        let text = kernel_to_string(k);
+        assert!(text.contains("for (int k = 0; k < n; k++)"));
+        assert!(text.contains("C[row][col]"));
+    }
+
+    #[test]
+    fn parses_calls_casts_ternary() {
+        let src = r#"
+__global__ void funcs(int n, float a[n], float o[n]) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i >= n) return;
+    float x = sqrtf(fabsf(a[i]));
+    float y = min(x, 1.0f);
+    float z = (float)(i % 3);
+    o[i] = i > 0 ? y + z : 0.0f;
+}
+"#;
+        let prog = parse_program(src).unwrap();
+        prog.kernel("funcs").unwrap().validate().unwrap();
+    }
+
+    #[test]
+    fn strided_loop_and_else_branch() {
+        let src = r#"
+__global__ void oddeven(int n, float a[n]) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i >= n) return;
+    if (i % 2 == 0) {
+        a[i] = 1.0f;
+    } else {
+        a[i] = 2.0f;
+    }
+    for (int j = 0; j < n; j += 4) {
+        a[i] = a[i] + 0.0f;
+    }
+}
+"#;
+        let prog = parse_program(src).unwrap();
+        let k = prog.kernel("oddeven").unwrap();
+        k.validate().unwrap();
+        let has_step4 = {
+            let mut found = false;
+            for s in &k.body {
+                s.visit(
+                    &mut |st| {
+                        if let Stmt::For { step, .. } = st {
+                            if *step == 4 {
+                                found = true;
+                            }
+                        }
+                    },
+                    &mut |_| {},
+                );
+            }
+            found
+        };
+        assert!(has_step4);
+    }
+
+    #[test]
+    fn multiple_kernels_and_host_interleaved() {
+        let src = r#"
+int setup() { return 1; }
+__global__ void k1(int n, float a[n]) { a[0] = 1.0f; }
+void middle() { }
+__global__ void k2(int n, float a[n]) { a[1] = 2.0f; }
+int main() { return 0; }
+"#;
+        let prog = parse_program(src).unwrap();
+        assert_eq!(prog.kernels.len(), 2);
+        assert!(prog.host_source.contains("int setup()"));
+        assert!(prog.host_source.contains("void middle()"));
+        assert!(prog.host_source.contains("int main()"));
+    }
+
+    #[test]
+    fn pointer_params_get_helpful_error() {
+        let src = "__global__ void f(float* a) { }";
+        let err = parse_program(src).unwrap_err();
+        assert!(err.message.contains("extents"));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let src = "\n\n__global__ void f(int n) {\n    garbage ??? ;\n}";
+        let err = parse_program(src).unwrap_err();
+        assert!(err.line >= 3, "line was {}", err.line);
+    }
+}

@@ -1,0 +1,61 @@
+//! Robustness: the lexer/parser must never panic — any byte soup either
+//! parses or returns a positioned error.
+
+use mekong_frontend::{lex, parse_program};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn lexer_never_panics(src in "\\PC{0,200}") {
+        let _ = lex(&src);
+    }
+
+    #[test]
+    fn parser_never_panics(src in "\\PC{0,200}") {
+        let _ = parse_program(&src);
+    }
+
+    /// Token-soup built from the dialect's own vocabulary: denser
+    /// coverage of parser paths than raw unicode.
+    #[test]
+    fn parser_survives_vocabulary_soup(words in proptest::collection::vec(
+        prop_oneof![
+            Just("__global__"), Just("void"), Just("int"), Just("float"),
+            Just("if"), Just("else"), Just("for"), Just("return"),
+            Just("("), Just(")"), Just("{"), Just("}"), Just("["), Just("]"),
+            Just(";"), Just(","), Just("="), Just("=="), Just("<"), Just("+"),
+            Just("*"), Just("blockIdx"), Just("."), Just("x"), Just("n"),
+            Just("a"), Just("0"), Just("1.5f"), Just("<<<"), Just(">>>"),
+            Just("threadIdx"), Just("blockDim"), Just("sqrtf"), Just("?"),
+            Just(":"), Just("&&"), Just("auto"),
+        ],
+        0..60,
+    )) {
+        let src = words.join(" ");
+        let _ = parse_program(&src);
+    }
+
+    /// Every successfully parsed kernel must also validate or fail with a
+    /// typed error — never panic.
+    #[test]
+    fn parsed_kernels_validate_without_panicking(words in proptest::collection::vec(
+        prop_oneof![
+            Just("__global__ void k(int n, float a[n]) {"),
+            Just("int i = blockIdx.x * blockDim.x + threadIdx.x;"),
+            Just("if (i >= n) return;"),
+            Just("a[i] = 1.0f;"),
+            Just("for (int j = 0; j < n; j++) { a[j] = 0.0f; }"),
+            Just("}"),
+        ],
+        0..12,
+    )) {
+        let src = words.join("\n");
+        if let Ok(prog) = parse_program(&src) {
+            for k in &prog.kernels {
+                let _ = k.validate();
+            }
+        }
+    }
+}

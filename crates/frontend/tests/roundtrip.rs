@@ -1,0 +1,145 @@
+//! Round-trip: kernel IR → CUDA-like text (pretty printer) → parser →
+//! kernel IR. The printed form of every parsed kernel must re-parse to a
+//! semantically identical kernel (verified by interpretation, since
+//! pretty-printing normalizes some syntax).
+
+use mekong_frontend::parse_program;
+use mekong_kernel::pretty::kernel_to_string;
+use mekong_kernel::{
+    execute_grid, interp::KernelArg, Dim3, ExecMode, Kernel, ScalarTy, Value, VecMem,
+};
+
+/// Run a 1-array-in/1-array-out kernel and return the output buffer.
+fn run(k: &Kernel, n: usize, extra_scalar: Option<Value>) -> Vec<Value> {
+    let mut mem = VecMem::new();
+    let a = mem.alloc_from(
+        &(0..n)
+            .map(|i| Value::F32(((i * 7) % 23) as f32 * 0.5))
+            .collect::<Vec<_>>(),
+    );
+    let out = mem.alloc(n * 4);
+    let mut args = vec![KernelArg::Scalar(Value::I64(n as i64))];
+    if let Some(v) = extra_scalar {
+        args.push(KernelArg::Scalar(v));
+    }
+    args.push(KernelArg::Array(a));
+    args.push(KernelArg::Array(out));
+    execute_grid(
+        k,
+        &args,
+        Dim3::new1(((n as u32) + 31) / 32),
+        Dim3::new1(32),
+        &mut mem,
+        ExecMode::Functional,
+    )
+    .unwrap();
+    mem.read_all(out, ScalarTy::F32)
+}
+
+fn roundtrip_and_compare(src: &str, kernel_name: &str, extra_scalar: Option<Value>) {
+    let prog = parse_program(src).unwrap();
+    let k1 = prog.kernel(kernel_name).unwrap();
+    k1.validate().unwrap();
+    let printed = kernel_to_string(k1);
+    let prog2 = parse_program(&printed)
+        .unwrap_or_else(|e| panic!("re-parse of printed kernel failed: {e}\n{printed}"));
+    let k2 = prog2.kernel(kernel_name).unwrap();
+    k2.validate().unwrap();
+    let n = 200;
+    assert_eq!(
+        run(k1, n, extra_scalar),
+        run(k2, n, extra_scalar),
+        "printed kernel behaves differently:\n{printed}"
+    );
+}
+
+#[test]
+fn roundtrip_guarded_map() {
+    roundtrip_and_compare(
+        r#"
+__global__ void f(int n, float a[n], float out[n]) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i >= n) return;
+    out[i] = 2.0f * a[i] + 1.0f;
+}
+"#,
+        "f",
+        None,
+    );
+}
+
+#[test]
+fn roundtrip_select_and_calls() {
+    roundtrip_and_compare(
+        r#"
+__global__ void f(int n, float a[n], float out[n]) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i >= n) return;
+    float x = sqrtf(fabsf(a[i]));
+    out[i] = i % 2 == 0 ? min(x, 1.5f) : max(x, 0.5f);
+}
+"#,
+        "f",
+        None,
+    );
+}
+
+#[test]
+fn roundtrip_loops_and_scalar_param() {
+    roundtrip_and_compare(
+        r#"
+__global__ void f(int n, float alpha, float a[n], float out[n]) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i >= n) return;
+    float acc = 0.0f;
+    for (int j = 0; j < 4; j++) {
+        acc += alpha * a[i] + (float)(j);
+    }
+    out[i] = acc;
+}
+"#,
+        "f",
+        Some(Value::F32(0.75)),
+    );
+}
+
+#[test]
+fn roundtrip_nested_branches() {
+    roundtrip_and_compare(
+        r#"
+__global__ void f(int n, float a[n], float out[n]) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i >= n) return;
+    if (i < n / 2) {
+        if (i % 3 == 0) {
+            out[i] = a[i];
+        } else {
+            out[i] = -a[i];
+        }
+    } else {
+        out[i] = 0.0f;
+    }
+}
+"#,
+        "f",
+        None,
+    );
+}
+
+#[test]
+fn workload_kernels_roundtrip() {
+    // The printed form of each benchmark kernel re-parses and validates.
+    for src in [
+        mekong_workloads::hotspot::SOURCE,
+        mekong_workloads::nbody::SOURCE,
+        mekong_workloads::matmul::SOURCE,
+    ] {
+        let prog = parse_program(src).unwrap();
+        for k in &prog.kernels {
+            let printed = kernel_to_string(k);
+            let back = parse_program(&printed)
+                .unwrap_or_else(|e| panic!("{}: {e}\n{printed}", k.name));
+            back.kernel(&k.name).unwrap().validate().unwrap();
+        }
+    }
+}

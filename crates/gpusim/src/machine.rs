@@ -1,0 +1,879 @@
+//! The simulated multi-GPU machine: device memories + clocks.
+
+use crate::shadow::{run_grid_parallel, BufStore};
+use crate::spec::MachineSpec;
+use crate::{Result, SimError};
+use mekong_kernel::interp::{ExecMode, KernelArg};
+use mekong_kernel::{execute_thread, Dim3, ExecStats, Kernel, ThreadCtx, Value};
+
+/// Simulated time, in seconds.
+pub type SimTime = f64;
+
+/// What a charged time interval was spent on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeCat {
+    /// Kernel execution (and launch overhead) — present in the
+    /// single-device baseline too.
+    Application,
+    /// Inter-device / host-device data movement.
+    Transfer,
+    /// Host-side metadata work: enumerator runs, tracker queries and
+    /// updates ("Patterns" in Figure 7).
+    Pattern,
+}
+
+/// Accumulated simulated time per category (informational; the Figure 7
+/// breakdown is *measured* via α/β/γ configurations like the paper does).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TimeBreakdown {
+    pub app: SimTime,
+    pub transfer: SimTime,
+    pub pattern: SimTime,
+}
+
+/// A buffer living on one device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DevBuf {
+    pub device: usize,
+    pub handle: usize,
+    pub len: usize,
+}
+
+enum DeviceMem {
+    /// Functional mode: real bytes.
+    Real(BufStore),
+    /// Performance mode: sizes only.
+    Virtual(Vec<usize>),
+}
+
+struct Device {
+    mem: DeviceMem,
+    busy_until: SimTime,
+}
+
+/// Operation counters (inspected by tests and the benchmark harness).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OpCounters {
+    pub launches: u64,
+    pub h2d_copies: u64,
+    pub d2h_copies: u64,
+    pub d2d_copies: u64,
+    pub h2d_bytes: u64,
+    pub d2h_bytes: u64,
+    pub d2d_bytes: u64,
+}
+
+/// A kernel launch argument at the machine level.
+#[derive(Debug, Clone, Copy)]
+pub enum SimArg {
+    Scalar(Value),
+    Buf(DevBuf),
+}
+
+/// The simulated machine.
+pub struct Machine {
+    spec: MachineSpec,
+    functional: bool,
+    devices: Vec<Device>,
+    host_now: SimTime,
+    breakdown: TimeBreakdown,
+    counters: OpCounters,
+    /// β configuration: transfers execute (functionally) but cost no time.
+    transfer_timing: bool,
+    /// γ configuration: pattern charges cost no time.
+    pattern_timing: bool,
+    /// The host staging engine: when `link.host_staged`, peer copies
+    /// serialize on this shared resource.
+    link_busy_until: SimTime,
+    /// Memoized roofline kernel times. The estimate depends only on the
+    /// kernel, the launch geometry and the scalar arguments — iterative
+    /// workloads relaunch identical configurations thousands of times.
+    kernel_time_cache: std::collections::HashMap<KernelTimeKey, SimTime>,
+}
+
+/// Cache key for the roofline estimate.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct KernelTimeKey {
+    kernel: String,
+    grid: Dim3,
+    block: Dim3,
+    scalars: Vec<i64>,
+    traffic: Option<u64>,
+}
+
+impl Machine {
+    /// Create a machine. `functional = true` materializes device memory
+    /// and executes kernels on real data; `false` is performance mode
+    /// (metadata and timing only).
+    pub fn new(spec: MachineSpec, functional: bool) -> Machine {
+        let devices = (0..spec.n_devices)
+            .map(|_| Device {
+                mem: if functional {
+                    DeviceMem::Real(BufStore::new())
+                } else {
+                    DeviceMem::Virtual(Vec::new())
+                },
+                busy_until: 0.0,
+            })
+            .collect();
+        Machine {
+            spec,
+            functional,
+            devices,
+            host_now: 0.0,
+            breakdown: TimeBreakdown::default(),
+            counters: OpCounters::default(),
+            transfer_timing: true,
+            pattern_timing: true,
+            link_busy_until: 0.0,
+            kernel_time_cache: std::collections::HashMap::new(),
+        }
+    }
+
+    /// The machine specification.
+    pub fn spec(&self) -> &MachineSpec {
+        &self.spec
+    }
+
+    /// Number of devices.
+    pub fn n_devices(&self) -> usize {
+        self.spec.n_devices
+    }
+
+    /// Is this a functional (data-materializing) machine?
+    pub fn is_functional(&self) -> bool {
+        self.functional
+    }
+
+    /// Disable/enable transfer timing (the paper's β measurement: "execution
+    /// with disabled transfers, but dependency resolution and tracker
+    /// updates are performed").
+    pub fn set_transfer_timing(&mut self, on: bool) {
+        self.transfer_timing = on;
+    }
+
+    /// Disable/enable pattern timing (γ: "disabled dependency resolution
+    /// and tracker updates").
+    pub fn set_pattern_timing(&mut self, on: bool) {
+        self.pattern_timing = on;
+    }
+
+    /// Current host clock.
+    pub fn now(&self) -> SimTime {
+        self.host_now
+    }
+
+    /// Informational time breakdown.
+    pub fn breakdown(&self) -> TimeBreakdown {
+        self.breakdown
+    }
+
+    /// Operation counters.
+    pub fn counters(&self) -> OpCounters {
+        self.counters
+    }
+
+    /// Reset clocks, breakdown and counters (memory contents stay).
+    pub fn reset_clock(&mut self) {
+        self.host_now = 0.0;
+        self.breakdown = TimeBreakdown::default();
+        self.counters = OpCounters::default();
+        self.link_busy_until = 0.0;
+        for d in &mut self.devices {
+            d.busy_until = 0.0;
+        }
+    }
+
+    fn device(&mut self, d: usize) -> Result<&mut Device> {
+        let n = self.devices.len();
+        self.devices
+            .get_mut(d)
+            .ok_or(SimError::NoSuchDevice {
+                device: d,
+                n_devices: n,
+            })
+    }
+
+    /// Allocate `bytes` on device `d`.
+    pub fn alloc(&mut self, d: usize, bytes: usize) -> Result<DevBuf> {
+        let dev = self.device(d)?;
+        let handle = match &mut dev.mem {
+            DeviceMem::Real(store) => store.alloc(bytes),
+            DeviceMem::Virtual(sizes) => {
+                sizes.push(bytes);
+                sizes.len() - 1
+            }
+        };
+        Ok(DevBuf {
+            device: d,
+            handle,
+            len: bytes,
+        })
+    }
+
+    fn check_range(buf: &DevBuf, offset: usize, len: usize) -> Result<()> {
+        if offset + len > buf.len {
+            return Err(SimError::CopyOutOfRange {
+                buffer_len: buf.len,
+                offset,
+                len,
+            });
+        }
+        Ok(())
+    }
+
+    /// Charge host-side work of the given category (advances the host
+    /// clock; devices keep running).
+    pub fn charge_host(&mut self, seconds: SimTime, cat: TimeCat) {
+        let seconds = match cat {
+            TimeCat::Pattern if !self.pattern_timing => 0.0,
+            TimeCat::Transfer if !self.transfer_timing => 0.0,
+            _ => seconds,
+        };
+        self.host_now += seconds;
+        match cat {
+            TimeCat::Application => self.breakdown.app += seconds,
+            TimeCat::Transfer => self.breakdown.transfer += seconds,
+            TimeCat::Pattern => self.breakdown.pattern += seconds,
+        }
+    }
+
+    /// Host → device copy. Synchronous unless `async_`.
+    pub fn copy_h2d(
+        &mut self,
+        src: &[u8],
+        dst: DevBuf,
+        dst_offset: usize,
+        async_: bool,
+    ) -> Result<()> {
+        Self::check_range(&dst, dst_offset, src.len())?;
+        self.counters.h2d_copies += 1;
+        self.counters.h2d_bytes += src.len() as u64;
+        let t = if self.transfer_timing {
+            self.spec.h2d_latency + src.len() as f64 / self.spec.h2d_bandwidth
+        } else {
+            0.0
+        };
+        self.device(dst.device)?;
+        let host_now = self.host_now;
+        let dev = &mut self.devices[dst.device];
+        if let DeviceMem::Real(store) = &mut dev.mem {
+            store.bytes_mut(dst.handle)[dst_offset..dst_offset + src.len()].copy_from_slice(src);
+        }
+        let start = host_now.max(dev.busy_until);
+        dev.busy_until = start + t;
+        let busy = dev.busy_until;
+        self.breakdown.transfer += t;
+        if !async_ {
+            self.host_now = busy;
+        }
+        Ok(())
+    }
+
+    /// Device → host copy. Synchronous unless `async_`.
+    pub fn copy_d2h(
+        &mut self,
+        src: DevBuf,
+        src_offset: usize,
+        dst: &mut [u8],
+        async_: bool,
+    ) -> Result<()> {
+        Self::check_range(&src, src_offset, dst.len())?;
+        self.counters.d2h_copies += 1;
+        self.counters.d2h_bytes += dst.len() as u64;
+        let t = if self.transfer_timing {
+            self.spec.h2d_latency + dst.len() as f64 / self.spec.h2d_bandwidth
+        } else {
+            0.0
+        };
+        self.device(src.device)?;
+        let host_now = self.host_now;
+        let dev = &mut self.devices[src.device];
+        if let DeviceMem::Real(store) = &dev.mem {
+            dst.copy_from_slice(&store.bytes(src.handle)[src_offset..src_offset + dst.len()]);
+        }
+        let start = host_now.max(dev.busy_until);
+        dev.busy_until = start + t;
+        let busy = dev.busy_until;
+        self.breakdown.transfer += t;
+        if !async_ {
+            self.host_now = busy;
+        }
+        Ok(())
+    }
+
+    /// Host → device copy without host data: timing and counters only.
+    /// For performance-mode harnesses where no host payload exists.
+    pub fn copy_h2d_timed(&mut self, dst: DevBuf, dst_offset: usize, len: usize, async_: bool) -> Result<()> {
+        Self::check_range(&dst, dst_offset, len)?;
+        self.counters.h2d_copies += 1;
+        self.counters.h2d_bytes += len as u64;
+        let t = if self.transfer_timing {
+            self.spec.h2d_latency + len as f64 / self.spec.h2d_bandwidth
+        } else {
+            0.0
+        };
+        self.device(dst.device)?;
+        let host_now = self.host_now;
+        let dev = &mut self.devices[dst.device];
+        let start = host_now.max(dev.busy_until);
+        dev.busy_until = start + t;
+        let busy = dev.busy_until;
+        self.breakdown.transfer += t;
+        if !async_ {
+            self.host_now = busy;
+        }
+        Ok(())
+    }
+
+    /// Device → host copy without a host destination: timing and counters
+    /// only (performance mode).
+    pub fn copy_d2h_timed(&mut self, src: DevBuf, src_offset: usize, len: usize, async_: bool) -> Result<()> {
+        Self::check_range(&src, src_offset, len)?;
+        self.counters.d2h_copies += 1;
+        self.counters.d2h_bytes += len as u64;
+        let t = if self.transfer_timing {
+            self.spec.h2d_latency + len as f64 / self.spec.h2d_bandwidth
+        } else {
+            0.0
+        };
+        self.device(src.device)?;
+        let host_now = self.host_now;
+        let dev = &mut self.devices[src.device];
+        let start = host_now.max(dev.busy_until);
+        dev.busy_until = start + t;
+        let busy = dev.busy_until;
+        self.breakdown.transfer += t;
+        if !async_ {
+            self.host_now = busy;
+        }
+        Ok(())
+    }
+
+    /// Device → device copy (peer). On a host-staged interconnect the
+    /// bytes cross PCIe twice. Asynchronous (the runtime's buffer sync
+    /// issues these in bulk, paper §8.3).
+    pub fn copy_d2d(
+        &mut self,
+        src: DevBuf,
+        src_offset: usize,
+        dst: DevBuf,
+        dst_offset: usize,
+        len: usize,
+    ) -> Result<()> {
+        Self::check_range(&src, src_offset, len)?;
+        Self::check_range(&dst, dst_offset, len)?;
+        self.counters.d2d_copies += 1;
+        self.counters.d2d_bytes += len as u64;
+        let t = if self.transfer_timing {
+            self.spec.link.latency + len as f64 / self.spec.link.bandwidth
+        } else {
+            0.0
+        };
+        // Move the bytes.
+        if self.functional && len > 0 {
+            let data: Vec<u8> = {
+                let sdev = &self.devices[src.device];
+                match &sdev.mem {
+                    DeviceMem::Real(store) => {
+                        store.bytes(src.handle)[src_offset..src_offset + len].to_vec()
+                    }
+                    DeviceMem::Virtual(_) => Vec::new(),
+                }
+            };
+            let ddev = self.device(dst.device)?;
+            if let DeviceMem::Real(store) = &mut ddev.mem {
+                store.bytes_mut(dst.handle)[dst_offset..dst_offset + len].copy_from_slice(&data);
+            }
+        }
+        // Clock: engages both endpoints and, on a host-staged system, the
+        // shared staging engine — peer copies then serialize globally.
+        let mut start = self
+            .host_now
+            .max(self.devices[src.device].busy_until)
+            .max(self.devices[dst.device].busy_until);
+        if self.spec.link.host_staged {
+            start = start.max(self.link_busy_until);
+        }
+        let end = start + t;
+        self.devices[src.device].busy_until = end;
+        self.devices[dst.device].busy_until = end;
+        if self.spec.link.host_staged {
+            self.link_busy_until = end;
+        }
+        self.breakdown.transfer += t;
+        Ok(())
+    }
+
+    /// Launch a kernel asynchronously on device `d`.
+    ///
+    /// Functional machines execute the grid (rayon-parallel over blocks);
+    /// all machines charge the roofline time model, calibrated by sampling
+    /// threads in counting mode.
+    pub fn launch(
+        &mut self,
+        d: usize,
+        kernel: &Kernel,
+        args: &[SimArg],
+        grid_dim: Dim3,
+        block_dim: Dim3,
+    ) -> Result<()> {
+        self.launch_with_traffic(d, kernel, args, grid_dim, block_dim, None)
+    }
+
+    /// [`Machine::launch`] with an explicit memory-traffic estimate.
+    ///
+    /// `traffic` is the number of unique bytes the launch touches — for
+    /// partitioned kernels the **polyhedral footprint** of the partition
+    /// (sum of the read/write enumerator ranges). It feeds the roofline's
+    /// bandwidth term and models on-chip reuse: per-thread byte counts
+    /// treat every load as a DRAM access, wildly overestimating traffic
+    /// for broadcast patterns (N-Body) and tiled reuse (Matmul). Without
+    /// a hint the sampled per-thread bytes are used (no-reuse worst case).
+    pub fn launch_with_traffic(
+        &mut self,
+        d: usize,
+        kernel: &Kernel,
+        args: &[SimArg],
+        grid_dim: Dim3,
+        block_dim: Dim3,
+        traffic: Option<u64>,
+    ) -> Result<()> {
+        self.counters.launches += 1;
+        // Resolve args to interpreter args; validate buffer residency.
+        let mut kargs = Vec::with_capacity(args.len());
+        for a in args {
+            match a {
+                SimArg::Scalar(v) => kargs.push(KernelArg::Scalar(*v)),
+                SimArg::Buf(b) => {
+                    if b.device != d {
+                        return Err(SimError::BadBuffer {
+                            device: d,
+                            handle: b.handle,
+                        });
+                    }
+                    kargs.push(KernelArg::Array(b.handle));
+                }
+            }
+        }
+        // Cost model: sample threads (memoized per geometry + scalars).
+        let key = KernelTimeKey {
+            kernel: kernel.name.clone(),
+            grid: grid_dim,
+            block: block_dim,
+            scalars: kargs
+                .iter()
+                .filter_map(|a| match a {
+                    KernelArg::Scalar(v) => Some(v.as_f64() as i64),
+                    _ => None,
+                })
+                .collect(),
+            traffic,
+        };
+        let t_kernel = match self.kernel_time_cache.get(&key) {
+            Some(&t) => t,
+            None => {
+                let t = self.kernel_time(kernel, &kargs, grid_dim, block_dim, traffic)?;
+                self.kernel_time_cache.insert(key, t);
+                t
+            }
+        };
+        // Host dispatch cost (sequential, like a real cudaLaunchKernel).
+        self.charge_host(self.spec.host_per_launch, TimeCat::Application);
+        // Functional execution.
+        if self.functional {
+            let dev = &mut self.devices[d];
+            if let DeviceMem::Real(store) = &mut dev.mem {
+                run_grid_parallel(kernel, &kargs, grid_dim, block_dim, store)?;
+            }
+        }
+        let dev = &mut self.devices[d];
+        let start = self.host_now.max(dev.busy_until);
+        let t = self.spec.device.launch_overhead + t_kernel;
+        dev.busy_until = start + t;
+        self.breakdown.app += t;
+        Ok(())
+    }
+
+    /// Launch a kernel on device `d` and record its **observed write
+    /// set** per buffer handle (element ranges, merged). The paper's §11
+    /// instrumentation path for statically unmodelable write patterns.
+    /// Functional machines only; the recorded launch is charged an
+    /// instrumentation penalty on top of the roofline time (the paper's
+    /// related work reports "significant runtime overhead" for this
+    /// technique, cf. VAST).
+    pub fn launch_recording(
+        &mut self,
+        d: usize,
+        kernel: &Kernel,
+        args: &[SimArg],
+        grid_dim: Dim3,
+        block_dim: Dim3,
+    ) -> Result<std::collections::HashMap<usize, Vec<(u64, u64)>>> {
+        const INSTRUMENTATION_FACTOR: f64 = 2.0;
+        if !self.functional {
+            return Err(SimError::BadBuffer {
+                device: d,
+                handle: usize::MAX,
+            });
+        }
+        self.counters.launches += 1;
+        let mut kargs = Vec::with_capacity(args.len());
+        for a in args {
+            match a {
+                SimArg::Scalar(v) => kargs.push(KernelArg::Scalar(*v)),
+                SimArg::Buf(b) => {
+                    if b.device != d {
+                        return Err(SimError::BadBuffer {
+                            device: d,
+                            handle: b.handle,
+                        });
+                    }
+                    kargs.push(KernelArg::Array(b.handle));
+                }
+            }
+        }
+        let t_kernel = self.kernel_time(kernel, &kargs, grid_dim, block_dim, None)?;
+        self.charge_host(self.spec.host_per_launch, TimeCat::Application);
+        let observed = {
+            let dev = &mut self.devices[d];
+            match &mut dev.mem {
+                DeviceMem::Real(store) => {
+                    let (_, obs) = crate::shadow::run_grid_recording(
+                        kernel, &kargs, grid_dim, block_dim, store,
+                    )?;
+                    obs
+                }
+                DeviceMem::Virtual(_) => unreachable!("checked functional above"),
+            }
+        };
+        let dev = &mut self.devices[d];
+        let start = self.host_now.max(dev.busy_until);
+        let t = self.spec.device.launch_overhead + t_kernel * INSTRUMENTATION_FACTOR;
+        dev.busy_until = start + t;
+        self.breakdown.app += t;
+        Ok(observed)
+    }
+
+    /// Roofline kernel-time estimate from sampled per-thread statistics.
+    fn kernel_time(
+        &self,
+        kernel: &Kernel,
+        args: &[KernelArg],
+        grid_dim: Dim3,
+        block_dim: Dim3,
+        traffic: Option<u64>,
+    ) -> Result<SimTime> {
+        let total_threads = grid_dim.count() * block_dim.count();
+        if total_threads == 0 {
+            return Ok(0.0);
+        }
+        // Sample a few blocks (first, interior, last) and a few threads in
+        // each; average the counters.
+        let mut probe = BufStore::new();
+        let blocks = sample_indices(grid_dim);
+        let threads = sample_indices(block_dim);
+        let mut agg = ExecStats::default();
+        let mut n_samples = 0u64;
+        for &b in &blocks {
+            for &t in &threads {
+                let ctx = ThreadCtx {
+                    block_idx: b,
+                    thread_idx: t,
+                    block_dim,
+                    grid_dim,
+                };
+                let s = execute_thread(kernel, args, ctx, &mut probe, ExecMode::CountOnly)?;
+                agg.add(&s);
+                n_samples += 1;
+            }
+        }
+        let scale = total_threads as f64 / n_samples as f64;
+        let flops = agg.flops as f64 * scale;
+        let intops = agg.int_ops as f64 * scale;
+        // Memory traffic: the polyhedral footprint when provided (models
+        // on-chip reuse), else the no-reuse per-thread total.
+        let bytes = match traffic {
+            Some(t) => t as f64,
+            None => agg.bytes_total() as f64 * scale,
+        };
+        let t = (flops / self.spec.device.flops)
+            .max(intops / self.spec.device.int_ops)
+            .max(bytes / self.spec.device.mem_bw);
+        Ok(t)
+    }
+
+    /// Block host until device `d` is idle (cudaStreamSynchronize-like).
+    pub fn sync_device(&mut self, d: usize) -> Result<()> {
+        let busy = self.device(d)?.busy_until;
+        self.host_now = self.host_now.max(busy);
+        Ok(())
+    }
+
+    /// Block host until all devices are idle (cudaDeviceSynchronize over
+    /// every device — the runtime's replacement semantics, §8.4).
+    pub fn sync_all(&mut self) {
+        for dev in &self.devices {
+            self.host_now = self.host_now.max(dev.busy_until);
+        }
+    }
+
+    /// Read back a whole device buffer (functional machines only; test
+    /// helper that bypasses the clock).
+    pub fn debug_read(&self, buf: DevBuf) -> Option<Vec<u8>> {
+        match &self.devices[buf.device].mem {
+            DeviceMem::Real(store) => Some(store.bytes(buf.handle).to_vec()),
+            DeviceMem::Virtual(_) => None,
+        }
+    }
+
+    /// Write a whole device buffer directly (functional test helper).
+    pub fn debug_write(&mut self, buf: DevBuf, data: &[u8]) {
+        if let DeviceMem::Real(store) = &mut self.devices[buf.device].mem {
+            store.bytes_mut(buf.handle)[..data.len()].copy_from_slice(data);
+        }
+    }
+}
+
+/// Up to 3 sample coordinates per axis: first, middle, last.
+fn sample_indices(extent: Dim3) -> Vec<Dim3> {
+    fn picks(n: u32) -> Vec<u32> {
+        match n {
+            0 => vec![],
+            1 => vec![0],
+            2 => vec![0, 1],
+            _ => vec![0, n / 2, n - 1],
+        }
+    }
+    let mut out = Vec::new();
+    for z in picks(extent.z) {
+        for y in picks(extent.y) {
+            for x in picks(extent.x) {
+                out.push(Dim3::new3(x, y, z));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::MachineSpec;
+    use mekong_kernel::builder::*;
+    use mekong_kernel::Kernel;
+
+    fn saxpy() -> Kernel {
+        Kernel {
+            name: "saxpy".into(),
+            params: vec![
+                scalar("n"),
+                array_f32("x", &[ext("n")]),
+                array_f32("y", &[ext("n")]),
+            ],
+            body: vec![
+                let_("i", global_x()),
+                guard_return(v("i").ge(v("n"))),
+                store(
+                    "y",
+                    vec![v("i")],
+                    load("x", vec![v("i")]) * f(2.0) + load("y", vec![v("i")]),
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn functional_roundtrip_h2d_kernel_d2h() {
+        let mut m = Machine::new(MachineSpec::kepler_system(2), true);
+        let n = 1024usize;
+        let x = m.alloc(0, n * 4).unwrap();
+        let y = m.alloc(0, n * 4).unwrap();
+        let host_x: Vec<u8> = (0..n)
+            .flat_map(|i| (i as f32).to_le_bytes())
+            .collect();
+        m.copy_h2d(&host_x, x, 0, false).unwrap();
+        m.copy_h2d(&vec![0u8; n * 4], y, 0, false).unwrap();
+        m.launch(
+            0,
+            &saxpy(),
+            &[
+                SimArg::Scalar(Value::I64(n as i64)),
+                SimArg::Buf(x),
+                SimArg::Buf(y),
+            ],
+            Dim3::new1(8),
+            Dim3::new1(128),
+        )
+        .unwrap();
+        m.sync_all();
+        let mut out = vec![0u8; n * 4];
+        m.copy_d2h(y, 0, &mut out, false).unwrap();
+        let vals: Vec<f32> = out
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        for (i, v) in vals.iter().enumerate() {
+            assert_eq!(*v, 2.0 * i as f32);
+        }
+        assert!(m.now() > 0.0);
+        let c = m.counters();
+        assert_eq!(c.launches, 1);
+        assert_eq!(c.h2d_copies, 2);
+        assert_eq!(c.d2h_copies, 1);
+    }
+
+    #[test]
+    fn launches_on_different_devices_overlap() {
+        let mut m = Machine::new(MachineSpec::kepler_system(4), false);
+        let n = 1 << 22;
+        let bufs: Vec<_> = (0..4)
+            .map(|d| {
+                (
+                    m.alloc(d, n * 4).unwrap(),
+                    m.alloc(d, n * 4).unwrap(),
+                )
+            })
+            .collect();
+        let k = saxpy();
+        let grid = Dim3::new1((n / 256) as u32);
+        let block = Dim3::new1(256);
+        // One device alone:
+        m.launch(
+            0,
+            &k,
+            &[
+                SimArg::Scalar(Value::I64(n as i64)),
+                SimArg::Buf(bufs[0].0),
+                SimArg::Buf(bufs[0].1),
+            ],
+            grid,
+            block,
+        )
+        .unwrap();
+        m.sync_all();
+        let t1 = m.now();
+        // Four devices concurrently, quarter the grid each:
+        m.reset_clock();
+        let qgrid = Dim3::new1((n / 256 / 4) as u32);
+        for d in 0..4 {
+            m.launch(
+                d,
+                &k,
+                &[
+                    SimArg::Scalar(Value::I64(n as i64)),
+                    SimArg::Buf(bufs[d].0),
+                    SimArg::Buf(bufs[d].1),
+                ],
+                qgrid,
+                block,
+            )
+            .unwrap();
+        }
+        m.sync_all();
+        let t4 = m.now();
+        assert!(t4 < t1, "4-way split {t4} should beat single {t1}");
+        assert!(t4 > t1 / 8.0, "overheads keep it under 8x");
+    }
+
+    #[test]
+    fn host_staged_peer_copies_serialize_globally() {
+        // Two copies on disjoint device pairs: with host staging they
+        // serialize on the staging engine; without, they overlap.
+        let run = |staged: bool| -> f64 {
+            let mut spec = MachineSpec::kepler_system(4);
+            spec.link.host_staged = staged;
+            let mut m = Machine::new(spec, false);
+            let a = m.alloc(0, 1 << 24).unwrap();
+            let b = m.alloc(1, 1 << 24).unwrap();
+            let c = m.alloc(2, 1 << 24).unwrap();
+            let d = m.alloc(3, 1 << 24).unwrap();
+            m.copy_d2d(a, 0, b, 0, 1 << 24).unwrap();
+            m.copy_d2d(c, 0, d, 0, 1 << 24).unwrap();
+            m.sync_all();
+            m.now()
+        };
+        let serialized = run(true);
+        let overlapped = run(false);
+        assert!(
+            serialized > 1.8 * overlapped,
+            "serialized {serialized} vs overlapped {overlapped}"
+        );
+    }
+
+    #[test]
+    fn beta_config_zeroes_transfer_time() {
+        let mut m = Machine::new(MachineSpec::kepler_system(2), false);
+        m.set_transfer_timing(false);
+        let a = m.alloc(0, 1 << 20).unwrap();
+        let b = m.alloc(1, 1 << 20).unwrap();
+        m.copy_d2d(a, 0, b, 0, 1 << 20).unwrap();
+        m.copy_h2d(&vec![0u8; 1024], a, 0, false).unwrap();
+        m.sync_all();
+        assert_eq!(m.now(), 0.0);
+        // The data still "moves" — counters record it.
+        assert_eq!(m.counters().d2d_copies, 1);
+    }
+
+    #[test]
+    fn gamma_config_zeroes_pattern_time() {
+        let mut m = Machine::new(MachineSpec::kepler_system(1), false);
+        m.charge_host(1.0, TimeCat::Pattern);
+        assert_eq!(m.now(), 1.0);
+        m.reset_clock();
+        m.set_pattern_timing(false);
+        m.charge_host(1.0, TimeCat::Pattern);
+        assert_eq!(m.now(), 0.0);
+    }
+
+    #[test]
+    fn copy_bounds_are_checked() {
+        let mut m = Machine::new(MachineSpec::kepler_system(1), true);
+        let a = m.alloc(0, 16).unwrap();
+        let err = m.copy_h2d(&[0u8; 32], a, 0, false).unwrap_err();
+        assert!(matches!(err, SimError::CopyOutOfRange { .. }));
+        let err = m
+            .launch(
+                0,
+                &saxpy(),
+                &[
+                    SimArg::Scalar(Value::I64(1)),
+                    SimArg::Buf(DevBuf {
+                        device: 1,
+                        handle: 0,
+                        len: 4,
+                    }),
+                    SimArg::Buf(a),
+                ],
+                Dim3::new1(1),
+                Dim3::new1(1),
+            )
+            .unwrap_err();
+        assert!(matches!(err, SimError::BadBuffer { .. }));
+    }
+
+    #[test]
+    fn mem_bound_kernel_time_tracks_bytes() {
+        // saxpy moves 12 bytes/thread; time ≈ threads*12/mem_bw.
+        let m = Machine::new(MachineSpec::kepler_system(1), false);
+        let k = saxpy();
+        let n: u64 = 1 << 24;
+        let grid = Dim3::new1((n / 256) as u32);
+        let block = Dim3::new1(256);
+        let args = [
+            KernelArg::Scalar(Value::I64(n as i64)),
+            KernelArg::Array(0),
+            KernelArg::Array(1),
+        ];
+        let t = m.kernel_time(&k, &args, grid, block, None).unwrap();
+        let expect = (n as f64) * 12.0 / m.spec().device.mem_bw;
+        assert!((t / expect - 1.0).abs() < 0.2, "t={t}, expect={expect}");
+    }
+
+    #[test]
+    fn debug_read_none_in_perf_mode() {
+        let mut m = Machine::new(MachineSpec::kepler_system(1), false);
+        let a = m.alloc(0, 64).unwrap();
+        assert!(m.debug_read(a).is_none());
+    }
+}

@@ -1,0 +1,121 @@
+//! Machine specifications and calibration constants.
+
+use serde::{Deserialize, Serialize};
+
+/// Performance characteristics of one device.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    pub name: String,
+    /// Peak single-precision throughput, FLOP/s.
+    pub flops: f64,
+    /// Integer/address ALU throughput, op/s.
+    pub int_ops: f64,
+    /// Device memory bandwidth, bytes/s.
+    pub mem_bw: f64,
+    /// Fixed kernel launch overhead, seconds (driver + dispatch).
+    pub launch_overhead: f64,
+}
+
+/// Characteristics of the inter-device interconnect.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Effective aggregate peer-copy bandwidth, bytes/s.
+    pub bandwidth: f64,
+    /// Per-transfer setup latency, seconds.
+    pub latency: f64,
+    /// Peer copies staged through host memory (true for the PCIe-tree K80
+    /// system): all peer transfers serialize on the single host staging
+    /// engine instead of overlapping pairwise.
+    pub host_staged: bool,
+}
+
+/// The whole machine: homogeneous devices behind one interconnect.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MachineSpec {
+    pub n_devices: usize,
+    pub device: DeviceSpec,
+    pub link: LinkSpec,
+    /// Host↔device link bandwidth, bytes/s (PCIe x16 per root port).
+    pub h2d_bandwidth: f64,
+    /// Host↔device latency, seconds.
+    pub h2d_latency: f64,
+    /// Host-side cost charged per enumerated element range (tracker query
+    /// + memcpy issue), seconds. Used by the runtime to model the
+    /// "Patterns" overhead of Figure 7/8.
+    pub host_per_range: f64,
+    /// Host-side cost per tracker segment update, seconds.
+    pub host_per_segment: f64,
+    /// Host-side cost to orchestrate one partitioned kernel launch
+    /// (argument marshalling, enumerator setup), seconds.
+    pub host_per_launch: f64,
+}
+
+impl MachineSpec {
+    /// A Kepler-class system patterned on the paper's testbed: `n` logical
+    /// GPUs (K80 dies: ~4.37 SP TFLOP/s, 240 GB/s HBM... GDDR5), PCIe 3.0
+    /// interconnect with host-staged peer copies.
+    pub fn kepler_system(n_devices: usize) -> MachineSpec {
+        MachineSpec {
+            n_devices,
+            device: DeviceSpec {
+                name: "K80-die".into(),
+                // Effective (not peak) single-precision rate: real kernels
+                // on a GK210 die sustain roughly a third of the 4.37 TFLOP/s
+                // peak.
+                flops: 1.5e12,
+                int_ops: 2.0e12,
+                mem_bw: 240.0e9,
+                launch_overhead: 8.0e-6,
+            },
+            link: LinkSpec {
+                bandwidth: 15.0e9,
+                latency: 15.0e-6,
+                host_staged: true,
+            },
+            h2d_bandwidth: 11.0e9,
+            h2d_latency: 10.0e-6,
+            host_per_range: 0.6e-6,
+            host_per_segment: 0.25e-6,
+            host_per_launch: 4.0e-6,
+        }
+    }
+
+    /// A single-GPU reference machine with the same device silicon
+    /// (baseline for speedups).
+    pub fn kepler_single() -> MachineSpec {
+        MachineSpec::kepler_system(1)
+    }
+
+    /// A hypothetical NVLink-class system with the *same* device silicon:
+    /// direct peer links (no host staging, transfers overlap pairwise),
+    /// 40 GB/s per link, 3 µs setup. Used by the interconnect ablation to
+    /// quantify how much of the scaling limits in Figure 6 are the
+    /// PCIe-tree interconnect rather than the partitioning approach —
+    /// the paper's §1 argument that future NUMA-ish GPU systems make
+    /// automatic partitioning more attractive, not less.
+    pub fn nvlink_system(n_devices: usize) -> MachineSpec {
+        let mut spec = MachineSpec::kepler_system(n_devices);
+        spec.link = LinkSpec {
+            bandwidth: 40.0e9,
+            latency: 3.0e-6,
+            host_staged: false,
+        };
+        spec.h2d_bandwidth = 12.0e9;
+        spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kepler_constants_sane() {
+        let m = MachineSpec::kepler_system(16);
+        assert_eq!(m.n_devices, 16);
+        assert!(m.device.flops > 1e12);
+        assert!(m.device.mem_bw > 1e11);
+        assert!(m.link.bandwidth < m.device.mem_bw);
+        assert!(m.link.host_staged);
+    }
+}

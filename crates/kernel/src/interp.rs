@@ -1,0 +1,876 @@
+//! Per-thread interpretation of kernel IR.
+//!
+//! The interpreter serves two purposes:
+//!
+//! 1. **Functional execution** — runs real data through the kernel for
+//!    bit-exact correctness checks of the partitioning pipeline.
+//! 2. **Cost measurement** — counts executed operations, loads and stores
+//!    per thread; the simulator samples threads in this mode to calibrate
+//!    its timing model ([`ExecMode::CountOnly`]).
+
+use crate::ir::{Axis, BinOp, Expr, Extent, GridVar, Kernel, KernelParam, Stmt, UnOp};
+use crate::types::{Dim3, ScalarTy, Value};
+use crate::{KernelError, Result};
+
+/// Memory interface the interpreter reads/writes through. `array` is the
+/// buffer handle from the corresponding [`KernelArg::Array`]; `offset` is a
+/// linear element index (row-major).
+pub trait MemAccess {
+    fn load(&self, array: usize, offset: usize, ty: ScalarTy) -> Value;
+    fn store(&mut self, array: usize, offset: usize, value: Value);
+}
+
+/// Simple heap-backed memory: one byte vector per buffer handle.
+#[derive(Debug, Default, Clone)]
+pub struct VecMem {
+    buffers: Vec<Vec<u8>>,
+}
+
+impl VecMem {
+    /// Fresh, empty memory.
+    pub fn new() -> VecMem {
+        VecMem::default()
+    }
+
+    /// Allocate a zero-initialized buffer of `bytes` bytes; returns its
+    /// handle.
+    pub fn alloc(&mut self, bytes: usize) -> usize {
+        self.buffers.push(vec![0u8; bytes]);
+        self.buffers.len() - 1
+    }
+
+    /// Allocate and fill from typed values.
+    pub fn alloc_from(&mut self, values: &[Value]) -> usize {
+        let id = self.alloc(values.iter().map(|v| v.ty().size_bytes()).sum());
+        let mut off = 0;
+        for v in values {
+            let sz = v.ty().size_bytes();
+            v.to_le_bytes(&mut self.buffers[id][off..off + sz]);
+            off += sz;
+        }
+        id
+    }
+
+    /// Raw bytes of a buffer.
+    pub fn bytes(&self, id: usize) -> &[u8] {
+        &self.buffers[id]
+    }
+
+    /// Mutable raw bytes of a buffer.
+    pub fn bytes_mut(&mut self, id: usize) -> &mut [u8] {
+        &mut self.buffers[id]
+    }
+
+    /// Read the whole buffer as a typed vector.
+    pub fn read_all(&self, id: usize, ty: ScalarTy) -> Vec<Value> {
+        let sz = ty.size_bytes();
+        self.buffers[id]
+            .chunks_exact(sz)
+            .map(|c| Value::from_le_bytes(ty, c))
+            .collect()
+    }
+}
+
+impl MemAccess for VecMem {
+    fn load(&self, array: usize, offset: usize, ty: ScalarTy) -> Value {
+        let sz = ty.size_bytes();
+        let start = offset * sz;
+        Value::from_le_bytes(ty, &self.buffers[array][start..start + sz])
+    }
+
+    fn store(&mut self, array: usize, offset: usize, value: Value) {
+        let sz = value.ty().size_bytes();
+        let start = offset * sz;
+        value.to_le_bytes(&mut self.buffers[array][start..start + sz]);
+    }
+}
+
+/// A kernel launch argument.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KernelArg {
+    /// Scalar by value.
+    Scalar(Value),
+    /// Array by buffer handle (meaningful to the [`MemAccess`]).
+    Array(usize),
+}
+
+/// The position of one thread in the launch grid.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadCtx {
+    pub block_idx: Dim3,
+    pub thread_idx: Dim3,
+    pub block_dim: Dim3,
+    pub grid_dim: Dim3,
+}
+
+impl ThreadCtx {
+    fn grid_value(&self, g: GridVar) -> i64 {
+        fn comp(d: Dim3, a: Axis) -> i64 {
+            match a {
+                Axis::X => d.x as i64,
+                Axis::Y => d.y as i64,
+                Axis::Z => d.z as i64,
+            }
+        }
+        match g {
+            GridVar::ThreadIdx(a) => comp(self.thread_idx, a),
+            GridVar::BlockIdx(a) => comp(self.block_idx, a),
+            GridVar::BlockDim(a) => comp(self.block_dim, a),
+            GridVar::GridDim(a) => comp(self.grid_dim, a),
+        }
+    }
+}
+
+/// Execution mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Real loads/stores with bounds checking.
+    Functional,
+    /// Count operations only: loads return a synthetic value, stores are
+    /// dropped, bounds are not checked. Used for cost-model sampling.
+    CountOnly,
+}
+
+/// Operation counters accumulated while interpreting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Integer ALU operations.
+    pub int_ops: u64,
+    /// Floating-point operations (transcendental ops count more, see
+    /// [`UnOp`] handling).
+    pub flops: u64,
+    /// Number of array loads.
+    pub loads: u64,
+    /// Number of array stores.
+    pub stores: u64,
+    /// Bytes read from arrays.
+    pub bytes_loaded: u64,
+    /// Bytes written to arrays.
+    pub bytes_stored: u64,
+    /// Conditional branches executed.
+    pub branches: u64,
+}
+
+impl ExecStats {
+    /// `self = base + (self - base) * factor` — scale the counters
+    /// accumulated since `base` (loop-trip extrapolation in counting
+    /// mode).
+    fn scale_since(&mut self, base: &ExecStats, factor: f64) {
+        fn scale(cur: &mut u64, base: u64, f: f64) {
+            *cur = base + ((*cur - base) as f64 * f).round() as u64;
+        }
+        scale(&mut self.int_ops, base.int_ops, factor);
+        scale(&mut self.flops, base.flops, factor);
+        scale(&mut self.loads, base.loads, factor);
+        scale(&mut self.stores, base.stores, factor);
+        scale(&mut self.bytes_loaded, base.bytes_loaded, factor);
+        scale(&mut self.bytes_stored, base.bytes_stored, factor);
+        scale(&mut self.branches, base.branches, factor);
+    }
+
+    /// Accumulate another thread's counters.
+    pub fn add(&mut self, other: &ExecStats) {
+        self.int_ops += other.int_ops;
+        self.flops += other.flops;
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.bytes_loaded += other.bytes_loaded;
+        self.bytes_stored += other.bytes_stored;
+        self.branches += other.branches;
+    }
+
+    /// Total bytes moved.
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_loaded + self.bytes_stored
+    }
+}
+
+enum Flow {
+    Normal,
+    Return,
+}
+
+/// Iteration safety budget per single loop execution.
+const LOOP_BUDGET: i64 = 1 << 32;
+
+/// The per-thread interpreter.
+pub struct Interp<'a, M: MemAccess + ?Sized> {
+    kernel: &'a Kernel,
+    args: &'a [KernelArg],
+    ctx: ThreadCtx,
+    mem: &'a mut M,
+    mode: ExecMode,
+    stats: ExecStats,
+    locals: Vec<(String, Value)>,
+}
+
+impl<'a, M: MemAccess + ?Sized> Interp<'a, M> {
+    /// Create an interpreter for one thread.
+    pub fn new(
+        kernel: &'a Kernel,
+        args: &'a [KernelArg],
+        ctx: ThreadCtx,
+        mem: &'a mut M,
+        mode: ExecMode,
+    ) -> Result<Self> {
+        if args.len() != kernel.params.len() {
+            return Err(KernelError::BadArguments {
+                expected: kernel.params.len(),
+                got: args.len(),
+            });
+        }
+        Ok(Interp {
+            kernel,
+            args,
+            ctx,
+            mem,
+            mode,
+            stats: ExecStats::default(),
+            locals: Vec::with_capacity(8),
+        })
+    }
+
+    /// Run the thread to completion; returns its operation counters.
+    pub fn run(mut self) -> Result<ExecStats> {
+        let body = &self.kernel.body;
+        self.exec_block(body)?;
+        Ok(self.stats)
+    }
+
+    fn lookup(&self, name: &str) -> Result<Value> {
+        // Innermost binding wins.
+        if let Some((_, v)) = self.locals.iter().rev().find(|(n, _)| n == name) {
+            return Ok(*v);
+        }
+        // Scalar parameter?
+        if let Some(idx) = self.kernel.param_index(name) {
+            if let KernelArg::Scalar(v) = self.args[idx] {
+                return Ok(v);
+            }
+        }
+        Err(KernelError::UnknownVar(name.to_string()))
+    }
+
+    fn scalar_i64(&self, name: &str) -> Result<i64> {
+        self.lookup(name)?
+            .as_i64()
+            .ok_or_else(|| KernelError::TypeMismatch {
+                context: format!("parameter {name} used as integer extent"),
+            })
+    }
+
+    /// Resolve an array access: returns (buffer handle, element type,
+    /// linear offset), bounds-checked in functional mode.
+    fn resolve_access(&mut self, array: &str, indices: &[Expr]) -> Result<(usize, ScalarTy, usize)> {
+        let pidx = self
+            .kernel
+            .param_index(array)
+            .ok_or_else(|| KernelError::UnknownArray(array.to_string()))?;
+        let (elem, extents) = match &self.kernel.params[pidx] {
+            KernelParam::Array { elem, extents, .. } => (*elem, extents.clone()),
+            _ => return Err(KernelError::UnknownArray(array.to_string())),
+        };
+        let handle = match self.args[pidx] {
+            KernelArg::Array(h) => h,
+            _ => {
+                return Err(KernelError::TypeMismatch {
+                    context: format!("scalar passed for array parameter {array}"),
+                })
+            }
+        };
+        let mut idx_vals = Vec::with_capacity(indices.len());
+        for e in indices {
+            let val = self.eval(e)?;
+            idx_vals.push(val.as_i64().ok_or_else(|| KernelError::TypeMismatch {
+                context: format!("non-integer index into {array}"),
+            })?);
+        }
+        let mut ext_vals = Vec::with_capacity(extents.len());
+        for ext in &extents {
+            ext_vals.push(match ext {
+                Extent::Const(c) => *c,
+                Extent::Param(p) => self.scalar_i64(p)?,
+            });
+        }
+        if self.mode == ExecMode::Functional {
+            for (i, (&iv, &ev)) in idx_vals.iter().zip(&ext_vals).enumerate() {
+                if iv < 0 || iv >= ev {
+                    let _ = i;
+                    return Err(KernelError::OutOfBounds {
+                        array: array.to_string(),
+                        index: idx_vals.clone(),
+                        extents: ext_vals.clone(),
+                    });
+                }
+            }
+        }
+        // Row-major linearization.
+        let mut linear: i64 = 0;
+        for (iv, ev) in idx_vals.iter().zip(&ext_vals) {
+            linear = linear * ev + iv;
+        }
+        Ok((handle, elem, linear.max(0) as usize))
+    }
+
+    fn eval(&mut self, e: &Expr) -> Result<Value> {
+        match e {
+            Expr::Int(v) => Ok(Value::I64(*v)),
+            Expr::Float(v) => Ok(Value::F32(*v as f32)),
+            Expr::Var(name) => self.lookup(name),
+            Expr::Grid(g) => Ok(Value::I64(self.ctx.grid_value(*g))),
+            Expr::Load { array, indices } => {
+                let (handle, elem, off) = self.resolve_access(array, indices)?;
+                self.stats.loads += 1;
+                self.stats.bytes_loaded += elem.size_bytes() as u64;
+                match self.mode {
+                    ExecMode::Functional => Ok(self.mem.load(handle, off, elem)),
+                    ExecMode::CountOnly => {
+                        // Deterministic synthetic value derived from the
+                        // offset so data-dependent code stays stable.
+                        Ok(match elem {
+                            ScalarTy::I64 => Value::I64((off % 7) as i64 + 1),
+                            ScalarTy::F32 => Value::F32(1.0 + (off % 7) as f32 * 0.125),
+                            ScalarTy::F64 => Value::F64(1.0 + (off % 7) as f64 * 0.125),
+                        })
+                    }
+                }
+            }
+            Expr::Unary(op, a) => {
+                let av = self.eval(a)?;
+                self.apply_unary(*op, av)
+            }
+            Expr::Binary(op, a, b) => {
+                let av = self.eval(a)?;
+                // Short-circuit logical operators.
+                if *op == BinOp::And && !av.is_truthy() {
+                    self.stats.int_ops += 1;
+                    return Ok(Value::I64(0));
+                }
+                if *op == BinOp::Or && av.is_truthy() {
+                    self.stats.int_ops += 1;
+                    return Ok(Value::I64(1));
+                }
+                let bv = self.eval(b)?;
+                self.apply_binary(*op, av, bv)
+            }
+            Expr::Cast(ty, a) => {
+                let av = self.eval(a)?;
+                Ok(av.cast(*ty))
+            }
+            Expr::Select(c, a, b) => {
+                let cv = self.eval(c)?;
+                self.stats.branches += 1;
+                if cv.is_truthy() {
+                    self.eval(a)
+                } else {
+                    self.eval(b)
+                }
+            }
+        }
+    }
+
+    fn apply_unary(&mut self, op: UnOp, a: Value) -> Result<Value> {
+        match op {
+            UnOp::Neg => {
+                self.count_arith(a.ty(), 1);
+                Ok(match a {
+                    Value::I64(v) => Value::I64(-v),
+                    Value::F32(v) => Value::F32(-v),
+                    Value::F64(v) => Value::F64(-v),
+                })
+            }
+            UnOp::Not => {
+                self.stats.int_ops += 1;
+                Ok(Value::I64(if a.is_truthy() { 0 } else { 1 }))
+            }
+            UnOp::Sqrt | UnOp::Exp | UnOp::Log => {
+                // Transcendentals cost several FLOP-equivalents.
+                self.stats.flops += 8;
+                let x = a.as_f64();
+                let r = match op {
+                    UnOp::Sqrt => x.sqrt(),
+                    UnOp::Exp => x.exp(),
+                    UnOp::Log => x.ln(),
+                    _ => unreachable!(),
+                };
+                Ok(match a.ty() {
+                    ScalarTy::F64 => Value::F64(r),
+                    _ => Value::F32(r as f32),
+                })
+            }
+            UnOp::Abs => {
+                self.count_arith(a.ty(), 1);
+                Ok(match a {
+                    Value::I64(v) => Value::I64(v.abs()),
+                    Value::F32(v) => Value::F32(v.abs()),
+                    Value::F64(v) => Value::F64(v.abs()),
+                })
+            }
+        }
+    }
+
+    fn count_arith(&mut self, ty: ScalarTy, n: u64) {
+        if ty.is_float() {
+            self.stats.flops += n;
+        } else {
+            self.stats.int_ops += n;
+        }
+    }
+
+    fn apply_binary(&mut self, op: BinOp, a: Value, b: Value) -> Result<Value> {
+        use ScalarTy::*;
+        // Numeric promotion: f64 > f32 > i64.
+        let ty = match (a.ty(), b.ty()) {
+            (F64, _) | (_, F64) => F64,
+            (F32, _) | (_, F32) => F32,
+            _ => I64,
+        };
+        if op.is_comparison() {
+            self.count_arith(ty, 1);
+            let r = match ty {
+                I64 => {
+                    let (x, y) = (a.as_i64().unwrap(), b.as_i64().unwrap());
+                    match op {
+                        BinOp::Lt => x < y,
+                        BinOp::Le => x <= y,
+                        BinOp::Gt => x > y,
+                        BinOp::Ge => x >= y,
+                        BinOp::EqEq => x == y,
+                        BinOp::Ne => x != y,
+                        _ => unreachable!(),
+                    }
+                }
+                _ => {
+                    let (x, y) = (a.as_f64(), b.as_f64());
+                    match op {
+                        BinOp::Lt => x < y,
+                        BinOp::Le => x <= y,
+                        BinOp::Gt => x > y,
+                        BinOp::Ge => x >= y,
+                        BinOp::EqEq => x == y,
+                        BinOp::Ne => x != y,
+                        _ => unreachable!(),
+                    }
+                }
+            };
+            return Ok(Value::I64(r as i64));
+        }
+        match op {
+            BinOp::And => {
+                self.stats.int_ops += 1;
+                return Ok(Value::I64((a.is_truthy() && b.is_truthy()) as i64));
+            }
+            BinOp::Or => {
+                self.stats.int_ops += 1;
+                return Ok(Value::I64((a.is_truthy() || b.is_truthy()) as i64));
+            }
+            _ => {}
+        }
+        self.count_arith(ty, if op == BinOp::Div { 4 } else { 1 });
+        let out = match ty {
+            I64 => {
+                let (x, y) = (a.as_i64().unwrap(), b.as_i64().unwrap());
+                Value::I64(match op {
+                    BinOp::Add => x.wrapping_add(y),
+                    BinOp::Sub => x.wrapping_sub(y),
+                    BinOp::Mul => x.wrapping_mul(y),
+                    BinOp::Div => {
+                        if y == 0 {
+                            return Err(KernelError::DivByZero);
+                        }
+                        x / y
+                    }
+                    BinOp::Rem => {
+                        if y == 0 {
+                            return Err(KernelError::DivByZero);
+                        }
+                        x % y
+                    }
+                    BinOp::Min => x.min(y),
+                    BinOp::Max => x.max(y),
+                    _ => unreachable!(),
+                })
+            }
+            F32 => {
+                let (x, y) = (a.as_f64() as f32, b.as_f64() as f32);
+                Value::F32(match op {
+                    BinOp::Add => x + y,
+                    BinOp::Sub => x - y,
+                    BinOp::Mul => x * y,
+                    BinOp::Div => x / y,
+                    BinOp::Rem => x % y,
+                    BinOp::Min => x.min(y),
+                    BinOp::Max => x.max(y),
+                    _ => unreachable!(),
+                })
+            }
+            F64 => {
+                let (x, y) = (a.as_f64(), b.as_f64());
+                Value::F64(match op {
+                    BinOp::Add => x + y,
+                    BinOp::Sub => x - y,
+                    BinOp::Mul => x * y,
+                    BinOp::Div => x / y,
+                    BinOp::Rem => x % y,
+                    BinOp::Min => x.min(y),
+                    BinOp::Max => x.max(y),
+                    _ => unreachable!(),
+                })
+            }
+        };
+        Ok(out)
+    }
+
+    fn exec_block(&mut self, body: &[Stmt]) -> Result<Flow> {
+        let depth = self.locals.len();
+        for s in body {
+            match self.exec_stmt(s)? {
+                Flow::Return => {
+                    self.locals.truncate(depth);
+                    return Ok(Flow::Return);
+                }
+                Flow::Normal => {}
+            }
+        }
+        self.locals.truncate(depth);
+        Ok(Flow::Normal)
+    }
+
+    fn exec_stmt(&mut self, s: &Stmt) -> Result<Flow> {
+        match s {
+            Stmt::Let { var, value } => {
+                let v = self.eval(value)?;
+                self.locals.push((var.clone(), v));
+                Ok(Flow::Normal)
+            }
+            Stmt::Assign { var, value } => {
+                let v = self.eval(value)?;
+                if let Some(slot) = self.locals.iter_mut().rev().find(|(n, _)| n == var) {
+                    slot.1 = v;
+                    Ok(Flow::Normal)
+                } else {
+                    Err(KernelError::UnknownVar(var.clone()))
+                }
+            }
+            Stmt::Store {
+                array,
+                indices,
+                value,
+            } => {
+                let val = self.eval(value)?;
+                let (handle, elem, off) = self.resolve_access(array, indices)?;
+                let val = val.cast(elem);
+                self.stats.stores += 1;
+                self.stats.bytes_stored += elem.size_bytes() as u64;
+                if self.mode == ExecMode::Functional {
+                    self.mem.store(handle, off, val);
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::If { cond, then_, else_ } => {
+                let c = self.eval(cond)?;
+                self.stats.branches += 1;
+                if c.is_truthy() {
+                    self.exec_block(then_)
+                } else {
+                    self.exec_block(else_)
+                }
+            }
+            Stmt::For {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+            } => {
+                let lo_v = self
+                    .eval(lo)?
+                    .as_i64()
+                    .ok_or_else(|| KernelError::TypeMismatch {
+                        context: format!("loop bound of {var}"),
+                    })?;
+                let hi_v = self
+                    .eval(hi)?
+                    .as_i64()
+                    .ok_or_else(|| KernelError::TypeMismatch {
+                        context: format!("loop bound of {var}"),
+                    })?;
+                let trip = ((hi_v - lo_v).max(0) + step - 1) / (*step).max(1);
+                if trip > LOOP_BUDGET {
+                    return Err(KernelError::IterationBudget { var: var.clone() });
+                }
+                // Counting mode extrapolates long loops from a sample of
+                // iterations: the per-iteration cost of regular kernels is
+                // uniform, and the roofline model only needs totals.
+                const SAMPLE_THRESHOLD: i64 = 64;
+                const SAMPLE_ITERS: i64 = 16;
+                let sampled = self.mode == ExecMode::CountOnly && trip > SAMPLE_THRESHOLD;
+                let run_iters = if sampled { SAMPLE_ITERS } else { trip };
+                let base = self.stats;
+                self.locals.push((var.clone(), Value::I64(lo_v)));
+                let slot = self.locals.len() - 1;
+                let mut i = lo_v;
+                let mut done = 0i64;
+                while done < run_iters {
+                    self.locals[slot].1 = Value::I64(i);
+                    match self.exec_block(body)? {
+                        Flow::Return => {
+                            self.locals.truncate(slot);
+                            return Ok(Flow::Return);
+                        }
+                        Flow::Normal => {}
+                    }
+                    i += step;
+                    done += 1;
+                    self.stats.int_ops += 1;
+                }
+                if sampled {
+                    self.stats
+                        .scale_since(&base, trip as f64 / run_iters as f64);
+                }
+                self.locals.truncate(slot);
+                Ok(Flow::Normal)
+            }
+            Stmt::Return => Ok(Flow::Return),
+            Stmt::SyncThreads => Ok(Flow::Normal),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+    use crate::ir::Kernel;
+
+    fn ctx1d(block: u32, thread: u32, bdim: u32, gdim: u32) -> ThreadCtx {
+        ThreadCtx {
+            block_idx: Dim3::new1(block),
+            thread_idx: Dim3::new1(thread),
+            block_dim: Dim3::new1(bdim),
+            grid_dim: Dim3::new1(gdim),
+        }
+    }
+
+    fn vadd_kernel() -> Kernel {
+        Kernel {
+            name: "vadd".into(),
+            params: vec![
+                scalar("n"),
+                array_f32("a", &[ext("n")]),
+                array_f32("b", &[ext("n")]),
+                array_f32("c", &[ext("n")]),
+            ],
+            body: vec![
+                let_("i", global_x()),
+                guard_return(v("i").ge(v("n"))),
+                store(
+                    "c",
+                    vec![v("i")],
+                    load("a", vec![v("i")]) + load("b", vec![v("i")]),
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn vadd_thread_computes() {
+        let k = vadd_kernel();
+        let mut mem = VecMem::new();
+        let a = mem.alloc_from(&(0..8).map(|i| Value::F32(i as f32)).collect::<Vec<_>>());
+        let b = mem.alloc_from(&(0..8).map(|i| Value::F32(10.0 * i as f32)).collect::<Vec<_>>());
+        let c = mem.alloc(8 * 4);
+        let args = [
+            KernelArg::Scalar(Value::I64(8)),
+            KernelArg::Array(a),
+            KernelArg::Array(b),
+            KernelArg::Array(c),
+        ];
+        // thread 3 of block 0 (blockDim 8)
+        let stats = Interp::new(&k, &args, ctx1d(0, 3, 8, 1), &mut mem, ExecMode::Functional)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(mem.load(c, 3, ScalarTy::F32), Value::F32(33.0));
+        assert_eq!(stats.loads, 2);
+        assert_eq!(stats.stores, 1);
+        assert_eq!(stats.bytes_loaded, 8);
+    }
+
+    #[test]
+    fn guard_suppresses_out_of_range_threads() {
+        let k = vadd_kernel();
+        let mut mem = VecMem::new();
+        let a = mem.alloc(4 * 4);
+        let b = mem.alloc(4 * 4);
+        let c = mem.alloc(4 * 4);
+        let args = [
+            KernelArg::Scalar(Value::I64(4)),
+            KernelArg::Array(a),
+            KernelArg::Array(b),
+            KernelArg::Array(c),
+        ];
+        // thread 6 of block 0 with blockDim 8 and n = 4: must return early.
+        let stats = Interp::new(&k, &args, ctx1d(0, 6, 8, 1), &mut mem, ExecMode::Functional)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(stats.stores, 0);
+        assert_eq!(stats.loads, 0);
+    }
+
+    #[test]
+    fn out_of_bounds_detected_functionally() {
+        // No guard: thread 6 with n=4 goes out of bounds.
+        let mut k = vadd_kernel();
+        k.body.remove(1); // drop the guard
+        let mut mem = VecMem::new();
+        let a = mem.alloc(4 * 4);
+        let b = mem.alloc(4 * 4);
+        let c = mem.alloc(4 * 4);
+        let args = [
+            KernelArg::Scalar(Value::I64(4)),
+            KernelArg::Array(a),
+            KernelArg::Array(b),
+            KernelArg::Array(c),
+        ];
+        let err = Interp::new(&k, &args, ctx1d(0, 6, 8, 1), &mut mem, ExecMode::Functional)
+            .unwrap()
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, KernelError::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn count_only_mode_skips_memory() {
+        let k = vadd_kernel();
+        let mut mem = VecMem::new(); // no buffers at all
+        let args = [
+            KernelArg::Scalar(Value::I64(100)),
+            KernelArg::Array(0),
+            KernelArg::Array(1),
+            KernelArg::Array(2),
+        ];
+        let stats = Interp::new(&k, &args, ctx1d(2, 1, 8, 16), &mut mem, ExecMode::CountOnly)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(stats.loads, 2);
+        assert_eq!(stats.stores, 1);
+        assert_eq!(stats.flops, 1); // one f32 add
+    }
+
+    #[test]
+    fn for_loop_accumulates() {
+        // sum = Σ a[j], j in [0, n)
+        let k = Kernel {
+            name: "sum_row".into(),
+            params: vec![
+                scalar("n"),
+                array_f32("a", &[ext("n")]),
+                array_f32("out", &[ext_c(1)]),
+            ],
+            body: vec![
+                let_("acc", f(0.0)),
+                for_(
+                    "j",
+                    i(0),
+                    v("n"),
+                    vec![assign("acc", v("acc") + load("a", vec![v("j")]))],
+                ),
+                store("out", vec![i(0)], v("acc")),
+            ],
+        };
+        let mut mem = VecMem::new();
+        let a = mem.alloc_from(&(1..=5).map(|i| Value::F32(i as f32)).collect::<Vec<_>>());
+        let out = mem.alloc(4);
+        let args = [
+            KernelArg::Scalar(Value::I64(5)),
+            KernelArg::Array(a),
+            KernelArg::Array(out),
+        ];
+        Interp::new(&k, &args, ctx1d(0, 0, 1, 1), &mut mem, ExecMode::Functional)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(mem.load(out, 0, ScalarTy::F32), Value::F32(15.0));
+    }
+
+    #[test]
+    fn multidim_arrays_linearize_row_major() {
+        // b[y][x] = a[x][y] (transpose of a 2x3)
+        let k = Kernel {
+            name: "transpose".into(),
+            params: vec![
+                array_f32("a", &[ext_c(2), ext_c(3)]),
+                array_f32("b", &[ext_c(3), ext_c(2)]),
+            ],
+            body: vec![
+                for_(
+                    "y",
+                    i(0),
+                    i(3),
+                    vec![for_(
+                        "x",
+                        i(0),
+                        i(2),
+                        vec![store("b", vec![v("y"), v("x")], load("a", vec![v("x"), v("y")]))],
+                    )],
+                ),
+            ],
+        };
+        let mut mem = VecMem::new();
+        let a = mem.alloc_from(
+            &(0..6).map(|i| Value::F32(i as f32)).collect::<Vec<_>>(),
+        ); // a = [[0,1,2],[3,4,5]]
+        let b = mem.alloc(6 * 4);
+        let args = [KernelArg::Array(a), KernelArg::Array(b)];
+        Interp::new(&k, &args, ctx1d(0, 0, 1, 1), &mut mem, ExecMode::Functional)
+            .unwrap()
+            .run()
+            .unwrap();
+        let got = mem.read_all(b, ScalarTy::F32);
+        let want: Vec<Value> = [0.0f32, 3.0, 1.0, 4.0, 2.0, 5.0]
+            .iter()
+            .map(|&v| Value::F32(v))
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn division_by_zero_reported() {
+        let k = Kernel {
+            name: "div".into(),
+            params: vec![scalar("n")],
+            body: vec![let_("q", i(1) / v("n"))],
+        };
+        let mut mem = VecMem::new();
+        let args = [KernelArg::Scalar(Value::I64(0))];
+        let err = Interp::new(&k, &args, ctx1d(0, 0, 1, 1), &mut mem, ExecMode::Functional)
+            .unwrap()
+            .run()
+            .unwrap_err();
+        assert_eq!(err, KernelError::DivByZero);
+    }
+
+    #[test]
+    fn short_circuit_logic() {
+        // i < n && a[i] > 0 must not touch a[] when i >= n.
+        let k = Kernel {
+            name: "sc".into(),
+            params: vec![scalar("n"), array_f32("a", &[ext("n")])],
+            body: vec![
+                let_("i", i(100)),
+                let_("c", v("i").lt(v("n")).and(load("a", vec![v("i")]).gt(f(0.0)))),
+            ],
+        };
+        let mut mem = VecMem::new();
+        let a = mem.alloc(4 * 4);
+        let args = [KernelArg::Scalar(Value::I64(4)), KernelArg::Array(a)];
+        let stats = Interp::new(&k, &args, ctx1d(0, 0, 1, 1), &mut mem, ExecMode::Functional)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(stats.loads, 0);
+    }
+}

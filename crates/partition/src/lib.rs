@@ -1,0 +1,22 @@
+//! # mekong-partition — kernel partitioning (paper §7)
+//!
+//! A thread-grid *partition* is a 3-tuple of half-open block-index
+//! intervals `((min_z, max_z), (min_y, max_y), (min_x, max_x))`. Kernels
+//! are transformed so a clone executes only the blocks inside its
+//! partition:
+//!
+//! ```text
+//! blockIdx.w  →  partition.min_w + blockIdx.w        (eq. 8)
+//! gridDim.w   →  partition.max_w                     (eq. 9)
+//! gridConf.w  =  partition.max_w − partition.min_w   (eq. 10)
+//! ```
+//!
+//! The transform clones the kernel, appends six scalar parameters for the
+//! partition bounds, and applies the two substitution rules. The launch
+//! side (runtime) must size the grid per eq. 10.
+
+pub mod split;
+pub mod transform;
+
+pub use split::{partition_grid, Partition};
+pub use transform::{partition_kernel, PART_PARAMS};

@@ -1,0 +1,162 @@
+//! Grid partitioning strategies.
+
+use mekong_analysis::SplitAxis;
+use mekong_kernel::Dim3;
+use serde::{Deserialize, Serialize};
+
+/// A half-open box of thread-block indices, in the paper's `[z, y, x]`
+/// tuple order: block `b` belongs iff `lo[d] <= b[d] < hi[d]` for all `d`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Partition {
+    /// Inclusive lower block indices `[z, y, x]`.
+    pub lo: [i64; 3],
+    /// Exclusive upper block indices `[z, y, x]`.
+    pub hi: [i64; 3],
+}
+
+impl Partition {
+    /// The whole grid as one partition.
+    pub fn whole(grid_dim: Dim3) -> Partition {
+        Partition {
+            lo: [0, 0, 0],
+            hi: grid_dim.zyx(),
+        }
+    }
+
+    /// Number of blocks inside.
+    pub fn block_count(&self) -> u64 {
+        (0..3)
+            .map(|d| (self.hi[d] - self.lo[d]).max(0) as u64)
+            .product()
+    }
+
+    /// Is the partition empty?
+    pub fn is_empty(&self) -> bool {
+        self.block_count() == 0
+    }
+
+    /// The launch grid extent of the partitioned kernel (eq. 10):
+    /// `max − min` per axis.
+    pub fn launch_grid(&self) -> Dim3 {
+        Dim3::from_zyx([
+            (self.hi[0] - self.lo[0]).max(0),
+            (self.hi[1] - self.lo[1]).max(0),
+            (self.hi[2] - self.lo[2]).max(0),
+        ])
+    }
+
+    /// Block-offset bounds `[lo, hi)` per axis (zyx), given the block
+    /// dims: `blockOff = blockIdx · blockDim` (paper eq. 6).
+    pub fn block_off_bounds(&self, block_dim: Dim3) -> ([i64; 3], [i64; 3]) {
+        let bd = block_dim.zyx();
+        let lo = [self.lo[0] * bd[0], self.lo[1] * bd[1], self.lo[2] * bd[2]];
+        let hi = [self.hi[0] * bd[0], self.hi[1] * bd[1], self.hi[2] * bd[2]];
+        (lo, hi)
+    }
+
+    /// Does the partition contain the block `[z, y, x]`?
+    pub fn contains(&self, zyx: [i64; 3]) -> bool {
+        (0..3).all(|d| self.lo[d] <= zyx[d] && zyx[d] < self.hi[d])
+    }
+}
+
+/// Split a grid into `n` contiguous partitions along `axis`, balanced to
+/// within one block. Partitions beyond the block count come out empty
+/// (callers skip them); order is ascending along the split axis.
+pub fn partition_grid(grid_dim: Dim3, n: usize, axis: SplitAxis) -> Vec<Partition> {
+    assert!(n >= 1);
+    let whole = Partition::whole(grid_dim);
+    let d = axis.zyx_index();
+    let extent = whole.hi[d];
+    let base = extent / n as i64;
+    let rem = extent % n as i64;
+    let mut out = Vec::with_capacity(n);
+    let mut start = 0i64;
+    for i in 0..n as i64 {
+        let len = base + if i < rem { 1 } else { 0 };
+        let mut p = whole;
+        p.lo[d] = start;
+        p.hi[d] = start + len;
+        out.push(p);
+        start += len;
+    }
+    debug_assert_eq!(start, extent);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_cover_grid_without_overlap() {
+        let g = Dim3::new2(100, 7); // gd = (x=100, y=7)
+        for n in [1, 2, 3, 5, 16] {
+            let parts = partition_grid(g, n, SplitAxis::X);
+            assert_eq!(parts.len(), n);
+            let total: u64 = parts.iter().map(|p| p.block_count()).sum();
+            assert_eq!(total, g.count());
+            // contiguity and order
+            for w in parts.windows(2) {
+                assert_eq!(w[0].hi[2], w[1].lo[2]);
+            }
+            // balance within 1
+            let counts: Vec<u64> = parts.iter().map(|p| p.block_count()).collect();
+            let min = counts.iter().min().unwrap();
+            let max = counts.iter().max().unwrap();
+            assert!(max - min <= 7); // one x-block = 7 y-blocks here
+        }
+    }
+
+    #[test]
+    fn split_y_partitions_rows() {
+        let g = Dim3::new2(4, 10);
+        let parts = partition_grid(g, 3, SplitAxis::Y);
+        assert_eq!(parts[0].lo, [0, 0, 0]);
+        assert_eq!(parts[0].hi, [1, 4, 4]);
+        assert_eq!(parts[1].lo, [0, 4, 0]);
+        assert_eq!(parts[2].hi, [1, 10, 4]);
+    }
+
+    #[test]
+    fn more_parts_than_blocks_yields_empty_tails() {
+        let g = Dim3::new1(3);
+        let parts = partition_grid(g, 5, SplitAxis::X);
+        let nonempty: Vec<_> = parts.iter().filter(|p| !p.is_empty()).collect();
+        assert_eq!(nonempty.len(), 3);
+        let total: u64 = parts.iter().map(|p| p.block_count()).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn launch_grid_matches_eq_10() {
+        let p = Partition {
+            lo: [0, 2, 5],
+            hi: [1, 6, 9],
+        };
+        assert_eq!(p.launch_grid(), Dim3::new3(4, 4, 1));
+    }
+
+    #[test]
+    fn block_off_bounds_scale_by_block_dim() {
+        let p = Partition {
+            lo: [0, 1, 2],
+            hi: [1, 3, 4],
+        };
+        let (lo, hi) = p.block_off_bounds(Dim3::new3(32, 8, 1));
+        assert_eq!(lo, [0, 8, 64]);
+        assert_eq!(hi, [1, 24, 128]);
+    }
+
+    #[test]
+    fn contains_respects_half_open_bounds() {
+        let p = Partition {
+            lo: [0, 0, 4],
+            hi: [1, 2, 8],
+        };
+        assert!(p.contains([0, 0, 4]));
+        assert!(p.contains([0, 1, 7]));
+        assert!(!p.contains([0, 0, 8]));
+        assert!(!p.contains([1, 0, 4]));
+    }
+}

@@ -1,0 +1,438 @@
+//! Higher-level set/map algebra: subtraction, composition, reversal,
+//! single-valuedness, and piece coalescing — the remainder of the isl
+//! operation surface the toolchain's clients (and downstream users of
+//! this library) expect.
+
+use crate::constraint::{Constraint, ConstraintKind};
+use crate::expr::LinExpr;
+use crate::map::Map;
+use crate::polyhedron::Polyhedron;
+use crate::set::Set;
+use crate::space::Space;
+use crate::Result;
+
+/// The negation of a single constraint, as a disjunction of constraints
+/// (one for `>=`, two for `==`).
+fn negate(c: &Constraint) -> Vec<Constraint> {
+    match c.kind {
+        // ¬(e >= 0)  ≡  e <= -1  ≡  -e - 1 >= 0
+        ConstraintKind::GeZero => {
+            let mut e = c.expr.neg();
+            e.konst -= 1;
+            vec![Constraint::ge0(e)]
+        }
+        // ¬(e == 0)  ≡  e <= -1  ∨  e >= 1
+        ConstraintKind::Eq => {
+            let mut below = c.expr.neg();
+            below.konst -= 1;
+            let mut above = c.expr.clone();
+            above.konst -= 1;
+            vec![Constraint::ge0(below), Constraint::ge0(above)]
+        }
+    }
+}
+
+/// `piece \ cut` for convex `cut`: the classic disjoint decomposition
+/// `∪_i (piece ∧ c_1 ∧ … ∧ c_{i-1} ∧ ¬c_i)`.
+fn subtract_piece(piece: &Polyhedron, cut: &Polyhedron) -> Vec<Polyhedron> {
+    let mut out = Vec::new();
+    let mut prefix = piece.clone();
+    for c in cut.constraints() {
+        for neg in negate(c) {
+            let q = prefix.clone().with_constraint(neg);
+            if !q.is_marked_empty() {
+                out.push(q);
+            }
+        }
+        prefix.add_constraint(c.clone());
+        if prefix.is_marked_empty() {
+            break;
+        }
+    }
+    out
+}
+
+impl Set {
+    /// Set difference `self \ other`.
+    ///
+    /// Exact (up to the over-approximation flags already carried by the
+    /// operands); the result's piece count can grow with the product of
+    /// constraint counts, which is fine at toolchain sizes.
+    pub fn subtract(&self, other: &Set) -> Result<Set> {
+        if !self.space().compatible(other.space()) {
+            return Err(crate::PolyError::SpaceMismatch {
+                expected: (self.n_dims(), self.n_params()),
+                got: (other.n_dims(), other.n_params()),
+            });
+        }
+        let mut pieces: Vec<Polyhedron> = self.pieces().to_vec();
+        for cut in other.pieces() {
+            let mut next = Vec::new();
+            for p in &pieces {
+                next.extend(subtract_piece(p, cut));
+            }
+            pieces = next;
+            if pieces.is_empty() {
+                break;
+            }
+        }
+        let mut out = Set::from_pieces(self.space().clone(), pieces);
+        if !self.is_exact() || !other.is_exact() {
+            out.set_inexact();
+        }
+        Ok(out)
+    }
+
+    /// Remove pieces that are provably contained in another piece (under
+    /// the parameter context `ctx`, a polyhedron with zero set dims).
+    /// Purely an optimization: the resulting union covers the same points.
+    pub fn coalesce(&self, ctx: &Polyhedron) -> Result<Set> {
+        let pieces = self.pieces();
+        let mut keep = vec![true; pieces.len()];
+        for i in 0..pieces.len() {
+            if !keep[i] {
+                continue;
+            }
+            for j in 0..pieces.len() {
+                if i == j || !keep[j] {
+                    continue;
+                }
+                // piece[j] ⊆ piece[i]  ⇔  piece[j] ∧ ¬c is empty for every
+                // constraint c of piece[i].
+                if piece_subset_of(&pieces[j], &pieces[i], ctx)? {
+                    keep[j] = false;
+                }
+            }
+        }
+        let kept: Vec<Polyhedron> = pieces
+            .iter()
+            .zip(&keep)
+            .filter(|(_, k)| **k)
+            .map(|(p, _)| p.clone())
+            .collect();
+        let mut out = Set::from_pieces(self.space().clone(), kept);
+        if !self.is_exact() {
+            out.set_inexact();
+        }
+        Ok(out)
+    }
+
+    /// Provable subset test under a parameter context: `self ⊆ other`.
+    /// Conservative (`false` = could not prove).
+    pub fn is_subset_symbolic(&self, other: &Set, ctx: &Polyhedron) -> Result<bool> {
+        // self ⊆ ∪ other.pieces  ⇐  (self \ other) empty.
+        let diff = self.subtract(other)?;
+        diff.is_empty_symbolic(ctx)
+    }
+}
+
+fn piece_subset_of(a: &Polyhedron, b: &Polyhedron, ctx: &Polyhedron) -> Result<bool> {
+    for c in b.constraints() {
+        for neg in negate(c) {
+            let q = a.clone().with_constraint(neg);
+            if !q.is_empty_symbolic(ctx)? {
+                return Ok(false);
+            }
+        }
+    }
+    Ok(true)
+}
+
+impl Map {
+    /// The reversed relation `{ y -> x : x -> y ∈ self }`.
+    pub fn reverse(&self) -> Map {
+        let n = self.n_in();
+        let d = self.n_out();
+        let np = self.n_params();
+        let rel = self.relation();
+        let old_names = rel.space().dim_names();
+        let mut names: Vec<String> = old_names[n..].to_vec();
+        names.extend(old_names[..n].iter().cloned());
+        let space = Space::from_names(names, rel.space().param_names().to_vec());
+        let permute = |e: &LinExpr| -> LinExpr {
+            let mut coeffs = vec![0i64; d + n + np];
+            coeffs[..d].copy_from_slice(&e.coeffs[n..n + d]);
+            coeffs[d..d + n].copy_from_slice(&e.coeffs[..n]);
+            coeffs[d + n..].copy_from_slice(&e.coeffs[n + d..]);
+            LinExpr {
+                coeffs,
+                konst: e.konst,
+            }
+        };
+        let pieces: Vec<Polyhedron> = rel
+            .pieces()
+            .iter()
+            .map(|p| {
+                let mut q = Polyhedron::universe(d + n, np);
+                for c in p.constraints() {
+                    q.add_constraint(Constraint {
+                        kind: c.kind,
+                        expr: permute(&c.expr),
+                    });
+                }
+                q
+            })
+            .collect();
+        let mut set = Set::from_pieces(space, pieces);
+        if !rel.is_exact() {
+            set.set_inexact();
+        }
+        Map::from_relation(d, set)
+    }
+
+    /// Relation composition `other ∘ self`: `{ x -> z : ∃y. x -> y ∈ self
+    /// ∧ y -> z ∈ other }`. Exactness degrades if the existential
+    /// projection loses integer precision.
+    pub fn compose(&self, other: &Map) -> Result<Map> {
+        let n = self.n_in();
+        let m = self.n_out();
+        assert_eq!(
+            m,
+            other.n_in(),
+            "compose: intermediate dimensions must agree"
+        );
+        let k = other.n_out();
+        let np = self.n_params();
+        assert_eq!(np, other.n_params());
+
+        // Combined space [x(n), y(m), z(k)].
+        let total = n + m + k;
+        let widen_self = |e: &LinExpr| -> LinExpr {
+            // self constraints live over [x, y, params] -> insert z.
+            e.insert_vars(n + m, k)
+        };
+        let widen_other = |e: &LinExpr| -> LinExpr {
+            // other constraints live over [y, z, params] -> prepend x.
+            e.insert_vars(0, n)
+        };
+        let mut pieces = Vec::new();
+        for a in self.relation().pieces() {
+            for b in other.relation().pieces() {
+                let mut q = Polyhedron::universe(total, np);
+                for c in a.constraints() {
+                    q.add_constraint(Constraint {
+                        kind: c.kind,
+                        expr: widen_self(&c.expr),
+                    });
+                }
+                for c in b.constraints() {
+                    q.add_constraint(Constraint {
+                        kind: c.kind,
+                        expr: widen_other(&c.expr),
+                    });
+                }
+                if !q.is_marked_empty() {
+                    pieces.push(q);
+                }
+            }
+        }
+        let mut dim_names: Vec<String> =
+            self.relation().space().dim_names()[..n].to_vec();
+        // Fresh middle names to avoid collisions, then output names.
+        for i in 0..m {
+            dim_names.push(format!("__mid{i}"));
+        }
+        for name in &other.relation().space().dim_names()[other.n_in()..] {
+            // Avoid duplicate names with inputs.
+            let candidate = if dim_names.contains(name) {
+                format!("{name}__out")
+            } else {
+                name.clone()
+            };
+            dim_names.push(candidate);
+        }
+        let space = Space::from_names(
+            dim_names,
+            self.relation().space().param_names().to_vec(),
+        );
+        let combined = Set::from_pieces(space, pieces);
+        // Project out the middle block.
+        let projected = combined.project_out_dims(n..n + m)?;
+        let mut rel = projected;
+        if !self.is_exact() || !other.is_exact() {
+            rel.set_inexact();
+        }
+        Ok(Map::from_relation(n, rel))
+    }
+
+    /// Is the map single-valued (a partial function)? Proves that no input
+    /// relates to two distinct outputs, under the parameter context.
+    /// Conservative: `false` = could not prove.
+    pub fn is_single_valued(&self, ctx: &Polyhedron) -> Result<bool> {
+        let n = self.n_in();
+        let d = self.n_out();
+        let np = self.n_params();
+        // Space [x(n), y(d), y'(d)].
+        let width = n + 2 * d + np;
+        for a in self.relation().pieces() {
+            for b in self.relation().pieces() {
+                let mut sys = Polyhedron::universe(n + 2 * d, np);
+                for c in a.constraints() {
+                    // over [x, y, params] -> insert y' after y
+                    sys.add_constraint(Constraint {
+                        kind: c.kind,
+                        expr: c.expr.insert_vars(n + d, d),
+                    });
+                }
+                for c in b.constraints() {
+                    // over [x, y', params]: insert y between x and y'.
+                    sys.add_constraint(Constraint {
+                        kind: c.kind,
+                        expr: c.expr.insert_vars(n, d),
+                    });
+                }
+                if sys.is_marked_empty() {
+                    continue;
+                }
+                // y != y' in some coordinate and direction.
+                for j in 0..d {
+                    for &less in &[true, false] {
+                        let y = LinExpr::var(width, n + j);
+                        let y2 = LinExpr::var(width, n + d + j);
+                        let cons = if less {
+                            Constraint::lt(&y, &y2)?
+                        } else {
+                            Constraint::lt(&y2, &y)?
+                        };
+                        let s = sys.clone().with_constraint(cons);
+                        if !s.is_empty_symbolic(ctx)? {
+                            return Ok(false);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map::Map;
+    use crate::set::Set;
+
+    #[test]
+    fn subtract_interval() {
+        let a = Set::parse("{ [x] : 0 <= x <= 9 }").unwrap();
+        let b = Set::parse("{ [x] : 3 <= x <= 5 }").unwrap();
+        let d = a.subtract(&b).unwrap();
+        assert_eq!(
+            d.points_sorted(&[]),
+            vec![vec![0], vec![1], vec![2], vec![6], vec![7], vec![8], vec![9]]
+        );
+        // Subtracting everything leaves nothing.
+        let e = a.subtract(&a).unwrap();
+        assert_eq!(e.count_points(&[]), 0);
+    }
+
+    #[test]
+    fn subtract_2d_hole() {
+        let a = Set::parse("{ [y, x] : 0 <= y <= 4 and 0 <= x <= 4 }").unwrap();
+        let hole = Set::parse("{ [y, x] : y = 2 and x = 2 }").unwrap();
+        let d = a.subtract(&hole).unwrap();
+        assert_eq!(d.count_points(&[]), 24);
+        assert!(!d.contains(&[2, 2], &[]));
+        assert!(d.contains(&[2, 3], &[]));
+    }
+
+    #[test]
+    fn subtract_union_cut() {
+        let a = Set::parse("{ [x] : 0 <= x <= 9 }").unwrap();
+        let b = Set::parse("{ [x] : 0 <= x <= 2 or 7 <= x <= 9 }").unwrap();
+        let d = a.subtract(&b).unwrap();
+        assert_eq!(
+            d.points_sorted(&[]),
+            vec![vec![3], vec![4], vec![5], vec![6]]
+        );
+    }
+
+    #[test]
+    fn reverse_roundtrips() {
+        let m = Map::parse("[n] -> { [i] -> [a, b] : a = i + 1 and b = 2i and 0 <= i and i < n }")
+            .unwrap();
+        let r = m.reverse();
+        assert_eq!(r.n_in(), 2);
+        assert_eq!(r.n_out(), 1);
+        // (i=3) -> (4, 6); reversed: (4, 6) -> 3.
+        assert_eq!(r.apply_point(&[4, 6], &[10]).unwrap(), vec![vec![3]]);
+        let rr = r.reverse();
+        assert_eq!(rr.apply_point(&[3], &[10]).unwrap(), vec![vec![4, 6]]);
+    }
+
+    #[test]
+    fn compose_translations() {
+        let f = Map::parse("{ [x] -> [y] : y = x + 2 }").unwrap();
+        let g = Map::parse("{ [x] -> [y] : y = 3x }").unwrap();
+        // g ∘ f: x -> 3(x + 2)
+        let gf = f.compose(&g).unwrap();
+        assert_eq!(gf.apply_point(&[4], &[]).unwrap(), vec![vec![18]]);
+        // f ∘ g: x -> 3x + 2
+        let fg = g.compose(&f).unwrap();
+        assert_eq!(fg.apply_point(&[4], &[]).unwrap(), vec![vec![14]]);
+    }
+
+    #[test]
+    fn compose_with_relation() {
+        // f: i -> {i, i+1}; g: j -> j + 3. g∘f: i -> {i+3, i+4}.
+        let f = Map::parse("{ [i] -> [j] : i <= j and j <= i + 1 }").unwrap();
+        let g = Map::parse("{ [j] -> [k] : k = j + 3 }").unwrap();
+        let gf = f.compose(&g).unwrap();
+        assert!(gf.is_exact());
+        assert_eq!(gf.apply_point(&[5], &[]).unwrap(), vec![vec![8], vec![9]]);
+    }
+
+    #[test]
+    fn strided_compose_over_approximates_and_is_flagged() {
+        // Eliminating the middle dimension of k = 2j needs an existential
+        // divisor isl would keep; our FM-based projection produces the
+        // interval superset and must flag the result inexact.
+        let f = Map::parse("{ [i] -> [j] : i <= j and j <= i + 1 }").unwrap();
+        let g = Map::parse("{ [j] -> [k] : k = 2j }").unwrap();
+        let gf = f.compose(&g).unwrap();
+        assert!(!gf.is_exact(), "strided compose must be flagged");
+        let outs = gf.apply_point(&[5], &[]).unwrap();
+        // Superset of the true image {10, 12}.
+        assert!(outs.contains(&vec![10]) && outs.contains(&vec![12]));
+    }
+
+    #[test]
+    fn single_valued_detection() {
+        let ctx = Polyhedron::universe(0, 1);
+        let f = Map::parse("[n] -> { [i] -> [j] : j = 2i + 1 and 0 <= i and i < n }").unwrap();
+        assert!(f.is_single_valued(&ctx).unwrap());
+        let r = Map::parse("[n] -> { [i] -> [j] : i <= j and j <= i + 1 and 0 <= i and i < n }")
+            .unwrap();
+        assert!(!r.is_single_valued(&ctx).unwrap());
+    }
+
+    #[test]
+    fn coalesce_drops_contained_pieces() {
+        let s = Set::parse("{ [x] : 0 <= x <= 9 or 2 <= x <= 5 or 4 <= x <= 12 }").unwrap();
+        assert_eq!(s.pieces().len(), 3);
+        let ctx = Polyhedron::universe(0, 0);
+        let c = s.coalesce(&ctx).unwrap();
+        assert_eq!(c.pieces().len(), 2); // middle piece is inside the first
+        assert_eq!(c.count_points(&[]), s.count_points(&[]));
+    }
+
+    #[test]
+    fn subset_symbolic() {
+        let ctx = Polyhedron::universe(0, 1);
+        let small = Set::parse("[n] -> { [x] : 1 <= x and x < n }").unwrap();
+        let big = Set::parse("[n] -> { [x] : 0 <= x and x <= n }").unwrap();
+        assert!(small.is_subset_symbolic(&big, &ctx).unwrap());
+        assert!(!big.is_subset_symbolic(&small, &ctx).unwrap());
+    }
+
+    #[test]
+    fn compose_respects_domains() {
+        // f restricted to [0, 5); g restricted to even-ish outputs via
+        // bounds. Composition domain is the preimage that survives both.
+        let f = Map::parse("{ [x] -> [y] : y = x + 1 and 0 <= x and x < 5 }").unwrap();
+        let g = Map::parse("{ [y] -> [z] : z = y and 2 <= y and y <= 3 }").unwrap();
+        let gf = f.compose(&g).unwrap();
+        let dom = gf.domain().unwrap();
+        assert_eq!(dom.points_sorted(&[]), vec![vec![1], vec![2]]);
+    }
+}

@@ -1,0 +1,825 @@
+//! The partitioned kernel-launch sequence (paper §5, Figure 4):
+//!
+//! 1. partition the execution grid for the available GPUs,
+//! 2. synchronize all buffers that are read from,
+//! 3. launch each partition of the kernel on its device,
+//! 4. update the buffer trackers for all writes.
+
+use crate::compiled::CompiledKernel;
+use crate::tracker::Owner;
+use crate::vbuf::{MgpuRuntime, VBufId};
+use crate::{Result, RuntimeError};
+use mekong_analysis::ArgModel;
+use mekong_gpusim::machine::SimArg;
+use mekong_gpusim::TimeCat;
+use mekong_kernel::{Dim3, Extent, Value};
+use mekong_partition::{partition_grid, Partition};
+
+/// An argument of a rewritten kernel launch.
+#[derive(Debug, Clone, Copy)]
+pub enum LaunchArg {
+    Scalar(Value),
+    Buf(VBufId),
+}
+
+impl MgpuRuntime {
+    /// The kernel-launch replacement: run `ck` over `grid × block` across
+    /// all devices (Figure 4). Errors if the kernel failed the §4 checks.
+    pub fn launch(
+        &mut self,
+        ck: &CompiledKernel,
+        grid: Dim3,
+        block: Dim3,
+        args: &[LaunchArg],
+    ) -> Result<()> {
+        if !ck.is_partitionable() {
+            return Err(RuntimeError::NotPartitionable(format!(
+                "{}: {:?}",
+                ck.model.kernel_name, ck.model.verdict
+            )));
+        }
+        let scalars = self.validate_args(ck, args)?;
+        let parts = partition_grid(grid, self.n_devices(), ck.model.partitioning);
+
+        // ---- (2) synchronize read buffers --------------------------------
+        if self.resolve_dependencies {
+            for (gpu, part) in parts.iter().enumerate() {
+                if part.is_empty() {
+                    continue;
+                }
+                for (arg_idx, renum) in &ck.enums.reads {
+                    let vb_id = match args[*arg_idx] {
+                        LaunchArg::Buf(b) => b,
+                        _ => unreachable!("validated"),
+                    };
+                    self.sync_buffer_for_partition(
+                        vb_id, renum, part, block, grid, &ck.enums.scalar_names, &scalars, gpu,
+                    )?;
+                }
+            }
+            // Figure 4, line 8: all_devs_synchronize().
+            self.machine.sync_all();
+        }
+
+        // ---- (3) launch the partitions ------------------------------------
+        for (gpu, part) in parts.iter().enumerate() {
+            if part.is_empty() {
+                continue;
+            }
+            let mut sim_args: Vec<SimArg> = Vec::with_capacity(args.len() + 6);
+            for (idx, a) in args.iter().enumerate() {
+                match a {
+                    LaunchArg::Scalar(v) => sim_args.push(SimArg::Scalar(*v)),
+                    LaunchArg::Buf(b) => {
+                        let inst = self.buffers[b.0].instances[gpu];
+                        let _ = idx;
+                        sim_args.push(SimArg::Buf(inst));
+                    }
+                }
+            }
+            for &m in part.lo.iter().chain(part.hi.iter()) {
+                sim_args.push(SimArg::Scalar(Value::I64(m)));
+            }
+            let traffic = ck.footprint_bytes(part, block, grid, &scalars);
+            self.machine.launch_with_traffic(
+                gpu,
+                &ck.partitioned,
+                &sim_args,
+                part.launch_grid(),
+                block,
+                Some(traffic),
+            )?;
+        }
+
+        // ---- (4) update trackers (concurrent to the async kernels) --------
+        if self.resolve_dependencies {
+            for (gpu, part) in parts.iter().enumerate() {
+                if part.is_empty() {
+                    continue;
+                }
+                for (arg_idx, wenum) in &ck.enums.writes {
+                    let vb_id = match args[*arg_idx] {
+                        LaunchArg::Buf(b) => b,
+                        _ => unreachable!("validated"),
+                    };
+                    let elem = self.buffers[vb_id.0].elem_size as u64;
+                    let mut n_ranges = 0u64;
+                    let mut updates: Vec<(u64, u64)> = Vec::new();
+                    wenum.for_each_range(
+                        part,
+                        block,
+                        grid,
+                        &ck.enums.scalar_names,
+                        &scalars,
+                        &mut |r| {
+                            n_ranges += 1;
+                            updates.push((r.start * elem, r.end * elem));
+                        },
+                    );
+                    for (s, e) in updates {
+                        self.buffers[vb_id.0].tracker.update(s, e, Owner::Device(gpu));
+                    }
+                    let cost = self.machine.spec().host_per_range * n_ranges as f64
+                        + self.machine.spec().host_per_segment * n_ranges as f64;
+                    self.machine.charge_host(cost, TimeCat::Pattern);
+                    debug_assert!(self.buffers[vb_id.0].tracker.check_invariants());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Synchronize one virtual buffer for one partition (§8.3): enumerate
+    /// the partition's read set, query the tracker for each range, and
+    /// copy stale data from its most recent writer.
+    #[allow(clippy::too_many_arguments)]
+    fn sync_buffer_for_partition(
+        &mut self,
+        vb_id: VBufId,
+        renum: &mekong_enumgen::AccessEnumerator,
+        part: &Partition,
+        block: Dim3,
+        grid: Dim3,
+        scalar_names: &[String],
+        scalars: &[i64],
+        gpu: usize,
+    ) -> Result<()> {
+        let vb = &self.buffers[vb_id.0];
+        let elem = vb.elem_size as u64;
+        let instances = vb.instances.clone();
+        let mut transfers: Vec<(usize, u64, u64)> = Vec::new();
+        let mut n_ranges = 0u64;
+        let mut n_segments = 0u64;
+        renum.for_each_range(part, block, grid, scalar_names, scalars, &mut |r| {
+            n_ranges += 1;
+            vb.tracker.query(r.start * elem, r.end * elem, &mut |s, e, o| {
+                n_segments += 1;
+                match o {
+                    Owner::Device(d) if d != gpu => transfers.push((d, s, e)),
+                    // Already local, host-owned (impossible for kernels) or
+                    // uninitialized: nothing to move.
+                    _ => {}
+                }
+            });
+        });
+        let cost = self.machine.spec().host_per_range * n_ranges as f64
+            + self.machine.spec().host_per_segment * n_segments as f64;
+        self.machine.charge_host(cost, TimeCat::Pattern);
+        for (d, s, e) in transfers {
+            self.machine.copy_d2d(
+                instances[d],
+                s as usize,
+                instances[gpu],
+                s as usize,
+                (e - s) as usize,
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Single-device fallback path for kernels that failed the §4 checks
+    /// (and the overhead baseline of §9.2): synchronize every argument
+    /// buffer *fully* onto `device`, run the original kernel there, then
+    /// claim the written buffers for `device`.
+    pub fn launch_unpartitioned(
+        &mut self,
+        ck: &CompiledKernel,
+        grid: Dim3,
+        block: Dim3,
+        args: &[LaunchArg],
+        device: usize,
+    ) -> Result<()> {
+        let scalars = self.validate_args(ck, args)?;
+        // Pull every array argument fully local.
+        for (idx, a) in args.iter().enumerate() {
+            if let LaunchArg::Buf(b) = a {
+                let _ = idx;
+                let vb = &self.buffers[b.0];
+                let instances = vb.instances.clone();
+                let mut transfers: Vec<(usize, u64, u64)> = Vec::new();
+                let mut n_segments = 0u64;
+                vb.tracker.query(0, vb.len as u64, &mut |s, e, o| {
+                    n_segments += 1;
+                    if let Owner::Device(d) = o {
+                        if d != device {
+                            transfers.push((d, s, e));
+                        }
+                    }
+                });
+                let cost = self.machine.spec().host_per_segment * n_segments as f64;
+                self.machine.charge_host(cost, TimeCat::Pattern);
+                for (d, s, e) in transfers {
+                    self.machine.copy_d2d(
+                        instances[d],
+                        s as usize,
+                        instances[device],
+                        s as usize,
+                        (e - s) as usize,
+                    )?;
+                }
+            }
+        }
+        self.machine.sync_all();
+        let mut sim_args: Vec<SimArg> = Vec::with_capacity(args.len());
+        for a in args {
+            match a {
+                LaunchArg::Scalar(v) => sim_args.push(SimArg::Scalar(*v)),
+                LaunchArg::Buf(b) => sim_args.push(SimArg::Buf(self.buffers[b.0].instances[device])),
+            }
+        }
+        let whole = Partition::whole(grid);
+        let traffic = ck.footprint_bytes(&whole, block, grid, &scalars);
+        self.machine.launch_with_traffic(
+            device,
+            &ck.original,
+            &sim_args,
+            grid,
+            block,
+            Some(traffic),
+        )?;
+        // Claim written buffers: after the full sync above, `device` holds
+        // the freshest copy of everything it did not overwrite, so a full
+        // claim is sound.
+        for (idx, arg_model) in ck.model.args.iter().enumerate() {
+            if arg_model.is_written_array() {
+                if let LaunchArg::Buf(b) = args[idx] {
+                    let len = self.buffers[b.0].len as u64;
+                    self.buffers[b.0].tracker.update(0, len, Owner::Device(device));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Multi-device launch for kernels whose **write patterns cannot be
+    /// modeled statically** — the instrumentation path the paper's
+    /// conclusion proposes (§11: "using instrumentation to collect write
+    /// patterns"). Functional machines only.
+    ///
+    /// Reads are over-approximated to whole buffers (always legal); the
+    /// partitions execute with write recording, and the observed write
+    /// sets drive the tracker updates. If two partitions wrote the same
+    /// element the kernel has a cross-partition WAW hazard and the launch
+    /// fails *after the fact* — the caller should re-run unpartitioned.
+    pub fn launch_instrumented(
+        &mut self,
+        ck: &CompiledKernel,
+        grid: Dim3,
+        block: Dim3,
+        args: &[LaunchArg],
+    ) -> Result<()> {
+        let _scalars = self.validate_args(ck, args)?;
+        if !self.machine.is_functional() {
+            return Err(RuntimeError::Unsupported(
+                "instrumented launches need a functional machine",
+            ));
+        }
+        let parts = partition_grid(grid, self.n_devices(), ck.model.partitioning);
+
+        // (1) Reads unknown: synchronize every argument buffer fully.
+        for a in args {
+            if let LaunchArg::Buf(b) = a {
+                for gpu in 0..self.n_devices() {
+                    self.sync_whole_buffer(*b, gpu)?;
+                }
+            }
+        }
+        self.machine.sync_all();
+
+        // (2) Launch each partition with write recording.
+        let mut observed_per_gpu: Vec<std::collections::HashMap<usize, Vec<(u64, u64)>>> =
+            Vec::new();
+        for (gpu, part) in parts.iter().enumerate() {
+            if part.is_empty() {
+                observed_per_gpu.push(Default::default());
+                continue;
+            }
+            let mut sim_args: Vec<SimArg> = Vec::with_capacity(args.len() + 6);
+            for a in args {
+                match a {
+                    LaunchArg::Scalar(v) => sim_args.push(SimArg::Scalar(*v)),
+                    LaunchArg::Buf(b) => {
+                        sim_args.push(SimArg::Buf(self.buffers[b.0].instances[gpu]))
+                    }
+                }
+            }
+            for &m in part.lo.iter().chain(part.hi.iter()) {
+                sim_args.push(SimArg::Scalar(Value::I64(m)));
+            }
+            let obs = self.machine.launch_recording(
+                gpu,
+                &ck.partitioned,
+                &sim_args,
+                part.launch_grid(),
+                block,
+            )?;
+            observed_per_gpu.push(obs);
+        }
+
+        // (3) Check cross-partition write disjointness, then update
+        // trackers from the observed ranges.
+        for (idx, a) in args.iter().enumerate() {
+            let b = match a {
+                LaunchArg::Buf(b) => *b,
+                _ => continue,
+            };
+            let elem = self.buffers[b.0].elem_size as u64;
+            // Collect (gpu, range) pairs for this buffer.
+            let mut claims: Vec<(usize, u64, u64)> = Vec::new();
+            for (gpu, obs) in observed_per_gpu.iter().enumerate() {
+                let handle = self.buffers[b.0].instances[gpu].handle;
+                if let Some(ranges) = obs.get(&handle) {
+                    for &(s, e) in ranges {
+                        claims.push((gpu, s * elem, e * elem));
+                    }
+                }
+            }
+            claims.sort_by_key(|&(_, s, _)| s);
+            for w in claims.windows(2) {
+                let (g0, _, e0) = w[0];
+                let (g1, s1, _) = w[1];
+                if g0 != g1 && s1 < e0 {
+                    return Err(RuntimeError::NotPartitionable(format!(
+                        "instrumentation observed a cross-partition write collision \
+                         on argument {} (devices {g0} and {g1})",
+                        ck.model.args[idx].name()
+                    )));
+                }
+            }
+            let n_claims = claims.len() as f64;
+            for (gpu, s, e) in claims {
+                self.buffers[b.0].tracker.update(s, e, Owner::Device(gpu));
+            }
+            let cost = (self.machine.spec().host_per_range
+                + self.machine.spec().host_per_segment)
+                * n_claims;
+            self.machine.charge_host(cost, TimeCat::Pattern);
+        }
+        Ok(())
+    }
+
+    /// Pull every stale byte of one buffer onto `gpu`.
+    fn sync_whole_buffer(&mut self, b: VBufId, gpu: usize) -> Result<()> {
+        let vb = &self.buffers[b.0];
+        let instances = vb.instances.clone();
+        let mut transfers: Vec<(usize, u64, u64)> = Vec::new();
+        let mut n_segments = 0u64;
+        vb.tracker.query(0, vb.len as u64, &mut |s, e, o| {
+            n_segments += 1;
+            if let Owner::Device(d) = o {
+                if d != gpu {
+                    transfers.push((d, s, e));
+                }
+            }
+        });
+        let cost = self.machine.spec().host_per_segment * n_segments as f64;
+        self.machine.charge_host(cost, TimeCat::Pattern);
+        for (d, s, e) in transfers {
+            self.machine.copy_d2d(
+                instances[d],
+                s as usize,
+                instances[gpu],
+                s as usize,
+                (e - s) as usize,
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Validate launch arguments against the model; returns the scalar
+    /// values (as i64, floats as 0) in scalar-parameter order for the
+    /// enumerators (§6.2: "the scalar arguments are simply copied into an
+    /// array from the kernel launch they belong to").
+    fn validate_args(&self, ck: &CompiledKernel, args: &[LaunchArg]) -> Result<Vec<i64>> {
+        if args.len() != ck.model.args.len() {
+            return Err(RuntimeError::BadArgument(format!(
+                "expected {} arguments, got {}",
+                ck.model.args.len(),
+                args.len()
+            )));
+        }
+        let mut scalars = Vec::new();
+        for (model_arg, arg) in ck.model.args.iter().zip(args) {
+            match (model_arg, arg) {
+                (ArgModel::Scalar { .. }, LaunchArg::Scalar(v)) => {
+                    scalars.push(v.as_i64().unwrap_or(0));
+                }
+                (ArgModel::Array { .. }, LaunchArg::Buf(_)) => {}
+                (m, a) => {
+                    return Err(RuntimeError::BadArgument(format!(
+                        "argument {:?} does not match parameter {}",
+                        a,
+                        m.name()
+                    )))
+                }
+            }
+        }
+        // Check array sizes against extents.
+        for (model_arg, arg) in ck.model.args.iter().zip(args) {
+            if let (ArgModel::Array { elem, extents, .. }, LaunchArg::Buf(b)) = (model_arg, arg) {
+                let mut elems: i64 = 1;
+                for e in extents {
+                    elems *= match e {
+                        Extent::Const(c) => *c,
+                        Extent::Param(p) => {
+                            let idx = ck
+                                .model
+                                .scalar_params
+                                .iter()
+                                .position(|n| n == p)
+                                .expect("extent param exists");
+                            scalars[idx]
+                        }
+                    };
+                }
+                let expected = elems as usize * elem.size_bytes();
+                let got = self.buffers[b.0].len;
+                if expected != got {
+                    return Err(RuntimeError::SizeMismatch { expected, got });
+                }
+            }
+        }
+        Ok(scalars)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vbuf::RuntimeConfig;
+    use mekong_gpusim::{Machine, MachineSpec};
+    use mekong_kernel::builder::*;
+    use mekong_kernel::Kernel;
+
+    fn runtime(n: usize) -> MgpuRuntime {
+        MgpuRuntime::new(Machine::new(MachineSpec::kepler_system(n), true))
+    }
+
+    fn f32s(bytes: &[u8]) -> Vec<f32> {
+        bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect()
+    }
+
+    fn scale_kernel() -> Kernel {
+        Kernel {
+            name: "scale".into(),
+            params: vec![
+                scalar("n"),
+                array_f32("a", &[ext("n")]),
+                array_f32("b", &[ext("n")]),
+            ],
+            body: vec![
+                let_("i", global_x()),
+                guard_return(v("i").ge(v("n"))),
+                store("b", vec![v("i")], load("a", vec![v("i")]) * f(3.0)),
+            ],
+        }
+    }
+
+    #[test]
+    fn partitioned_scale_matches_expected() {
+        let ck = CompiledKernel::compile(&scale_kernel()).unwrap();
+        let mut rt = runtime(4);
+        let n = 1000usize;
+        let a = rt.malloc(n * 4, 4).unwrap();
+        let b = rt.malloc(n * 4, 4).unwrap();
+        let data: Vec<u8> = (0..n).flat_map(|i| (i as f32).to_le_bytes()).collect();
+        rt.memcpy_h2d(a, &data).unwrap();
+        rt.launch(
+            &ck,
+            Dim3::new1(8), // 8 blocks x 128 = 1024 threads
+            Dim3::new1(128),
+            &[
+                LaunchArg::Scalar(Value::I64(n as i64)),
+                LaunchArg::Buf(a),
+                LaunchArg::Buf(b),
+            ],
+        )
+        .unwrap();
+        rt.synchronize();
+        let mut out = vec![0u8; n * 4];
+        rt.memcpy_d2h(b, &mut out).unwrap();
+        for (i, v) in f32s(&out).iter().enumerate() {
+            assert_eq!(*v, 3.0 * i as f32, "element {i}");
+        }
+        assert!(rt.elapsed() > 0.0);
+    }
+
+    /// Iterative 1-D stencil: the real coherence test. Each iteration
+    /// reads the halo written by neighboring devices in the previous one.
+    #[test]
+    fn iterative_stencil_stays_coherent_across_devices() {
+        let stencil = Kernel {
+            name: "stencil".into(),
+            params: vec![
+                scalar("n"),
+                array_f32("input", &[ext("n")]),
+                array_f32("output", &[ext("n")]),
+            ],
+            body: vec![
+                let_("i", global_x()),
+                guard_return(v("i").ge(v("n"))),
+                if_(
+                    v("i").eq_(i(0)).or(v("i").eq_(v("n") - i(1))),
+                    vec![store("output", vec![v("i")], load("input", vec![v("i")]))],
+                    vec![store(
+                        "output",
+                        vec![v("i")],
+                        (load("input", vec![v("i") - i(1)])
+                            + load("input", vec![v("i")])
+                            + load("input", vec![v("i") + i(1)]))
+                            / f(3.0),
+                    )],
+                ),
+            ],
+        };
+        let ck = CompiledKernel::compile(&stencil).unwrap();
+        assert!(ck.is_partitionable(), "verdict: {:?}", ck.model.verdict);
+
+        let n = 512usize;
+        let iters = 6;
+        let grid = Dim3::new1(4);
+        let block = Dim3::new1(128);
+        let init: Vec<f32> = (0..n).map(|i| ((i * 37) % 101) as f32).collect();
+        let init_bytes: Vec<u8> = init.iter().flat_map(|v| v.to_le_bytes()).collect();
+
+        // CPU reference.
+        let mut cur = init.clone();
+        for _ in 0..iters {
+            let mut next = cur.clone();
+            for i in 1..n - 1 {
+                next[i] = (cur[i - 1] + cur[i] + cur[i + 1]) / 3.0;
+            }
+            cur = next;
+        }
+
+        // Multi-device run with ping-pong buffers.
+        let mut rt = runtime(4);
+        let a = rt.malloc(n * 4, 4).unwrap();
+        let b = rt.malloc(n * 4, 4).unwrap();
+        rt.memcpy_h2d(a, &init_bytes).unwrap();
+        rt.memcpy_h2d(b, &init_bytes).unwrap();
+        let (mut src, mut dst) = (a, b);
+        for _ in 0..iters {
+            rt.launch(
+                &ck,
+                grid,
+                block,
+                &[
+                    LaunchArg::Scalar(Value::I64(n as i64)),
+                    LaunchArg::Buf(src),
+                    LaunchArg::Buf(dst),
+                ],
+            )
+            .unwrap();
+            std::mem::swap(&mut src, &mut dst);
+        }
+        rt.synchronize();
+        let mut out = vec![0u8; n * 4];
+        rt.memcpy_d2h(src, &mut out).unwrap();
+        let got = f32s(&out);
+        for i in 0..n {
+            assert!(
+                (got[i] - cur[i]).abs() < 1e-4,
+                "element {i}: {} vs {}",
+                got[i],
+                cur[i]
+            );
+        }
+    }
+
+    /// §11 extension: a data-dependent scatter becomes multi-GPU runnable
+    /// through instrumented write collection, as long as partitions write
+    /// disjoint elements.
+    #[test]
+    fn instrumented_launch_runs_unmodelable_scatter() {
+        // out[perm[i]] = a[i] where perm maps each partition's indices
+        // into its own range (i -> i^1 within pairs stays partition-local
+        // for even partition boundaries). Here: perm[i] = i ^ 1 via
+        // arithmetic: i + 1 - 2*(i % 2).
+        let scatter = Kernel {
+            name: "scatter".into(),
+            params: vec![
+                scalar("n"),
+                array_f32("idx", &[ext("n")]),
+                array_f32("a", &[ext("n")]),
+                array_f32("out", &[ext("n")]),
+            ],
+            body: vec![
+                let_("i", global_x()),
+                guard_return(v("i").ge(v("n"))),
+                store(
+                    "out",
+                    vec![to_i64(load("idx", vec![v("i")]))],
+                    load("a", vec![v("i")]),
+                ),
+            ],
+        };
+        let ck = CompiledKernel::compile(&scatter).unwrap();
+        assert!(!ck.is_partitionable(), "scatter must fail static checks");
+
+        let n = 256usize;
+        let mut rt = runtime(4);
+        let idx = rt.malloc(n * 4, 4).unwrap();
+        let a = rt.malloc(n * 4, 4).unwrap();
+        let out = rt.malloc(n * 4, 4).unwrap();
+        // Pairwise swap permutation.
+        let perm: Vec<usize> = (0..n).map(|i| i ^ 1).collect();
+        let idx_host: Vec<u8> = perm.iter().flat_map(|&p| (p as f32).to_le_bytes()).collect();
+        let a_host: Vec<u8> = (0..n).flat_map(|i| (i as f32).to_le_bytes()).collect();
+        rt.memcpy_h2d(idx, &idx_host).unwrap();
+        rt.memcpy_h2d(a, &a_host).unwrap();
+        let args = [
+            LaunchArg::Scalar(Value::I64(n as i64)),
+            LaunchArg::Buf(idx),
+            LaunchArg::Buf(a),
+            LaunchArg::Buf(out),
+        ];
+        let grid = Dim3::new1(4);
+        let block = Dim3::new1(64);
+        // Static path refuses...
+        assert!(rt.launch(&ck, grid, block, &args).is_err());
+        // ...instrumented path succeeds and is correct.
+        rt.launch_instrumented(&ck, grid, block, &args).unwrap();
+        rt.synchronize();
+        let mut host = vec![0u8; n * 4];
+        rt.memcpy_d2h(out, &mut host).unwrap();
+        let got = f32s(&host);
+        for i in 0..n {
+            assert_eq!(got[perm[i]], i as f32, "element {i}");
+        }
+    }
+
+    #[test]
+    fn instrumented_launch_detects_cross_partition_collisions() {
+        // Every thread writes element 0: partitions collide; the
+        // instrumentation must detect it after the fact.
+        let bad = Kernel {
+            name: "collide".into(),
+            params: vec![
+                scalar("n"),
+                array_f32("idx", &[ext("n")]),
+                array_f32("out", &[ext("n")]),
+            ],
+            body: vec![
+                let_("i", global_x()),
+                guard_return(v("i").ge(v("n"))),
+                store(
+                    "out",
+                    vec![to_i64(load("idx", vec![v("i")]))],
+                    f(1.0),
+                ),
+            ],
+        };
+        let ck = CompiledKernel::compile(&bad).unwrap();
+        let n = 128usize;
+        let mut rt = runtime(4);
+        let idx = rt.malloc(n * 4, 4).unwrap();
+        let out = rt.malloc(n * 4, 4).unwrap();
+        rt.memcpy_h2d(idx, &vec![0u8; n * 4]).unwrap(); // all zeros
+        let args = [
+            LaunchArg::Scalar(Value::I64(n as i64)),
+            LaunchArg::Buf(idx),
+            LaunchArg::Buf(out),
+        ];
+        let err = rt
+            .launch_instrumented(&ck, Dim3::new1(4), Dim3::new1(32), &args)
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::NotPartitionable(_)), "{err}");
+    }
+
+    #[test]
+    fn unpartitionable_kernel_is_rejected_then_fallback_works() {
+        let bad = Kernel {
+            name: "allzero".into(),
+            params: vec![scalar("n"), array_f32("out", &[ext("n")])],
+            body: vec![store("out", vec![i(0)], f(1.0))],
+        };
+        let ck = CompiledKernel::compile(&bad).unwrap();
+        let mut rt = runtime(2);
+        let n = 64usize;
+        let out = rt.malloc(n * 4, 4).unwrap();
+        let err = rt
+            .launch(
+                &ck,
+                Dim3::new1(1),
+                Dim3::new1(64),
+                &[LaunchArg::Scalar(Value::I64(n as i64)), LaunchArg::Buf(out)],
+            )
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::NotPartitionable(_)));
+        // The single-device fallback executes it correctly.
+        rt.launch_unpartitioned(
+            &ck,
+            Dim3::new1(1),
+            Dim3::new1(64),
+            &[LaunchArg::Scalar(Value::I64(n as i64)), LaunchArg::Buf(out)],
+            0,
+        )
+        .unwrap();
+        rt.synchronize();
+        let mut host = vec![0u8; n * 4];
+        rt.memcpy_d2h(out, &mut host).unwrap();
+        assert_eq!(f32s(&host)[0], 1.0);
+    }
+
+    #[test]
+    fn argument_validation_catches_mismatches() {
+        let ck = CompiledKernel::compile(&scale_kernel()).unwrap();
+        let mut rt = runtime(2);
+        let a = rt.malloc(100 * 4, 4).unwrap();
+        let b = rt.malloc(100 * 4, 4).unwrap();
+        // Wrong count.
+        assert!(rt
+            .launch(&ck, Dim3::new1(1), Dim3::new1(32), &[LaunchArg::Buf(a)])
+            .is_err());
+        // Scalar where array expected.
+        assert!(rt
+            .launch(
+                &ck,
+                Dim3::new1(1),
+                Dim3::new1(32),
+                &[
+                    LaunchArg::Scalar(Value::I64(100)),
+                    LaunchArg::Scalar(Value::I64(1)),
+                    LaunchArg::Buf(b),
+                ],
+            )
+            .is_err());
+        // Buffer sized for n=100 but launched with n=200.
+        assert!(matches!(
+            rt.launch(
+                &ck,
+                Dim3::new1(1),
+                Dim3::new1(32),
+                &[
+                    LaunchArg::Scalar(Value::I64(200)),
+                    LaunchArg::Buf(a),
+                    LaunchArg::Buf(b),
+                ],
+            ),
+            Err(RuntimeError::SizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn beta_and_gamma_reduce_elapsed_time() {
+        let ck = CompiledKernel::compile(&scale_kernel()).unwrap();
+        let n = 1 << 16;
+        let run = |cfg: RuntimeConfig| -> f64 {
+            let mut rt =
+                MgpuRuntime::new(Machine::new(MachineSpec::kepler_system(4), false));
+            rt.set_config(cfg);
+            let a = rt.malloc(n * 4, 4).unwrap();
+            let b = rt.malloc(n * 4, 4).unwrap();
+            let data = vec![0u8; n * 4];
+            rt.memcpy_h2d(a, &data).unwrap();
+            for _ in 0..10 {
+                rt.launch(
+                    &ck,
+                    Dim3::new1((n / 256) as u32),
+                    Dim3::new1(256),
+                    &[
+                        LaunchArg::Scalar(Value::I64(n as i64)),
+                        LaunchArg::Buf(a),
+                        LaunchArg::Buf(b),
+                    ],
+                )
+                .unwrap();
+            }
+            rt.synchronize();
+            rt.elapsed()
+        };
+        let alpha = run(RuntimeConfig::alpha());
+        let beta = run(RuntimeConfig::beta());
+        let gamma = run(RuntimeConfig::gamma());
+        assert!(alpha >= beta, "alpha {alpha} >= beta {beta}");
+        assert!(beta >= gamma, "beta {beta} >= gamma {gamma}");
+        assert!(gamma > 0.0);
+    }
+
+    #[test]
+    fn tracker_reflects_partition_writes() {
+        let ck = CompiledKernel::compile(&scale_kernel()).unwrap();
+        let mut rt = runtime(4);
+        let n = 1024usize;
+        let a = rt.malloc(n * 4, 4).unwrap();
+        let b = rt.malloc(n * 4, 4).unwrap();
+        rt.memcpy_h2d(a, &vec![0u8; n * 4]).unwrap();
+        rt.launch(
+            &ck,
+            Dim3::new1(8),
+            Dim3::new1(128),
+            &[
+                LaunchArg::Scalar(Value::I64(n as i64)),
+                LaunchArg::Buf(a),
+                LaunchArg::Buf(b),
+            ],
+        )
+        .unwrap();
+        // 1:1 write pattern -> exactly one segment per device (§8.1).
+        assert_eq!(rt.segment_count(b), 4);
+    }
+}

@@ -1,0 +1,78 @@
+//! # mekong-runtime — the multi-GPU runtime library (paper §8)
+//!
+//! The static runtime every partitioned application links against:
+//!
+//! * [`Tracker`] — the per-buffer segment list mapping byte ranges to the
+//!   device holding the most recently written copy (§8.1). Backed by a
+//!   B-tree keyed on segment start, exactly as in the paper.
+//! * virtual buffers — one device-local instance per device plus a
+//!   tracker, replacing the single CUDA allocation (§8.1).
+//! * [`MgpuRuntime`] — the CUDA Runtime API replacement (§8.4):
+//!   `mgpu_malloc`, `mgpu_memcpy_*` (1:n scatter, n:1 gather, §8.2),
+//!   `mgpu_synchronize`, and the partitioned kernel launch sequence of
+//!   Figure 4: synchronize read buffers → launch partitions → update
+//!   trackers.
+//!
+//! The α/β/γ measurement configurations of §9.2 are exposed through
+//! [`RuntimeConfig`]: β disables transfer *timing* (data still moves so
+//! functional checks keep passing), γ additionally disables
+//! dependency-resolution timing.
+
+pub mod compiled;
+pub mod launch;
+pub mod tracker;
+pub mod vbuf;
+
+pub use compiled::CompiledKernel;
+pub use launch::LaunchArg;
+pub use tracker::{Owner, Tracker};
+pub use vbuf::{MgpuRuntime, RuntimeConfig, VBufId};
+
+/// Errors from the runtime.
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// Device-to-device user memcpy (unsupported, §8.2).
+    Unsupported(&'static str),
+    /// Host buffer length does not match the virtual buffer.
+    SizeMismatch { expected: usize, got: usize },
+    /// Argument mismatch at launch.
+    BadArgument(String),
+    /// The kernel was not cleared for partitioning (§4 checks).
+    NotPartitionable(String),
+    /// Simulator failure.
+    Sim(mekong_gpusim::SimError),
+    /// Polyhedral failure.
+    Poly(mekong_poly::PolyError),
+}
+
+impl From<mekong_gpusim::SimError> for RuntimeError {
+    fn from(e: mekong_gpusim::SimError) -> Self {
+        RuntimeError::Sim(e)
+    }
+}
+
+impl From<mekong_poly::PolyError> for RuntimeError {
+    fn from(e: mekong_poly::PolyError) -> Self {
+        RuntimeError::Poly(e)
+    }
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::Unsupported(w) => write!(f, "unsupported operation: {w}"),
+            RuntimeError::SizeMismatch { expected, got } => {
+                write!(f, "buffer size mismatch: expected {expected}, got {got}")
+            }
+            RuntimeError::BadArgument(m) => write!(f, "bad launch argument: {m}"),
+            RuntimeError::NotPartitionable(m) => write!(f, "kernel not partitionable: {m}"),
+            RuntimeError::Sim(e) => write!(f, "simulator: {e}"),
+            RuntimeError::Poly(e) => write!(f, "polyhedral: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, RuntimeError>;

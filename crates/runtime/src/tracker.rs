@@ -1,0 +1,271 @@
+//! The buffer tracker: a sorted list of non-overlapping segments, each
+//! naming the owner of the most recently written copy (paper §8.1).
+//!
+//! "The segment list is based on a B-Tree map using the start of each
+//! segment as the key and the 'owner' of the most recent version as the
+//! value."
+
+use std::collections::BTreeMap;
+
+/// Who holds the freshest copy of a byte range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Owner {
+    /// Never written since allocation (reads see zeros / undefined, like
+    /// fresh `cudaMalloc` memory).
+    Uninit,
+    /// The host buffer (after host-side writes; not used by kernels).
+    Host,
+    /// Device-local instance `i`.
+    Device(usize),
+}
+
+/// Non-overlapping, fully covering segment list over `[0, len)`.
+#[derive(Debug, Clone)]
+pub struct Tracker {
+    len: u64,
+    /// start → (end, owner); segments tile `[0, len)`.
+    segments: BTreeMap<u64, (u64, Owner)>,
+}
+
+impl Tracker {
+    /// A tracker covering `len` bytes, all [`Owner::Uninit`].
+    pub fn new(len: u64) -> Tracker {
+        let mut segments = BTreeMap::new();
+        if len > 0 {
+            segments.insert(0, (len, Owner::Uninit));
+        }
+        Tracker { len, segments }
+    }
+
+    /// Tracked length in bytes.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True if the tracker covers zero bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of segments (fragmentation metric; §8.1 discusses why
+    /// regular kernels keep this at one segment per partition).
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Record that `owner` wrote `[start, end)`.
+    pub fn update(&mut self, start: u64, end: u64, owner: Owner) {
+        let end = end.min(self.len);
+        if start >= end {
+            return;
+        }
+        // Split the segment containing `start` if it begins earlier.
+        if let Some((&s, &(e, o))) = self.segments.range(..=start).next_back() {
+            if s < start && start < e {
+                self.segments.insert(s, (start, o));
+                self.segments.insert(start, (e, o));
+            }
+        }
+        // Split the segment containing `end` if it extends past it.
+        if let Some((&s, &(e, o))) = self.segments.range(..end).next_back() {
+            if s < end && end < e {
+                self.segments.insert(s, (end, o));
+                self.segments.insert(end, (e, o));
+            }
+        }
+        // Remove all segments now fully inside [start, end).
+        let inside: Vec<u64> = self
+            .segments
+            .range(start..end)
+            .map(|(&s, _)| s)
+            .collect();
+        for s in inside {
+            self.segments.remove(&s);
+        }
+        self.segments.insert(start, (end, owner));
+        // Merge with neighbors of the same owner.
+        self.merge_around(start);
+    }
+
+    fn merge_around(&mut self, start: u64) {
+        let (end, owner) = self.segments[&start];
+        // Merge right.
+        if let Some((&rs, &(re, ro))) = self.segments.range(end..).next() {
+            if rs == end && ro == owner {
+                self.segments.remove(&rs);
+                self.segments.insert(start, (re, owner));
+            }
+        }
+        // Merge left.
+        let (end, owner) = self.segments[&start];
+        if let Some((&ls, &(le, lo))) = self.segments.range(..start).next_back() {
+            if le == start && lo == owner {
+                self.segments.remove(&start);
+                self.segments.insert(ls, (end, owner));
+            }
+        }
+    }
+
+    /// Visit the segments overlapping `[start, end)`, clipped to it.
+    pub fn query(&self, start: u64, end: u64, f: &mut dyn FnMut(u64, u64, Owner)) {
+        let end = end.min(self.len);
+        if start >= end {
+            return;
+        }
+        // First candidate: the segment starting at or before `start`.
+        let first = self
+            .segments
+            .range(..=start)
+            .next_back()
+            .map(|(&s, _)| s)
+            .unwrap_or(start);
+        for (&s, &(e, o)) in self.segments.range(first..end) {
+            let cs = s.max(start);
+            let ce = e.min(end);
+            if cs < ce {
+                f(cs, ce, o);
+            }
+        }
+    }
+
+    /// Collected segments over a range (convenience for tests).
+    pub fn segments_in(&self, start: u64, end: u64) -> Vec<(u64, u64, Owner)> {
+        let mut out = Vec::new();
+        self.query(start, end, &mut |s, e, o| out.push((s, e, o)));
+        out
+    }
+
+    /// Check internal invariants (used by tests and debug assertions):
+    /// segments tile `[0, len)` without gaps or overlaps, and no two
+    /// adjacent segments share an owner.
+    pub fn check_invariants(&self) -> bool {
+        if self.len == 0 {
+            return self.segments.is_empty();
+        }
+        let mut expect = 0u64;
+        let mut prev_owner: Option<Owner> = None;
+        for (&s, &(e, o)) in &self.segments {
+            if s != expect || e <= s {
+                return false;
+            }
+            if prev_owner == Some(o) {
+                return false; // unmerged neighbors
+            }
+            expect = e;
+            prev_owner = Some(o);
+        }
+        expect == self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_tracker_is_one_uninit_segment() {
+        let t = Tracker::new(100);
+        assert_eq!(t.segment_count(), 1);
+        assert_eq!(t.segments_in(0, 100), vec![(0, 100, Owner::Uninit)]);
+        assert!(t.check_invariants());
+    }
+
+    #[test]
+    fn update_splits_and_merges() {
+        let mut t = Tracker::new(100);
+        t.update(10, 20, Owner::Device(0));
+        assert!(t.check_invariants());
+        assert_eq!(
+            t.segments_in(0, 100),
+            vec![
+                (0, 10, Owner::Uninit),
+                (10, 20, Owner::Device(0)),
+                (20, 100, Owner::Uninit),
+            ]
+        );
+        // Adjacent same-owner updates merge.
+        t.update(20, 30, Owner::Device(0));
+        assert!(t.check_invariants());
+        assert_eq!(t.segments_in(5, 35).len(), 3);
+        assert_eq!(
+            t.segments_in(10, 30),
+            vec![(10, 30, Owner::Device(0))]
+        );
+    }
+
+    #[test]
+    fn overwrite_replaces_owners() {
+        let mut t = Tracker::new(64);
+        t.update(0, 32, Owner::Device(0));
+        t.update(32, 64, Owner::Device(1));
+        t.update(16, 48, Owner::Device(2));
+        assert!(t.check_invariants());
+        assert_eq!(
+            t.segments_in(0, 64),
+            vec![
+                (0, 16, Owner::Device(0)),
+                (16, 48, Owner::Device(2)),
+                (48, 64, Owner::Device(1)),
+            ]
+        );
+    }
+
+    #[test]
+    fn full_overwrite_collapses_to_one_segment() {
+        let mut t = Tracker::new(64);
+        for i in 0..8 {
+            t.update(i * 8, (i + 1) * 8, Owner::Device(i as usize % 3));
+        }
+        t.update(0, 64, Owner::Device(7));
+        assert!(t.check_invariants());
+        assert_eq!(t.segment_count(), 1);
+    }
+
+    #[test]
+    fn query_clips_to_range() {
+        let mut t = Tracker::new(100);
+        t.update(0, 50, Owner::Device(0));
+        t.update(50, 100, Owner::Device(1));
+        assert_eq!(
+            t.segments_in(40, 60),
+            vec![(40, 50, Owner::Device(0)), (50, 60, Owner::Device(1))]
+        );
+    }
+
+    #[test]
+    fn update_beyond_len_is_clipped() {
+        let mut t = Tracker::new(10);
+        t.update(5, 100, Owner::Device(0));
+        assert!(t.check_invariants());
+        assert_eq!(
+            t.segments_in(0, 10),
+            vec![(0, 5, Owner::Uninit), (5, 10, Owner::Device(0))]
+        );
+    }
+
+    #[test]
+    fn empty_ranges_are_noops() {
+        let mut t = Tracker::new(10);
+        t.update(5, 5, Owner::Device(0));
+        t.update(7, 3, Owner::Device(0));
+        assert_eq!(t.segment_count(), 1);
+        assert!(t.segments_in(3, 3).is_empty());
+    }
+
+    #[test]
+    fn single_writer_pattern_stays_one_segment_per_device() {
+        // The §8.1 observation: contiguous per-partition writes produce
+        // one segment per partition.
+        let mut t = Tracker::new(1600);
+        for g in 0..16u64 {
+            t.update(g * 100, (g + 1) * 100, Owner::Device(g as usize));
+        }
+        assert!(t.check_invariants());
+        assert_eq!(t.segment_count(), 16);
+        // Iterative relaunch with identical pattern: still 16.
+        for g in 0..16u64 {
+            t.update(g * 100, (g + 1) * 100, Owner::Device(g as usize));
+        }
+        assert_eq!(t.segment_count(), 16);
+    }
+}

@@ -1,0 +1,461 @@
+//! Virtual buffers and the CUDA-replacement runtime object.
+
+use crate::tracker::{Owner, Tracker};
+use crate::{Result, RuntimeError};
+use mekong_gpusim::{DevBuf, Machine, TimeCat};
+
+/// Handle to a virtual buffer — the value the rewritten application holds
+/// where the original held a device pointer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VBufId(pub usize);
+
+/// A virtual buffer: one instance per device + the coherence tracker
+/// (paper §8.1).
+pub(crate) struct VirtualBuffer {
+    pub len: usize,
+    pub elem_size: usize,
+    pub instances: Vec<DevBuf>,
+    pub tracker: Tracker,
+    pub freed: bool,
+}
+
+/// α/β/γ measurement configuration (paper §9.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuntimeConfig {
+    /// Count transfer time (α, β: off).
+    pub transfer_timing: bool,
+    /// Count dependency-resolution / tracker time (α, β on; γ: off).
+    pub pattern_timing: bool,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            transfer_timing: true,
+            pattern_timing: true,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// Regular execution.
+    pub fn alpha() -> Self {
+        Self::default()
+    }
+
+    /// Disabled transfers, dependency resolution still performed.
+    pub fn beta() -> Self {
+        RuntimeConfig {
+            transfer_timing: false,
+            pattern_timing: true,
+        }
+    }
+
+    /// Disabled dependency resolution (which also disables transfers).
+    pub fn gamma() -> Self {
+        RuntimeConfig {
+            transfer_timing: false,
+            pattern_timing: false,
+        }
+    }
+}
+
+/// The multi-GPU runtime: owns the machine and all virtual buffers, and
+/// provides the CUDA Runtime API replacements (§8.4).
+pub struct MgpuRuntime {
+    pub(crate) machine: Machine,
+    pub(crate) buffers: Vec<VirtualBuffer>,
+    pub(crate) config: RuntimeConfig,
+    /// When γ disables dependency resolution, transfers are skipped
+    /// entirely (they depend on resolution), like the paper's γ run.
+    pub(crate) resolve_dependencies: bool,
+}
+
+impl MgpuRuntime {
+    /// Wrap a machine.
+    pub fn new(machine: Machine) -> MgpuRuntime {
+        MgpuRuntime {
+            machine,
+            buffers: Vec::new(),
+            config: RuntimeConfig::default(),
+            resolve_dependencies: true,
+        }
+    }
+
+    /// Apply a measurement configuration.
+    pub fn set_config(&mut self, cfg: RuntimeConfig) {
+        self.config = cfg;
+        self.machine.set_transfer_timing(cfg.transfer_timing);
+        self.machine.set_pattern_timing(cfg.pattern_timing);
+        // γ semantics: with pattern work disabled, transfers cannot be
+        // computed either. Functional machines keep resolving so results
+        // stay correct; performance machines skip the work entirely.
+        self.resolve_dependencies =
+            cfg.pattern_timing || self.machine.is_functional();
+    }
+
+    /// The wrapped machine.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Mutable access to the machine (benchmarks reset clocks etc.).
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// Real device count.
+    pub fn n_devices(&self) -> usize {
+        self.machine.n_devices()
+    }
+
+    /// The `cudaGetDeviceCount` replacement: always 1 — the application
+    /// continues to believe it programs a single GPU (§8.4).
+    pub fn visible_device_count(&self) -> usize {
+        1
+    }
+
+    /// `cudaMalloc` replacement: allocate one instance per device and a
+    /// tracker (§8.1).
+    pub fn malloc(&mut self, bytes: usize, elem_size: usize) -> Result<VBufId> {
+        assert!(elem_size > 0 && bytes % elem_size == 0);
+        let mut instances = Vec::with_capacity(self.n_devices());
+        for d in 0..self.n_devices() {
+            instances.push(self.machine.alloc(d, bytes)?);
+        }
+        self.buffers.push(VirtualBuffer {
+            len: bytes,
+            elem_size,
+            instances,
+            tracker: Tracker::new(bytes as u64),
+            freed: false,
+        });
+        Ok(VBufId(self.buffers.len() - 1))
+    }
+
+    /// `cudaFree` replacement. The simulator does not reclaim device
+    /// memory (allocation is virtual in performance mode anyway); freeing
+    /// marks the handle so later use is caught as an error.
+    pub fn free(&mut self, b: VBufId) -> Result<()> {
+        let vb = self
+            .buffers
+            .get_mut(b.0)
+            .ok_or(RuntimeError::BadArgument(format!("unknown buffer {b:?}")))?;
+        if vb.freed {
+            return Err(RuntimeError::BadArgument(format!(
+                "double free of buffer {b:?}"
+            )));
+        }
+        vb.freed = true;
+        Ok(())
+    }
+
+    pub(crate) fn check_live(&self, b: VBufId) -> Result<()> {
+        match self.buffers.get(b.0) {
+            Some(vb) if !vb.freed => Ok(()),
+            Some(_) => Err(RuntimeError::BadArgument(format!(
+                "use of freed buffer {b:?}"
+            ))),
+            None => Err(RuntimeError::BadArgument(format!("unknown buffer {b:?}"))),
+        }
+    }
+
+    /// `cudaMemcpy(…, HostToDevice)` replacement: a 1:n movement. The
+    /// host data is distributed in the predefined **linear pattern**
+    /// across all devices (§8.2); mismatches against later kernels' read
+    /// patterns are corrected by buffer synchronization before launch.
+    pub fn memcpy_h2d(&mut self, dst: VBufId, src: &[u8]) -> Result<()> {
+        self.check_live(dst)?;
+        let vb = &self.buffers[dst.0];
+        if src.len() != vb.len {
+            return Err(RuntimeError::SizeMismatch {
+                expected: vb.len,
+                got: src.len(),
+            });
+        }
+        let n = self.n_devices();
+        let elem = vb.elem_size;
+        let total_elems = vb.len / elem;
+        let base = total_elems / n;
+        let rem = total_elems % n;
+        let mut start_elem = 0usize;
+        let instances = vb.instances.clone();
+        for d in 0..n {
+            let len_elems = base + usize::from(d < rem);
+            let (s, e) = (start_elem * elem, (start_elem + len_elems) * elem);
+            start_elem += len_elems;
+            if s == e {
+                continue;
+            }
+            self.machine.copy_h2d(&src[s..e], instances[d], s, false)?;
+            self.buffers[dst.0]
+                .tracker
+                .update(s as u64, e as u64, Owner::Device(d));
+            let seg_cost = self.machine.spec().host_per_segment;
+            self.machine.charge_host(seg_cost, TimeCat::Pattern);
+        }
+        debug_assert!(self.buffers[dst.0].tracker.check_invariants());
+        Ok(())
+    }
+
+    /// `cudaMemcpy(…, DeviceToHost)` replacement: an n:1 gather driven by
+    /// the tracker (§8.2).
+    pub fn memcpy_d2h(&mut self, src: VBufId, dst: &mut [u8]) -> Result<()> {
+        self.check_live(src)?;
+        let vb = &self.buffers[src.0];
+        if dst.len() != vb.len {
+            return Err(RuntimeError::SizeMismatch {
+                expected: vb.len,
+                got: dst.len(),
+            });
+        }
+        let mut plan: Vec<(usize, u64, u64)> = Vec::new();
+        vb.tracker.query(0, vb.len as u64, &mut |s, e, o| {
+            if let Owner::Device(d) = o {
+                plan.push((d, s, e));
+            }
+        });
+        let instances = vb.instances.clone();
+        let seg_cost = self.machine.spec().host_per_segment * plan.len() as f64;
+        self.machine.charge_host(seg_cost, TimeCat::Pattern);
+        for (d, s, e) in plan {
+            self.machine.copy_d2h(
+                instances[d],
+                s as usize,
+                &mut dst[s as usize..e as usize],
+                false,
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Performance-mode H2D: same linear distribution, tracker updates and
+    /// timing as [`MgpuRuntime::memcpy_h2d`], but without host payload
+    /// (paper-scale buffers need not exist in host memory).
+    pub fn memcpy_h2d_sim(&mut self, dst: VBufId) -> Result<()> {
+        let vb = &self.buffers[dst.0];
+        let n = self.n_devices();
+        let elem = vb.elem_size;
+        let total_elems = vb.len / elem;
+        let base = total_elems / n;
+        let rem = total_elems % n;
+        let mut start_elem = 0usize;
+        let instances = vb.instances.clone();
+        for d in 0..n {
+            let len_elems = base + usize::from(d < rem);
+            let (s, e) = (start_elem * elem, (start_elem + len_elems) * elem);
+            start_elem += len_elems;
+            if s == e {
+                continue;
+            }
+            self.machine.copy_h2d_timed(instances[d], s, e - s, false)?;
+            self.buffers[dst.0]
+                .tracker
+                .update(s as u64, e as u64, Owner::Device(d));
+            let seg_cost = self.machine.spec().host_per_segment;
+            self.machine.charge_host(seg_cost, TimeCat::Pattern);
+        }
+        Ok(())
+    }
+
+    /// Performance-mode D2H: tracker-driven gather without a host
+    /// destination.
+    pub fn memcpy_d2h_sim(&mut self, src: VBufId) -> Result<()> {
+        let vb = &self.buffers[src.0];
+        let mut plan: Vec<(usize, u64, u64)> = Vec::new();
+        vb.tracker.query(0, vb.len as u64, &mut |s, e, o| {
+            if let Owner::Device(d) = o {
+                plan.push((d, s, e));
+            }
+        });
+        let instances = vb.instances.clone();
+        let seg_cost = self.machine.spec().host_per_segment * plan.len() as f64;
+        self.machine.charge_host(seg_cost, TimeCat::Pattern);
+        for (d, s, e) in plan {
+            self.machine
+                .copy_d2h_timed(instances[d], s as usize, (e - s) as usize, false)?;
+        }
+        Ok(())
+    }
+
+    /// `cudaMemcpy(…, DeviceToDevice)` replacement: unsupported, as in
+    /// the paper (§8.2).
+    pub fn memcpy_d2d(&mut self, _src: VBufId, _dst: VBufId) -> Result<()> {
+        Err(RuntimeError::Unsupported(
+            "device-to-device memcpy (paper §8.2)",
+        ))
+    }
+
+    /// `cudaMemcpyAsync(…, HostToDevice)` replacement. Our H2D already
+    /// issues per-device copies back-to-back; the async variant simply
+    /// does not join the host clock to the last device — callers must
+    /// synchronize before reusing the host buffer, exactly like CUDA.
+    pub fn memcpy_h2d_async(&mut self, dst: VBufId, src: &[u8]) -> Result<()> {
+        self.check_live(dst)?;
+        let vb = &self.buffers[dst.0];
+        if src.len() != vb.len {
+            return Err(RuntimeError::SizeMismatch {
+                expected: vb.len,
+                got: src.len(),
+            });
+        }
+        let n = self.n_devices();
+        let elem = vb.elem_size;
+        let total_elems = vb.len / elem;
+        let base = total_elems / n;
+        let rem = total_elems % n;
+        let mut start_elem = 0usize;
+        let instances = vb.instances.clone();
+        for d in 0..n {
+            let len_elems = base + usize::from(d < rem);
+            let (s, e) = (start_elem * elem, (start_elem + len_elems) * elem);
+            start_elem += len_elems;
+            if s == e {
+                continue;
+            }
+            self.machine.copy_h2d(&src[s..e], instances[d], s, true)?;
+            self.buffers[dst.0]
+                .tracker
+                .update(s as u64, e as u64, Owner::Device(d));
+            let seg_cost = self.machine.spec().host_per_segment;
+            self.machine.charge_host(seg_cost, TimeCat::Pattern);
+        }
+        Ok(())
+    }
+
+    /// `cudaDeviceSynchronize` replacement: synchronizes **all** devices
+    /// (§8.4).
+    pub fn synchronize(&mut self) {
+        self.machine.sync_all();
+    }
+
+    /// Tracker segment count of a buffer (fragmentation metric).
+    pub fn segment_count(&self, b: VBufId) -> usize {
+        self.buffers[b.0].tracker.segment_count()
+    }
+
+    /// Byte length of a buffer.
+    pub fn buffer_len(&self, b: VBufId) -> usize {
+        self.buffers[b.0].len
+    }
+
+    /// Elapsed simulated time on the host clock.
+    pub fn elapsed(&self) -> f64 {
+        self.machine.now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mekong_gpusim::MachineSpec;
+
+    fn runtime(n: usize) -> MgpuRuntime {
+        MgpuRuntime::new(Machine::new(MachineSpec::kepler_system(n), true))
+    }
+
+    #[test]
+    fn h2d_distributes_linearly_and_d2h_gathers() {
+        let mut rt = runtime(4);
+        let n = 100usize; // elements
+        let b = rt.malloc(n * 4, 4).unwrap();
+        let data: Vec<u8> = (0..n)
+            .flat_map(|i| (i as f32).to_le_bytes())
+            .collect();
+        rt.memcpy_h2d(b, &data).unwrap();
+        // 4 devices, 100 elements -> 25 each; tracker has 4 segments.
+        assert_eq!(rt.segment_count(b), 4);
+        let mut out = vec![0u8; n * 4];
+        rt.memcpy_d2h(b, &mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn uneven_distribution_covers_everything() {
+        let mut rt = runtime(3);
+        let n = 10usize;
+        let b = rt.malloc(n * 8, 8).unwrap();
+        let data: Vec<u8> = (0..n as u64).flat_map(|i| i.to_le_bytes()).collect();
+        rt.memcpy_h2d(b, &data).unwrap();
+        let mut out = vec![0u8; n * 8];
+        rt.memcpy_d2h(b, &mut out).unwrap();
+        assert_eq!(out, data);
+        // 4 + 3 + 3 elements.
+        assert_eq!(rt.segment_count(b), 3);
+    }
+
+    #[test]
+    fn size_mismatch_is_reported() {
+        let mut rt = runtime(2);
+        let b = rt.malloc(64, 4).unwrap();
+        assert!(matches!(
+            rt.memcpy_h2d(b, &[0u8; 32]),
+            Err(RuntimeError::SizeMismatch { .. })
+        ));
+        let mut small = vec![0u8; 32];
+        assert!(matches!(
+            rt.memcpy_d2h(b, &mut small),
+            Err(RuntimeError::SizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn d2d_memcpy_unsupported() {
+        let mut rt = runtime(2);
+        let a = rt.malloc(64, 4).unwrap();
+        let b = rt.malloc(64, 4).unwrap();
+        assert!(matches!(
+            rt.memcpy_d2d(a, b),
+            Err(RuntimeError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn visible_device_count_is_one() {
+        let rt = runtime(8);
+        assert_eq!(rt.visible_device_count(), 1);
+        assert_eq!(rt.n_devices(), 8);
+    }
+
+    #[test]
+    fn free_blocks_reuse_and_double_free() {
+        let mut rt = runtime(2);
+        let b = rt.malloc(64, 4).unwrap();
+        rt.free(b).unwrap();
+        assert!(matches!(rt.free(b), Err(RuntimeError::BadArgument(_))));
+        assert!(matches!(
+            rt.memcpy_h2d(b, &[0u8; 64]),
+            Err(RuntimeError::BadArgument(_))
+        ));
+        let mut out = vec![0u8; 64];
+        assert!(matches!(
+            rt.memcpy_d2h(b, &mut out),
+            Err(RuntimeError::BadArgument(_))
+        ));
+    }
+
+    #[test]
+    fn async_h2d_moves_data_without_blocking_host() {
+        let mut rt = runtime(2);
+        let n = 64usize;
+        let b = rt.malloc(n * 4, 4).unwrap();
+        let data: Vec<u8> = (0..n).flat_map(|i| (i as f32).to_le_bytes()).collect();
+        rt.memcpy_h2d_async(b, &data).unwrap();
+        let host_before_sync = rt.elapsed();
+        rt.synchronize();
+        assert!(rt.elapsed() > host_before_sync, "sync must join the copies");
+        let mut out = vec![0u8; n * 4];
+        rt.memcpy_d2h(b, &mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn gamma_disables_resolution_only_in_perf_mode() {
+        let mut rt = runtime(2);
+        rt.set_config(RuntimeConfig::gamma());
+        assert!(rt.resolve_dependencies, "functional machines keep resolving");
+        let mut rt2 = MgpuRuntime::new(Machine::new(MachineSpec::kepler_system(2), false));
+        rt2.set_config(RuntimeConfig::gamma());
+        assert!(!rt2.resolve_dependencies);
+    }
+}

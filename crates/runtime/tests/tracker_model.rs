@@ -1,0 +1,101 @@
+//! Property-based verification of the segment tracker against a naive
+//! byte-level reference model: after any sequence of updates, queries
+//! over any range must report exactly the per-byte ownership the naive
+//! model holds, and the structural invariants must survive.
+
+use mekong_runtime::{Owner, Tracker};
+use proptest::prelude::*;
+
+const LEN: u64 = 256;
+
+fn arb_owner() -> impl Strategy<Value = Owner> {
+    prop_oneof![
+        Just(Owner::Host),
+        (0usize..4).prop_map(Owner::Device),
+    ]
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<(u64, u64, Owner)>> {
+    proptest::collection::vec(
+        (0u64..LEN, 0u64..=LEN + 16, arb_owner()),
+        1..40,
+    )
+}
+
+/// Expand a tracker query into a per-byte ownership vector.
+fn bytes_of(t: &Tracker) -> Vec<Owner> {
+    let mut out = vec![Owner::Uninit; LEN as usize];
+    t.query(0, LEN, &mut |s, e, o| {
+        for slot in &mut out[s as usize..e as usize] {
+            *slot = o;
+        }
+    });
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Tracker ownership equals the naive model after arbitrary updates.
+    #[test]
+    fn matches_naive_byte_model(ops in arb_ops()) {
+        let mut t = Tracker::new(LEN);
+        let mut naive = vec![Owner::Uninit; LEN as usize];
+        for (start, end, owner) in ops {
+            t.update(start, end, owner);
+            prop_assert!(t.check_invariants(), "invariants broken after update({start},{end})");
+            let end = end.min(LEN);
+            if start < end {
+                for slot in &mut naive[start as usize..end as usize] {
+                    *slot = owner;
+                }
+            }
+        }
+        prop_assert_eq!(bytes_of(&t), naive);
+    }
+
+    /// Partial queries report exactly the clipped intersection.
+    #[test]
+    fn partial_queries_clip(ops in arb_ops(), qs in 0u64..LEN, qlen in 0u64..LEN) {
+        let mut t = Tracker::new(LEN);
+        let mut naive = vec![Owner::Uninit; LEN as usize];
+        for (start, end, owner) in ops {
+            t.update(start, end, owner);
+            let end = end.min(LEN);
+            if start < end {
+                for slot in &mut naive[start as usize..end as usize] {
+                    *slot = owner;
+                }
+            }
+        }
+        let qe = (qs + qlen).min(LEN);
+        let mut segs: Vec<(u64, u64, Owner)> = Vec::new();
+        t.query(qs, qe, &mut |s, e, o| segs.push((s, e, o)));
+        let mut covered = 0u64;
+        let mut cursor = qs;
+        for (s, e, o) in segs {
+            prop_assert!(s >= qs && e <= qe && s < e, "segment [{s},{e}) escapes [{qs},{qe})");
+            prop_assert_eq!(s, cursor, "gap in query tiling");
+            cursor = e;
+            covered += e - s;
+            for i in s..e {
+                prop_assert_eq!(naive[i as usize], o, "byte {} owner mismatch", i);
+            }
+        }
+        if qs < qe {
+            prop_assert_eq!(covered, qe - qs, "query must tile the range");
+        }
+    }
+
+    /// Segment count never exceeds the number of distinct ownership runs.
+    #[test]
+    fn segments_are_maximal_runs(ops in arb_ops()) {
+        let mut t = Tracker::new(LEN);
+        for (start, end, owner) in ops {
+            t.update(start, end, owner);
+        }
+        let naive = bytes_of(&t);
+        let runs = 1 + naive.windows(2).filter(|w| w[0] != w[1]).count();
+        prop_assert_eq!(t.segment_count(), runs, "unmerged or split segments");
+    }
+}

@@ -1,0 +1,108 @@
+//! Shared benchmark harness types.
+
+use mekong_gpusim::{OpCounters, TimeBreakdown};
+use mekong_runtime::RuntimeConfig;
+
+/// Problem-size class (Table 1 columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SizeClass {
+    Small,
+    Medium,
+    Large,
+}
+
+impl SizeClass {
+    /// All classes, in Table 1 order.
+    pub const ALL: [SizeClass; 3] = [SizeClass::Small, SizeClass::Medium, SizeClass::Large];
+
+    /// Index into a `sizes()` array.
+    pub fn index(self) -> usize {
+        match self {
+            SizeClass::Small => 0,
+            SizeClass::Medium => 1,
+            SizeClass::Large => 2,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SizeClass::Small => "Small",
+            SizeClass::Medium => "Medium",
+            SizeClass::Large => "Large",
+        }
+    }
+}
+
+/// Outcome of one simulated run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOutcome {
+    /// Simulated wall-clock (host clock after final synchronize).
+    pub elapsed: f64,
+    /// Informational per-category time attribution.
+    pub breakdown: TimeBreakdown,
+    /// Operation counters.
+    pub counters: OpCounters,
+}
+
+/// A benchmark application.
+pub trait Benchmark {
+    /// Display name (Table 1).
+    fn name(&self) -> &'static str;
+
+    /// Problem sizes `[small, medium, large]` (Table 1).
+    fn sizes(&self) -> [usize; 3];
+
+    /// Iteration count (Table 1; 1 for non-iterative).
+    fn iterations(&self) -> usize;
+
+    /// The mini-CUDA source of the application.
+    fn source(&self) -> &'static str;
+
+    /// Single-GPU reference run (original kernel, no runtime) at `size`,
+    /// in performance mode. Returns simulated seconds.
+    fn reference_time(&self, size: usize, iterations: usize) -> f64;
+
+    /// Multi-GPU run on an arbitrary machine specification (performance
+    /// mode) with the given α/β/γ configuration.
+    fn mgpu_run_spec(
+        &self,
+        spec: mekong_gpusim::MachineSpec,
+        size: usize,
+        iterations: usize,
+        cfg: RuntimeConfig,
+    ) -> RunOutcome;
+
+    /// Multi-GPU run through the Mekong runtime at `size` on `gpus`
+    /// Kepler-class devices, in performance mode.
+    fn mgpu_run(
+        &self,
+        size: usize,
+        iterations: usize,
+        gpus: usize,
+        cfg: RuntimeConfig,
+    ) -> RunOutcome {
+        self.mgpu_run_spec(
+            mekong_gpusim::MachineSpec::kepler_system(gpus),
+            size,
+            iterations,
+            cfg,
+        )
+    }
+
+    /// Functional verification at a scaled-down size on `gpus` devices:
+    /// multi-GPU result must match the CPU reference.
+    fn verify(&self, gpus: usize) -> bool;
+
+    /// Speedup of `gpus` devices over the single-GPU reference at `size`
+    /// (Figure 6 ordinate), using the Table 1 iteration count scaled by
+    /// `iter_scale` (1.0 = paper configuration).
+    fn speedup(&self, size: usize, gpus: usize, iter_scale: f64) -> f64 {
+        let iters = ((self.iterations() as f64 * iter_scale).round() as usize).max(1);
+        let t_ref = self.reference_time(size, iters);
+        let t_mgpu = self
+            .mgpu_run(size, iters, gpus, RuntimeConfig::alpha())
+            .elapsed;
+        t_ref / t_mgpu
+    }
+}

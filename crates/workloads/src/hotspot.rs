@@ -1,0 +1,269 @@
+//! Hotspot: a 5-point stencil on a quadratic grid (Rodinia-style thermal
+//! simulation, §9.1). Iterative with ping-pong temperature buffers and a
+//! fixed (Dirichlet) boundary; computation per thread is constant and low,
+//! so the benchmark is sensitive to distribution overheads.
+
+use crate::harness::{Benchmark, RunOutcome};
+use mekong_core::prelude::*;
+use mekong_gpusim::Machine;
+
+/// The Hotspot benchmark.
+pub struct Hotspot;
+
+/// Mini-CUDA source of the hotspot application.
+pub const SOURCE: &str = r#"
+__global__ void hotspot(int n, float cap, float temp[n][n], float power[n][n], float out[n][n]) {
+    int x = blockIdx.x * blockDim.x + threadIdx.x;
+    int y = blockIdx.y * blockDim.y + threadIdx.y;
+    if (x >= n || y >= n) return;
+    float c = temp[y][x];
+    float l = x > 0 ? temp[y][x - 1] : c;
+    float r = x < n - 1 ? temp[y][x + 1] : c;
+    float u = y > 0 ? temp[y - 1][x] : c;
+    float d = y < n - 1 ? temp[y + 1][x] : c;
+    float delta = cap * (power[y][x] + (l + r - 2.0f * c) + (u + d - 2.0f * c));
+    out[y][x] = c + delta;
+}
+
+int main() {
+    /* host skeleton (rewritten by the toolchain; execution drives the
+       runtime directly from Rust) */
+    hotspot<<<grid, block>>>(n, cap, temp_in, power, temp_out);
+    return 0;
+}
+"#;
+
+/// Thermal update coefficient used in all runs.
+pub const CAP: f32 = 0.125;
+
+/// Launch geometry for a side length `n`: 32×4 thread blocks.
+pub fn geometry(n: usize) -> (Dim3, Dim3) {
+    let block = Dim3::new2(32, 4);
+    let grid = Dim3::new2(
+        ((n as u32) + block.x - 1) / block.x,
+        ((n as u32) + block.y - 1) / block.y,
+    );
+    (grid, block)
+}
+
+/// CPU reference: `iters` Jacobi steps with clamped (replicated) boundary
+/// neighbors, matching the kernel.
+pub fn cpu_reference(n: usize, temp: &[f32], power: &[f32], iters: usize) -> Vec<f32> {
+    let mut cur = temp.to_vec();
+    let mut next = temp.to_vec();
+    for _ in 0..iters {
+        for y in 0..n {
+            for x in 0..n {
+                let c = cur[y * n + x];
+                let l = if x > 0 { cur[y * n + x - 1] } else { c };
+                let r = if x < n - 1 { cur[y * n + x + 1] } else { c };
+                let u = if y > 0 { cur[(y - 1) * n + x] } else { c };
+                let d = if y < n - 1 { cur[(y + 1) * n + x] } else { c };
+                let delta = CAP * (power[y * n + x] + (l + r - 2.0 * c) + (u + d - 2.0 * c));
+                next[y * n + x] = c + delta;
+            }
+        }
+        std::mem::swap(&mut cur, &mut next);
+    }
+    cur
+}
+
+impl Benchmark for Hotspot {
+    fn name(&self) -> &'static str {
+        "Hotspot"
+    }
+
+    fn sizes(&self) -> [usize; 3] {
+        [8_192, 16_384, 36_864]
+    }
+
+    fn iterations(&self) -> usize {
+        1_500
+    }
+
+    fn source(&self) -> &'static str {
+        SOURCE
+    }
+
+    fn reference_time(&self, n: usize, iters: usize) -> f64 {
+        let program = mekong_core::compile_source(SOURCE).expect("hotspot compiles");
+        let ck = program.kernel("hotspot").unwrap();
+        let kernel = &ck.original;
+        let (grid, block) = geometry(n);
+        let bytes = n * n * 4;
+        let traffic = ck.footprint_bytes(
+            &Partition::whole(grid),
+            block,
+            grid,
+            &[n as i64, 0],
+        );
+        let mut r = SingleGpuRunner::performance();
+        let a = r.machine_mut().alloc(0, bytes).unwrap();
+        let b = r.machine_mut().alloc(0, bytes).unwrap();
+        let p = r.machine_mut().alloc(0, bytes).unwrap();
+        for buf in [a, b, p] {
+            r.machine_mut().copy_h2d_timed(buf, 0, bytes, false).unwrap();
+        }
+        let (mut src, mut dst) = (a, b);
+        for _ in 0..iters {
+            r.launch_with_traffic(
+                kernel,
+                &[
+                    SimArg::Scalar(Value::I64(n as i64)),
+                    SimArg::Scalar(Value::F32(CAP)),
+                    SimArg::Buf(src),
+                    SimArg::Buf(p),
+                    SimArg::Buf(dst),
+                ],
+                grid,
+                block,
+                traffic,
+            );
+            std::mem::swap(&mut src, &mut dst);
+        }
+        r.synchronize();
+        r.machine_mut().copy_d2h_timed(src, 0, bytes, false).unwrap();
+        r.elapsed()
+    }
+
+    fn mgpu_run_spec(
+        &self,
+        spec: mekong_gpusim::MachineSpec,
+        n: usize,
+        iters: usize,
+        cfg: RuntimeConfig,
+    ) -> RunOutcome {
+        let program = mekong_core::compile_source(SOURCE).expect("hotspot compiles");
+        let ck = program.kernel("hotspot").unwrap();
+        let (grid, block) = geometry(n);
+        let bytes = n * n * 4;
+        let mut rt = MgpuRuntime::new(Machine::new(spec, false));
+        rt.set_config(cfg);
+        let a = rt.malloc(bytes, 4).unwrap();
+        let b = rt.malloc(bytes, 4).unwrap();
+        let p = rt.malloc(bytes, 4).unwrap();
+        for buf in [a, b, p] {
+            rt.memcpy_h2d_sim(buf).unwrap();
+        }
+        let (mut src, mut dst) = (a, b);
+        for _ in 0..iters {
+            rt.launch(
+                ck,
+                grid,
+                block,
+                &[
+                    LaunchArg::Scalar(Value::I64(n as i64)),
+                    LaunchArg::Scalar(Value::F32(CAP)),
+                    LaunchArg::Buf(src),
+                    LaunchArg::Buf(p),
+                    LaunchArg::Buf(dst),
+                ],
+            )
+            .expect("hotspot launch");
+            std::mem::swap(&mut src, &mut dst);
+        }
+        rt.synchronize();
+        rt.memcpy_d2h_sim(src).unwrap();
+        RunOutcome {
+            elapsed: rt.elapsed(),
+            breakdown: rt.machine().breakdown(),
+            counters: rt.machine().counters(),
+        }
+    }
+
+    fn verify(&self, gpus: usize) -> bool {
+        let n = 96usize;
+        let iters = 7;
+        let program = mekong_core::compile_source(SOURCE).expect("hotspot compiles");
+        let ck = program.kernel("hotspot").unwrap();
+        let (grid, block) = geometry(n);
+
+        let temp: Vec<f32> = (0..n * n).map(|i| ((i * 31) % 173) as f32 * 0.1).collect();
+        let power: Vec<f32> = (0..n * n).map(|i| ((i * 17) % 97) as f32 * 0.01).collect();
+        let want = cpu_reference(n, &temp, &power, iters);
+
+        let mut rt = MgpuRuntime::new(Machine::new(MachineSpec::kepler_system(gpus), true));
+        let bytes = n * n * 4;
+        let a = rt.malloc(bytes, 4).unwrap();
+        let b = rt.malloc(bytes, 4).unwrap();
+        let p = rt.malloc(bytes, 4).unwrap();
+        let temp_bytes: Vec<u8> = temp.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let power_bytes: Vec<u8> = power.iter().flat_map(|v| v.to_le_bytes()).collect();
+        rt.memcpy_h2d(a, &temp_bytes).unwrap();
+        rt.memcpy_h2d(b, &temp_bytes).unwrap();
+        rt.memcpy_h2d(p, &power_bytes).unwrap();
+        let (mut src, mut dst) = (a, b);
+        for _ in 0..iters {
+            rt.launch(
+                ck,
+                grid,
+                block,
+                &[
+                    LaunchArg::Scalar(Value::I64(n as i64)),
+                    LaunchArg::Scalar(Value::F32(CAP)),
+                    LaunchArg::Buf(src),
+                    LaunchArg::Buf(p),
+                    LaunchArg::Buf(dst),
+                ],
+            )
+            .expect("hotspot launch");
+            std::mem::swap(&mut src, &mut dst);
+        }
+        rt.synchronize();
+        let mut out = vec![0u8; bytes];
+        rt.memcpy_d2h(src, &mut out).unwrap();
+        let got: Vec<f32> = out
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        got.iter()
+            .zip(&want)
+            .all(|(g, w)| (g - w).abs() <= 1e-3 * w.abs().max(1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mekong_runtime::RuntimeConfig;
+
+    #[test]
+    fn hotspot_model_splits_rows() {
+        let program = mekong_core::compile_source(SOURCE).unwrap();
+        let ck = program.kernel("hotspot").unwrap();
+        assert!(ck.is_partitionable(), "{:?}", ck.model.verdict);
+        assert_eq!(ck.model.partitioning, SplitAxis::Y);
+    }
+
+    #[test]
+    fn hotspot_verifies_on_various_gpu_counts() {
+        for gpus in [1, 2, 3, 5] {
+            assert!(Hotspot.verify(gpus), "failed with {gpus} GPUs");
+        }
+    }
+
+    #[test]
+    fn hotspot_multi_gpu_is_faster_than_one() {
+        let t1 = Hotspot
+            .mgpu_run(2048, 20, 1, RuntimeConfig::alpha())
+            .elapsed;
+        let t4 = Hotspot
+            .mgpu_run(2048, 20, 4, RuntimeConfig::alpha())
+            .elapsed;
+        assert!(t4 < t1, "4 GPUs {t4} should beat 1 GPU {t1}");
+    }
+
+    #[test]
+    fn hotspot_halo_transfers_scale_with_gpus() {
+        let c4 = Hotspot
+            .mgpu_run(2048, 10, 4, RuntimeConfig::alpha())
+            .counters;
+        let c8 = Hotspot
+            .mgpu_run(2048, 10, 8, RuntimeConfig::alpha())
+            .counters;
+        // More boundaries, more halo copies.
+        assert!(c8.d2d_copies > c4.d2d_copies);
+        // Halo volume per iteration is proportional to boundary count.
+        assert!(c8.d2d_bytes > c4.d2d_bytes);
+    }
+}

@@ -1,0 +1,93 @@
+//! # mekong-workloads — the paper's benchmark applications (§9, Table 1)
+//!
+//! | Benchmark | Small  | Medium  | Large   | Iterations |
+//! |-----------|--------|---------|---------|------------|
+//! | Hotspot   | 8,192  | 16,384  | 36,864  | 1,500      |
+//! | N-Body    | 65,536 | 131,072 | 327,680 | 96         |
+//! | Matmul    | 8,192  | 16,384  | 30,656  | N/A        |
+//!
+//! Each workload provides:
+//!
+//! * its **mini-CUDA source** (compiled by the full two-pass pipeline),
+//! * a **CPU reference implementation** for functional verification,
+//! * a **single-GPU reference run** (the "NVCC binary" baseline),
+//! * a **multi-GPU run** through the Mekong runtime with a configurable
+//!   number of devices and α/β/γ measurement configuration.
+//!
+//! Performance runs use paper-scale problem sizes on the performance-mode
+//! simulator (metadata + timing, no payload); functional verification
+//! runs scaled-down sizes with real data and compares against the CPU
+//! reference.
+
+pub mod blur;
+pub mod harness;
+pub mod hotspot;
+pub mod matmul;
+pub mod nbody;
+
+pub use blur::Blur;
+pub use harness::{Benchmark, RunOutcome, SizeClass};
+pub use hotspot::Hotspot;
+pub use matmul::Matmul;
+pub use nbody::NBody;
+
+/// The paper's three benchmarks, in Table 1 order.
+pub fn benchmarks() -> Vec<Box<dyn Benchmark>> {
+    vec![
+        Box::new(Hotspot),
+        Box::new(NBody),
+        Box::new(Matmul),
+    ]
+}
+
+/// Additional workloads beyond the paper's evaluation (toolchain
+/// generality; not part of the Table 1 figures).
+pub fn extra_benchmarks() -> Vec<Box<dyn Benchmark>> {
+    vec![Box::new(Blur)]
+}
+
+/// The GPU counts evaluated in Figure 6.
+pub const GPU_COUNTS: [usize; 9] = [1, 2, 4, 6, 8, 10, 12, 14, 16];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_configurations() {
+        let bs = benchmarks();
+        assert_eq!(bs.len(), 3);
+        assert_eq!(bs[0].name(), "Hotspot");
+        assert_eq!(bs[0].sizes(), [8_192, 16_384, 36_864]);
+        assert_eq!(bs[0].iterations(), 1_500);
+        assert_eq!(bs[1].name(), "N-Body");
+        assert_eq!(bs[1].sizes(), [65_536, 131_072, 327_680]);
+        assert_eq!(bs[1].iterations(), 96);
+        assert_eq!(bs[2].name(), "Matmul");
+        assert_eq!(bs[2].sizes(), [8_192, 16_384, 30_656]);
+        assert_eq!(bs[2].iterations(), 1);
+    }
+
+    #[test]
+    fn all_workloads_compile_and_are_partitionable() {
+        for b in benchmarks() {
+            let program = mekong_core::compile_source(b.source()).unwrap();
+            for k in &program.kernels {
+                assert!(
+                    k.is_partitionable(),
+                    "{} kernel {} rejected: {:?}",
+                    b.name(),
+                    k.original.name,
+                    k.model.verdict
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_workloads_verify_functionally() {
+        for b in benchmarks() {
+            assert!(b.verify(4), "{} functional verification failed", b.name());
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Matmul: dense square matrix product (§9.1). A single launch; the
+//! second operand is read column-wise by every row-partition but arrives
+//! linearly distributed (the default H2D pattern, §8.2) — the runtime
+//! corrects the mismatch before the kernel starts, and that initial
+//! redistribution limits scalability.
+
+use crate::harness::{Benchmark, RunOutcome};
+use mekong_core::prelude::*;
+use mekong_gpusim::Machine;
+
+/// The Matmul benchmark.
+pub struct Matmul;
+
+/// Mini-CUDA source: `C = A × B`, one output element per thread, blocked
+/// 16×16 (the "basic tiled implementation" of §9.1 without shared-memory
+/// staging, which our dialect does not model).
+pub const SOURCE: &str = r#"
+__global__ void matmul(int n, float A[n][n], float B[n][n], float C[n][n]) {
+    int col = blockIdx.x * blockDim.x + threadIdx.x;
+    int row = blockIdx.y * blockDim.y + threadIdx.y;
+    if (row >= n || col >= n) return;
+    float acc = 0.0f;
+    for (int k = 0; k < n; k++) {
+        acc += A[row][k] * B[k][col];
+    }
+    C[row][col] = acc;
+}
+
+int main() {
+    matmul<<<grid, block>>>(n, A, B, C);
+    return 0;
+}
+"#;
+
+/// Launch geometry: 16×16 thread blocks.
+pub fn geometry(n: usize) -> (Dim3, Dim3) {
+    let block = Dim3::new2(16, 16);
+    let grid = Dim3::new2(
+        ((n as u32) + block.x - 1) / block.x,
+        ((n as u32) + block.y - 1) / block.y,
+    );
+    (grid, block)
+}
+
+/// CPU reference.
+pub fn cpu_reference(n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+    let mut c = vec![0.0f32; n * n];
+    for row in 0..n {
+        for k in 0..n {
+            let av = a[row * n + k];
+            for col in 0..n {
+                c[row * n + col] += av * b[k * n + col];
+            }
+        }
+    }
+    c
+}
+
+impl Benchmark for Matmul {
+    fn name(&self) -> &'static str {
+        "Matmul"
+    }
+
+    fn sizes(&self) -> [usize; 3] {
+        [8_192, 16_384, 30_656]
+    }
+
+    fn iterations(&self) -> usize {
+        1
+    }
+
+    fn source(&self) -> &'static str {
+        SOURCE
+    }
+
+    fn reference_time(&self, n: usize, _iters: usize) -> f64 {
+        let program = mekong_core::compile_source(SOURCE).expect("matmul compiles");
+        let ck = program.kernel("matmul").unwrap();
+        let kernel = &ck.original;
+        let (grid, block) = geometry(n);
+        let bytes = n * n * 4;
+        let traffic = ck.footprint_bytes(&Partition::whole(grid), block, grid, &[n as i64]);
+        let mut r = SingleGpuRunner::performance();
+        let a = r.machine_mut().alloc(0, bytes).unwrap();
+        let b = r.machine_mut().alloc(0, bytes).unwrap();
+        let c = r.machine_mut().alloc(0, bytes).unwrap();
+        for buf in [a, b] {
+            r.machine_mut().copy_h2d_timed(buf, 0, bytes, false).unwrap();
+        }
+        r.launch_with_traffic(
+            kernel,
+            &[
+                SimArg::Scalar(Value::I64(n as i64)),
+                SimArg::Buf(a),
+                SimArg::Buf(b),
+                SimArg::Buf(c),
+            ],
+            grid,
+            block,
+            traffic,
+        );
+        r.synchronize();
+        r.machine_mut().copy_d2h_timed(c, 0, bytes, false).unwrap();
+        r.elapsed()
+    }
+
+    fn mgpu_run_spec(
+        &self,
+        spec: mekong_gpusim::MachineSpec,
+        n: usize,
+        _iters: usize,
+        cfg: RuntimeConfig,
+    ) -> RunOutcome {
+        let program = mekong_core::compile_source(SOURCE).expect("matmul compiles");
+        let ck = program.kernel("matmul").unwrap();
+        let (grid, block) = geometry(n);
+        let bytes = n * n * 4;
+        let mut rt = MgpuRuntime::new(Machine::new(spec, false));
+        rt.set_config(cfg);
+        let a = rt.malloc(bytes, 4).unwrap();
+        let b = rt.malloc(bytes, 4).unwrap();
+        let c = rt.malloc(bytes, 4).unwrap();
+        rt.memcpy_h2d_sim(a).unwrap();
+        rt.memcpy_h2d_sim(b).unwrap();
+        rt.launch(
+            ck,
+            grid,
+            block,
+            &[
+                LaunchArg::Scalar(Value::I64(n as i64)),
+                LaunchArg::Buf(a),
+                LaunchArg::Buf(b),
+                LaunchArg::Buf(c),
+            ],
+        )
+        .expect("matmul launch");
+        rt.synchronize();
+        rt.memcpy_d2h_sim(c).unwrap();
+        RunOutcome {
+            elapsed: rt.elapsed(),
+            breakdown: rt.machine().breakdown(),
+            counters: rt.machine().counters(),
+        }
+    }
+
+    fn verify(&self, gpus: usize) -> bool {
+        let n = 64usize;
+        let program = mekong_core::compile_source(SOURCE).expect("matmul compiles");
+        let ck = program.kernel("matmul").unwrap();
+        let (grid, block) = geometry(n);
+        let a: Vec<f32> = (0..n * n).map(|i| ((i * 13) % 7) as f32 - 3.0).collect();
+        let b: Vec<f32> = (0..n * n).map(|i| ((i * 11) % 5) as f32 - 2.0).collect();
+        let want = cpu_reference(n, &a, &b);
+
+        let mut rt = MgpuRuntime::new(Machine::new(MachineSpec::kepler_system(gpus), true));
+        let bytes = n * n * 4;
+        let va = rt.malloc(bytes, 4).unwrap();
+        let vb = rt.malloc(bytes, 4).unwrap();
+        let vc = rt.malloc(bytes, 4).unwrap();
+        let ab: Vec<u8> = a.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let bb: Vec<u8> = b.iter().flat_map(|v| v.to_le_bytes()).collect();
+        rt.memcpy_h2d(va, &ab).unwrap();
+        rt.memcpy_h2d(vb, &bb).unwrap();
+        rt.launch(
+            ck,
+            grid,
+            block,
+            &[
+                LaunchArg::Scalar(Value::I64(n as i64)),
+                LaunchArg::Buf(va),
+                LaunchArg::Buf(vb),
+                LaunchArg::Buf(vc),
+            ],
+        )
+        .expect("matmul launch");
+        rt.synchronize();
+        let mut out = vec![0u8; bytes];
+        rt.memcpy_d2h(vc, &mut out).unwrap();
+        let got: Vec<f32> = out
+            .chunks_exact(4)
+            .map(|x| f32::from_le_bytes(x.try_into().unwrap()))
+            .collect();
+        got.iter()
+            .zip(&want)
+            .all(|(g, w)| (g - w).abs() <= 1e-3 * w.abs().max(1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mekong_runtime::RuntimeConfig;
+
+    #[test]
+    fn matmul_model_splits_rows() {
+        let program = mekong_core::compile_source(SOURCE).unwrap();
+        let ck = program.kernel("matmul").unwrap();
+        assert!(ck.is_partitionable(), "{:?}", ck.model.verdict);
+        assert_eq!(ck.model.partitioning, SplitAxis::Y);
+    }
+
+    #[test]
+    fn matmul_verifies_on_multiple_gpus() {
+        for gpus in [1, 2, 5] {
+            assert!(Matmul.verify(gpus), "failed with {gpus} GPUs");
+        }
+    }
+
+    #[test]
+    fn matmul_redistribution_shows_in_counters() {
+        // The column-wise read of B against the linear distribution causes
+        // substantial device-to-device traffic before the kernel runs.
+        let o = Matmul.mgpu_run(2048, 1, 4, RuntimeConfig::alpha());
+        let total_b = (2048usize * 2048 * 4) as u64;
+        // Each of the 4 GPUs needs the 3/4 of B it does not own.
+        assert!(
+            o.counters.d2d_bytes >= 3 * total_b / 2,
+            "expected heavy redistribution, got {} bytes",
+            o.counters.d2d_bytes
+        );
+    }
+}

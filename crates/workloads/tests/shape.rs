@@ -1,0 +1,98 @@
+//! Shape regression tests: the qualitative properties of Figure 6/7 that
+//! the reproduction must preserve, asserted at reduced iteration counts
+//! so they run in CI time. (Full-scale numbers: EXPERIMENTS.md / `fig6`.)
+
+use mekong_runtime::RuntimeConfig;
+use mekong_workloads::{Benchmark, Hotspot, Matmul, NBody};
+
+fn speedup(b: &dyn Benchmark, size: usize, iters: usize, gpus: usize) -> f64 {
+    let t_ref = b.reference_time(size, iters);
+    let t = b.mgpu_run(size, iters, gpus, RuntimeConfig::alpha()).elapsed;
+    t_ref / t
+}
+
+/// N-Body scales nearly linearly (the paper's best case).
+#[test]
+fn nbody_is_near_linear() {
+    let s8 = speedup(&NBody, 131_072, 10, 8);
+    assert!(s8 > 6.0, "N-Body 8-GPU speedup only {s8:.2}");
+    let s2 = speedup(&NBody, 131_072, 10, 2);
+    assert!(s2 > 1.9, "N-Body 2-GPU speedup only {s2:.2}");
+}
+
+/// Hotspot speeds up but saturates well below linear (overhead-bound).
+#[test]
+fn hotspot_saturates() {
+    let iters = 300; // enough to amortize the fixed H2D like the real run
+    let s2 = speedup(&Hotspot, 16_384, iters, 2);
+    let s16 = speedup(&Hotspot, 16_384, iters, 16);
+    assert!(s2 > 1.5, "2-GPU speedup only {s2:.2}");
+    assert!(s16 > s2, "16 GPUs ({s16:.2}x) should beat 2 ({s2:.2}x)");
+    assert!(
+        s16 < 12.0,
+        "Hotspot at 16 GPUs should stay well below linear, got {s16:.2}x"
+    );
+}
+
+/// Matmul is the worst scaler and declines past its peak (redistribution
+/// bound) — paper: peak ~6.3x @ 14 then down.
+#[test]
+fn matmul_peaks_then_declines() {
+    let s8 = speedup(&Matmul, 16_384, 1, 8);
+    let s16 = speedup(&Matmul, 16_384, 1, 16);
+    assert!(s8 > 2.5, "Matmul 8-GPU speedup only {s8:.2}");
+    assert!(
+        s16 < s8 * 1.05,
+        "Matmul must not keep scaling to 16 GPUs: {s8:.2} -> {s16:.2}"
+    );
+}
+
+/// Benchmark ordering at 16 GPUs: N-Body > Hotspot > Matmul (Figure 6).
+#[test]
+fn figure6_ordering_holds() {
+    let nb = speedup(&NBody, 131_072, 10, 16);
+    let hs = speedup(&Hotspot, 16_384, 300, 16);
+    let mm = speedup(&Matmul, 16_384, 1, 16);
+    assert!(
+        nb > hs && hs > mm,
+        "ordering violated: N-Body {nb:.2}, Hotspot {hs:.2}, Matmul {mm:.2}"
+    );
+}
+
+/// Figure 7's structure: transfers dominate the overhead, patterns stay
+/// in the low single digits, and both grow with the device count.
+#[test]
+fn figure7_structure_holds() {
+    let b = Hotspot;
+    let (n, iters) = (16_384, 150);
+    let frac = |gpus: usize| -> (f64, f64) {
+        let alpha = b.mgpu_run(n, iters, gpus, RuntimeConfig::alpha()).elapsed;
+        let beta = b.mgpu_run(n, iters, gpus, RuntimeConfig::beta()).elapsed;
+        let gamma = b.mgpu_run(n, iters, gpus, RuntimeConfig::gamma()).elapsed;
+        ((alpha - beta) / alpha, (beta - gamma) / alpha)
+    };
+    let (tr4, pat4) = frac(4);
+    let (tr16, pat16) = frac(16);
+    assert!(tr16 > tr4, "transfer share must grow with GPUs");
+    assert!(pat16 > pat4, "pattern share must grow with GPUs");
+    assert!(tr16 > pat16, "transfers dominate the overhead");
+    assert!(pat16 < 0.07, "patterns stay under the paper's 6.8% max");
+}
+
+/// The single-GPU slowdown of the partitioned binary is marginal (§9.2).
+#[test]
+fn single_gpu_slowdown_is_marginal() {
+    for b in [&Hotspot as &dyn Benchmark, &NBody, &Matmul] {
+        let iters = (b.iterations() / 10).max(1);
+        let size = b.sizes()[0];
+        let t_ref = b.reference_time(size, iters);
+        let t1 = b.mgpu_run(size, iters, 1, RuntimeConfig::alpha()).elapsed;
+        let slow = t1 / t_ref - 1.0;
+        assert!(
+            slow < 0.05,
+            "{}: single-GPU slowdown {:.2}% exceeds 5%",
+            b.name(),
+            slow * 100.0
+        );
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based end-to-end test: for randomly generated affine kernels
+//! from the supported family, the partitioned multi-GPU execution is
+//! bit-identical to the single-device execution — the paper's core
+//! correctness claim.
+
+use mekong_core::prelude::*;
+use proptest::prelude::*;
+
+/// A randomly parameterized 1-D kernel: reads a window `[i-left, i+right]`
+/// (clamped via selects), optional second input, writes `out[i]`.
+#[derive(Debug, Clone)]
+struct StencilSpec {
+    left: i64,
+    right: i64,
+    scale: f64,
+    use_second: bool,
+    n: usize,
+    gpus: usize,
+    block: u32,
+}
+
+fn arb_spec() -> impl Strategy<Value = StencilSpec> {
+    (
+        0i64..=3,
+        0i64..=3,
+        1u32..=4,
+        proptest::bool::ANY,
+        64usize..=500,
+        2usize..=6,
+        (3u32..=7),
+    )
+        .prop_map(|(left, right, scale, use_second, n, gpus, block_pow)| StencilSpec {
+            left,
+            right,
+            scale: scale as f64,
+            use_second,
+            n,
+            gpus,
+            block: 1 << block_pow, // 8..=128
+        })
+}
+
+fn source_for(spec: &StencilSpec) -> String {
+    let l = spec.left;
+    let r = spec.right;
+    let s = spec.scale;
+    let second_param = if spec.use_second { ", float w[n]" } else { "" };
+    let second_term = if spec.use_second { " + w[i]" } else { "" };
+    format!(
+        r#"
+__global__ void gen(int n, float a[n]{second_param}, float out[n]) {{
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i >= n) return;
+    float lo = i >= {l} ? a[i - {l}] : a[i];
+    float hi = i < n - {r} ? a[i + {r}] : a[i];
+    out[i] = {s:.1}f * (lo + hi){second_term};
+}}
+"#
+    )
+}
+
+fn run(spec: &StencilSpec, gpus: usize) -> Vec<u8> {
+    let src = source_for(spec);
+    let program = compile_source(&src).unwrap();
+    let ck = program.kernel("gen").unwrap();
+    assert!(
+        ck.is_partitionable(),
+        "generated kernel rejected: {:?}\n{src}",
+        ck.model.verdict
+    );
+    let n = spec.n;
+    let mut rt = MgpuRuntime::new(Machine::new(MachineSpec::kepler_system(gpus), true));
+    let grid = Dim3::new1(((n as u32) + spec.block - 1) / spec.block);
+    let block = Dim3::new1(spec.block);
+    let a = rt.malloc(n * 4, 4).unwrap();
+    let a_host: Vec<u8> = (0..n)
+        .flat_map(|i| (((i * 37 + 11) % 101) as f32 * 0.25).to_le_bytes())
+        .collect();
+    rt.memcpy_h2d(a, &a_host).unwrap();
+    let out = rt.malloc(n * 4, 4).unwrap();
+    let mut args = vec![LaunchArg::Scalar(Value::I64(n as i64)), LaunchArg::Buf(a)];
+    if spec.use_second {
+        let w = rt.malloc(n * 4, 4).unwrap();
+        let w_host: Vec<u8> = (0..n)
+            .flat_map(|i| (((i * 13) % 29) as f32).to_le_bytes())
+            .collect();
+        rt.memcpy_h2d(w, &w_host).unwrap();
+        args.push(LaunchArg::Buf(w));
+    }
+    args.push(LaunchArg::Buf(out));
+    rt.launch(ck, grid, block, &args).unwrap();
+    rt.synchronize();
+    let mut bytes = vec![0u8; n * 4];
+    rt.memcpy_d2h(out, &mut bytes).unwrap();
+    bytes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Multi-GPU result == single-GPU result, bit for bit.
+    #[test]
+    fn partitioned_execution_is_bit_identical(spec in arb_spec()) {
+        let single = run(&spec, 1);
+        let multi = run(&spec, spec.gpus);
+        prop_assert_eq!(single, multi);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Iterated ping-pong stays coherent across devices for random
+    /// iteration counts and device counts.
+    #[test]
+    fn iterated_pingpong_is_device_count_invariant(
+        n in 100usize..400,
+        gpus in 2usize..6,
+        iters in 1usize..6,
+    ) {
+        let src = r#"
+__global__ void step(int n, float a[n], float b[n]) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i >= n) return;
+    float c = a[i];
+    float l = i > 0 ? a[i - 1] : c;
+    float r = i < n - 1 ? a[i + 1] : c;
+    b[i] = 0.25f * l + 0.5f * c + 0.25f * r;
+}
+"#;
+        let program = compile_source(src).unwrap();
+        let ck = program.kernel("step").unwrap();
+        let run_iters = |gpus: usize| -> Vec<u8> {
+            let mut rt = MgpuRuntime::new(Machine::new(MachineSpec::kepler_system(gpus), true));
+            let grid = Dim3::new1(((n as u32) + 31) / 32);
+            let block = Dim3::new1(32);
+            let a = rt.malloc(n * 4, 4).unwrap();
+            let b = rt.malloc(n * 4, 4).unwrap();
+            let init: Vec<u8> = (0..n)
+                .flat_map(|i| ((i % 13) as f32).to_le_bytes())
+                .collect();
+            rt.memcpy_h2d(a, &init).unwrap();
+            rt.memcpy_h2d(b, &init).unwrap();
+            let (mut s, mut d) = (a, b);
+            for _ in 0..iters {
+                rt.launch(ck, grid, block, &[
+                    LaunchArg::Scalar(Value::I64(n as i64)),
+                    LaunchArg::Buf(s),
+                    LaunchArg::Buf(d),
+                ]).unwrap();
+                std::mem::swap(&mut s, &mut d);
+            }
+            rt.synchronize();
+            let mut out = vec![0u8; n * 4];
+            rt.memcpy_d2h(s, &mut out).unwrap();
+            out
+        };
+        prop_assert_eq!(run_iters(1), run_iters(gpus));
+    }
+}

@@ -88,8 +88,7 @@ pub fn scan_annotations(src: &str) -> Result<Vec<Annotation>, String> {
             None => return Err(format!("line {}: expected ':' before the map", i + 1)),
         };
         // Continue across `//` lines until braces balance.
-        let balance =
-            |s: &str| s.matches('{').count() as i64 - s.matches('}').count() as i64;
+        let balance = |s: &str| s.matches('{').count() as i64 - s.matches('}').count() as i64;
         let mut bal = balance(&map_text);
         let start = i;
         while (bal > 0 || !map_text.contains('{')) && i + 1 < lines.len() {
@@ -119,10 +118,7 @@ pub fn scan_annotations(src: &str) -> Result<Vec<Annotation>, String> {
 
 /// Apply annotations to a kernel model: replace the named access maps,
 /// then re-run the §4 soundness verdict (split suggestion + injectivity).
-pub fn apply_annotations(
-    model: &mut KernelModel,
-    annotations: &[Annotation],
-) -> crate::Result<()> {
+pub fn apply_annotations(model: &mut KernelModel, annotations: &[Annotation]) -> crate::Result<()> {
     let mine: Vec<&Annotation> = annotations
         .iter()
         .filter(|a| a.kernel == model.kernel_name)
@@ -145,7 +141,13 @@ pub fn apply_annotations(
                     ann.line, ann.kernel, ann.arg
                 )))
             })?;
-        let ArgModel::Array { extents, read, write, .. } = arg else {
+        let ArgModel::Array {
+            extents,
+            read,
+            write,
+            ..
+        } = arg
+        else {
             return Err(AnalysisError::Poly(mekong_poly::PolyError::Parse(format!(
                 "annotation line {}: argument {:?} is not an array",
                 ann.line, ann.arg
@@ -193,9 +195,13 @@ pub fn apply_annotations(
         } = a
         {
             if !w.exact {
-                verdict = Verdict::InexactWrite { array: name.clone() };
+                verdict = Verdict::InexactWrite {
+                    array: name.clone(),
+                };
             } else if !is_block_injective(&w.map, &space, model.partitioning)? {
-                verdict = Verdict::NonInjectiveWrite { array: name.clone() };
+                verdict = Verdict::NonInjectiveWrite {
+                    array: name.clone(),
+                };
             }
         }
     }
@@ -291,10 +297,7 @@ mod tests {
             line: 1,
         }];
         apply_annotations(&mut model, &anns).unwrap();
-        assert!(matches!(
-            model.verdict,
-            Verdict::NonInjectiveWrite { .. }
-        ));
+        assert!(matches!(model.verdict, Verdict::NonInjectiveWrite { .. }));
     }
 
     #[test]

@@ -14,7 +14,9 @@ use crate::model::{AccessKind, ArgModel, ArrayAccess, KernelModel, Verdict};
 use crate::space::{AnalysisSpace, N_GRID_DIMS, N_MAP_IN};
 use crate::strategy::suggest_split;
 use crate::Result;
-use mekong_kernel::{Axis, BinOp, Expr, Extent, GridVar, Kernel, KernelParam, ScalarTy, Stmt, UnOp};
+use mekong_kernel::{
+    Axis, BinOp, Expr, Extent, GridVar, Kernel, KernelParam, ScalarTy, Stmt, UnOp,
+};
 use mekong_poly::{Constraint, LinExpr, Map, Polyhedron, Set, Space};
 use std::collections::BTreeMap;
 
@@ -27,8 +29,8 @@ pub fn analyze_kernel(kernel: &Kernel) -> Result<KernelModel> {
     ex.finish()
 }
 
-/// Accumulated accesses of one array.
-#[derive(Default)]
+/// Accumulated accesses of one array. `Default` starts exact: an access
+/// only *loses* exactness when a contributing term cannot be modeled.
 struct AccessRec {
     read_pieces: Vec<Polyhedron>,
     write_pieces: Vec<Polyhedron>,
@@ -42,12 +44,19 @@ struct AccessRec {
     has_write: bool,
 }
 
-impl AccessRec {
-    fn new() -> Self {
+impl Default for AccessRec {
+    fn default() -> Self {
         AccessRec {
+            read_pieces: Vec::new(),
+            write_pieces: Vec::new(),
             read_exact: true,
             write_exact: true,
-            ..Default::default()
+            read_may: false,
+            write_may: false,
+            read_unmodeled: false,
+            write_unmodeled: false,
+            has_read: false,
+            has_write: false,
         }
     }
 }
@@ -180,23 +189,17 @@ impl<'k> Extractor<'k> {
     /// Is this expression exactly `blockIdx.w` (possibly via a local)?
     fn as_block_idx(&self, e: &Expr) -> Option<Axis> {
         let v = self.eval(e)?;
-        for a in Axis::ALL {
-            if v == self.space.var(self.n_dims, self.space.bi_dim(a)) {
-                return Some(a);
-            }
-        }
-        None
+        Axis::ALL
+            .into_iter()
+            .find(|&a| v == self.space.var(self.n_dims, self.space.bi_dim(a)))
     }
 
     /// Is this expression exactly `blockDim.w`?
     fn as_block_dim(&self, e: &Expr) -> Option<Axis> {
         let v = self.eval(e)?;
-        for a in Axis::ALL {
-            if v == self.space.param(self.n_dims, self.space.bd_param(a)) {
-                return Some(a);
-            }
-        }
-        None
+        Axis::ALL
+            .into_iter()
+            .find(|&a| v == self.space.param(self.n_dims, self.space.bd_param(a)))
     }
 
     // ---- conditions -----------------------------------------------------
@@ -431,10 +434,8 @@ impl<'k> Extractor<'k> {
         match feasible.len() {
             0 => {
                 // Dead code: force an empty domain.
-                self.domain.push(Constraint::ge0(LinExpr::constant(
-                    self.width(),
-                    -1,
-                )));
+                self.domain
+                    .push(Constraint::ge0(LinExpr::constant(self.width(), -1)));
             }
             1 => self.domain.extend(feasible[0].iter().cloned()),
             _ => self.approx = true,
@@ -517,17 +518,9 @@ impl<'k> Extractor<'k> {
         }
     }
 
-    fn record_access(
-        &mut self,
-        array: &str,
-        indices: &[Expr],
-        kind: AccessKind,
-    ) -> Result<()> {
+    fn record_access(&mut self, array: &str, indices: &[Expr], kind: AccessKind) -> Result<()> {
         let idx_exprs: Option<Vec<LinExpr>> = indices.iter().map(|e| self.eval(e)).collect();
-        let rec = self
-            .accesses
-            .entry(array.to_string())
-            .or_insert_with(AccessRec::new);
+        let rec = self.accesses.entry(array.to_string()).or_default();
         match kind {
             AccessKind::Read => rec.has_read = true,
             AccessKind::Write => rec.has_write = true,
@@ -604,7 +597,7 @@ impl<'k> Extractor<'k> {
                     elem,
                     extents,
                 } => {
-                    let rec = self.accesses.remove(name).unwrap_or_else(AccessRec::new);
+                    let rec = self.accesses.remove(name).unwrap_or_default();
                     let d = extents.len();
                     if rec.write_unmodeled {
                         unmodeled_writes.push(name.clone());
@@ -658,11 +651,17 @@ impl<'k> Extractor<'k> {
             } = a
             {
                 if unmodeled_writes.contains(name) {
-                    verdict = Verdict::Unmodeled { array: name.clone() };
+                    verdict = Verdict::Unmodeled {
+                        array: name.clone(),
+                    };
                 } else if !w.exact {
-                    verdict = Verdict::InexactWrite { array: name.clone() };
+                    verdict = Verdict::InexactWrite {
+                        array: name.clone(),
+                    };
                 } else if !is_block_injective(&w.map, &self.space, partitioning)? {
-                    verdict = Verdict::NonInjectiveWrite { array: name.clone() };
+                    verdict = Verdict::NonInjectiveWrite {
+                        array: name.clone(),
+                    };
                 }
             }
         }
@@ -874,9 +873,7 @@ mod tests {
             ],
             body: vec![
                 let_("i", global_x()),
-                guard_return(
-                    v("i").lt(i(1)).or(v("i").ge(v("n") - i(1))),
-                ),
+                guard_return(v("i").lt(i(1)).or(v("i").ge(v("n") - i(1)))),
                 store(
                     "output",
                     vec![v("i")],
@@ -934,7 +931,8 @@ mod tests {
                     v("n"),
                     vec![assign(
                         "acc",
-                        v("acc") + load("A", vec![v("r"), v("kk")]) * load("B", vec![v("kk"), v("c")]),
+                        v("acc")
+                            + load("A", vec![v("r"), v("kk")]) * load("B", vec![v("kk"), v("c")]),
                     )],
                 ),
                 store("C", vec![v("r"), v("c")], v("acc")),
@@ -1006,7 +1004,12 @@ mod tests {
             ],
         };
         let m = analyze_kernel(&k).unwrap();
-        assert_eq!(m.verdict, Verdict::Unmodeled { array: "out".into() });
+        assert_eq!(
+            m.verdict,
+            Verdict::Unmodeled {
+                array: "out".into()
+            }
+        );
     }
 
     #[test]
@@ -1061,7 +1064,12 @@ mod tests {
             ],
         };
         let m = analyze_kernel(&k).unwrap();
-        assert_eq!(m.verdict, Verdict::InexactWrite { array: "out".into() });
+        assert_eq!(
+            m.verdict,
+            Verdict::InexactWrite {
+                array: "out".into()
+            }
+        );
         // The same stride on the *read* side is a legal over-approximation
         // and keeps the kernel partitionable.
         let k2 = Kernel {

@@ -42,7 +42,7 @@ pub use annotate::{apply_annotations, scan_annotations, Annotation, AnnotationKi
 pub use extract::analyze_kernel;
 pub use injective::is_block_injective;
 pub use model::{AccessKind, AppModel, ArgModel, ArrayAccess, KernelModel, Verdict};
-pub use space::{AnalysisSpace, GD_OFF, BD_OFF, N_FIXED_PARAMS, N_GRID_DIMS, N_MAP_IN};
+pub use space::{AnalysisSpace, BD_OFF, GD_OFF, N_FIXED_PARAMS, N_GRID_DIMS, N_MAP_IN};
 pub use strategy::{suggest_split, SplitAxis};
 
 /// Errors produced by the analysis.

@@ -29,6 +29,9 @@ pub struct ArrayAccess {
 }
 
 /// Model of one kernel argument.
+// A kernel has a handful of these, ever; boxing the access maps would
+// complicate every construction and match site for no measurable gain.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum ArgModel {
     Scalar {

@@ -68,9 +68,9 @@ pub fn suggest_split(args: &[ArgModel]) -> SplitAxis {
                         continue;
                     }
                     // Input dims: bo (0..3) and bi (3..6), in z,y,x order.
-                    for axis in 0..3 {
+                    for (axis, score) in scores.iter_mut().enumerate() {
                         if c.expr.coeffs[axis] != 0 || c.expr.coeffs[3 + axis] != 0 {
-                            scores[axis] += 1;
+                            *score += 1;
                         }
                     }
                 }

@@ -22,20 +22,32 @@ use mekong_workloads::benchmarks;
 fn main() {
     let args = BenchArgs::parse();
     println!("Ablation A4: PCIe-tree vs NVLink-class interconnect (medium problems).");
-    println!("(speedups over the same single-GPU reference; iteration scale {:.3})", args.iter_scale);
+    println!(
+        "(speedups over the same single-GPU reference; iteration scale {:.3})",
+        args.iter_scale
+    );
     for b in benchmarks() {
         let n = b.sizes()[1];
         let iters = args.iters_for(b.as_ref());
         let t_ref = b.reference_time(n, iters);
         println!("\n== {} (n = {n}) ==", b.name());
-        println!("{:>12} {}", "GPUs", args
-            .gpus
-            .iter()
-            .map(|g| format!("{g:>7}"))
-            .collect::<String>());
+        println!(
+            "{:>12} {}",
+            "GPUs",
+            args.gpus
+                .iter()
+                .map(|g| format!("{g:>7}"))
+                .collect::<String>()
+        );
         for (label, mk) in [
-            ("PCIe tree", MachineSpec::kepler_system as fn(usize) -> MachineSpec),
-            ("NVLink", MachineSpec::nvlink_system as fn(usize) -> MachineSpec),
+            (
+                "PCIe tree",
+                MachineSpec::kepler_system as fn(usize) -> MachineSpec,
+            ),
+            (
+                "NVLink",
+                MachineSpec::nvlink_system as fn(usize) -> MachineSpec,
+            ),
         ] {
             let mut line = format!("{label:>12}");
             for &g in &args.gpus {

@@ -43,11 +43,7 @@ fn run(split: SplitAxis, n: usize, iters: usize, gpus: usize) -> (f64, u64, u64)
     }
     rt.synchronize();
     let segs = rt.segment_count(src) as u64;
-    (
-        rt.elapsed(),
-        rt.machine().counters().d2d_copies,
-        segs,
-    )
+    (rt.elapsed(), rt.machine().counters().d2d_copies, segs)
 }
 
 fn main() {

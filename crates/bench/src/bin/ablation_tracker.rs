@@ -61,7 +61,9 @@ fn main() {
         let t0 = Instant::now();
         let mut x = 12345u64;
         for _ in 0..reps {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let s = x % (len - 1024);
             t.update(s, s + 1024, Owner::Device((x % 5) as usize));
         }
@@ -70,7 +72,9 @@ fn main() {
         let t0 = Instant::now();
         let mut sink = 0u64;
         for _ in 0..reps {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let s = x % (len - 4096);
             t.query(s, s + 4096, &mut |a, b, _| sink += b - a);
         }

@@ -42,5 +42,7 @@ fn main() {
             );
         }
     }
-    println!("\nPaper reference points: Hotspot ~7.1x @ 14, N-Body ~12.4x @ 16, Matmul ~6.3x @ 14.");
+    println!(
+        "\nPaper reference points: Hotspot ~7.1x @ 14, N-Body ~12.4x @ 16, Matmul ~6.3x @ 14."
+    );
 }

@@ -14,7 +14,10 @@ use mekong_workloads::benchmarks;
 fn main() {
     let args = BenchArgs::parse();
     println!("Figure 7: Breakdown of the execution time of transformed applications.");
-    println!("(medium problem size; iteration scale {:.3})", args.iter_scale);
+    println!(
+        "(medium problem size; iteration scale {:.3})",
+        args.iter_scale
+    );
     println!();
     for b in benchmarks() {
         let n = b.sizes()[1]; // medium

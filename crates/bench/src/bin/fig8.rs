@@ -10,7 +10,10 @@ use mekong_workloads::{benchmarks, SizeClass};
 fn main() {
     let args = BenchArgs::parse();
     println!("Figure 8: Overhead of the runtime system (non-transfer overhead fraction).");
-    println!("(all benchmarks x sizes; iteration scale {:.3})", args.iter_scale);
+    println!(
+        "(all benchmarks x sizes; iteration scale {:.3})",
+        args.iter_scale
+    );
     println!();
     println!(
         "{:>5} {:>9} {:>9} {:>9} {:>9} {:>9}",

@@ -12,7 +12,10 @@ fn main() {
     println!("Single-GPU overhead: partitioned binary on one GPU vs reference binary.");
     println!("(iteration scale {:.3})", args.iter_scale);
     println!();
-    println!("{:<10} {:>10} {:>14} {:>14} {:>10}", "Benchmark", "size", "t_ref [s]", "t_part [s]", "slowdown");
+    println!(
+        "{:<10} {:>10} {:>14} {:>14} {:>10}",
+        "Benchmark", "size", "t_ref [s]", "t_part [s]", "slowdown"
+    );
     let mut slowdowns = Vec::new();
     for b in benchmarks() {
         let iters = args.iters_for(b.as_ref());

@@ -10,8 +10,8 @@
 //! and prints a per-kernel report. With `--run`, kernels that take only
 //! `(int n, arrays…)` are smoke-executed on a simulated machine.
 
-use mekong_core::prelude::*;
 use mekong_analysis::ArgModel;
+use mekong_core::prelude::*;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -33,22 +33,24 @@ fn parse_cli() -> Result<Cli, String> {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--out-dir" => {
-                out_dir = Some(PathBuf::from(
-                    args.next().ok_or("--out-dir needs a value")?,
-                ))
+                out_dir = Some(PathBuf::from(args.next().ok_or("--out-dir needs a value")?))
             }
             "--gpus" => {
                 gpus = args
                     .next()
                     .ok_or("--gpus needs a value")?
                     .parse()
-                    .map_err(|e| format!("--gpus: {e}"))?
+                    .map_err(|e| format!("--gpus: {e}"))?;
+                if gpus == 0 {
+                    return Err("--gpus must be at least 1".into());
+                }
             }
             "--run" => run = true,
             "--verbose" | "-v" => verbose = true,
             "--help" | "-h" => {
-                return Err("usage: mekongc <input.cu> [--out-dir DIR] [--gpus N] [--run] [-v]"
-                    .to_string())
+                return Err(
+                    "usage: mekongc <input.cu> [--out-dir DIR] [--gpus N] [--run] [-v]".to_string(),
+                )
             }
             other if input.is_none() && !other.starts_with('-') => {
                 input = Some(PathBuf::from(other))
@@ -94,10 +96,12 @@ fn main() -> ExitCode {
         .file_stem()
         .map(|s| s.to_string_lossy().to_string())
         .unwrap_or_else(|| "out".into());
-    let dir = cli
-        .out_dir
-        .clone()
-        .unwrap_or_else(|| cli.input.parent().unwrap_or(std::path::Path::new(".")).into());
+    let dir = cli.out_dir.clone().unwrap_or_else(|| {
+        cli.input
+            .parent()
+            .unwrap_or(std::path::Path::new("."))
+            .into()
+    });
     let model_path = dir.join(format!("{stem}.model.json"));
     let host_path = dir.join(format!("{stem}.mgpu.cu"));
     if let Err(e) = std::fs::create_dir_all(&dir)
@@ -137,7 +141,10 @@ fn main() -> ExitCode {
         );
         if cli.verbose {
             for arg in &ck.model.args {
-                if let ArgModel::Array { name, read, write, .. } = arg {
+                if let ArgModel::Array {
+                    name, read, write, ..
+                } = arg
+                {
                     let dir = match (read.is_some(), write.is_some()) {
                         (true, true) => "read+write",
                         (true, false) => "read",
@@ -232,7 +239,7 @@ fn smoke_run(
         return Ok(None); // no size scalar to drive a launch
     }
     let block = Dim3::new1(128);
-    let grid = Dim3::new1(((n as u32) + 127) / 128);
+    let grid = Dim3::new1((n as u32).div_ceil(128));
     rt.launch(ck, grid, block, &args)?;
     rt.synchronize();
     Ok(Some(rt.elapsed()))

@@ -55,9 +55,7 @@ pub mod prelude {
     pub use mekong_kernel::{Dim3, Kernel, ScalarTy, Value};
     pub use mekong_partition::{partition_grid, partition_kernel, Partition};
     pub use mekong_rewriter::rewrite_host;
-    pub use mekong_runtime::{
-        CompiledKernel, LaunchArg, MgpuRuntime, RuntimeConfig, VBufId,
-    };
+    pub use mekong_runtime::{CompiledKernel, LaunchArg, MgpuRuntime, RuntimeConfig, VBufId};
 }
 
 /// Toolchain errors (aggregation of the stage errors).

@@ -67,9 +67,7 @@ pub struct CompiledProgram {
 impl CompiledProgram {
     /// Find a compiled kernel by name.
     pub fn kernel(&self, name: &str) -> Option<&CompiledKernel> {
-        self.kernels
-            .iter()
-            .find(|k| k.original.name == name)
+        self.kernels.iter().find(|k| k.original.name == name)
     }
 }
 
@@ -97,7 +95,10 @@ pub fn compile_source(src: &str) -> Result<CompiledProgram> {
         // Programmer annotations (§11) adjust models the analysis could
         // not establish on its own.
         let annotations = mekong_analysis::scan_annotations(src).map_err(|m| {
-            MekongError::Parse(mekong_frontend::ParseError { line: 0, message: m })
+            MekongError::Parse(mekong_frontend::ParseError {
+                line: 0,
+                message: m,
+            })
         })?;
         let mut model = AppModel::default();
         for k in &prog.kernels {
@@ -129,15 +130,12 @@ pub fn compile_source(src: &str) -> Result<CompiledProgram> {
     for k in &prog2.kernels {
         // Pass 2 consumes the model pass 1 wrote to disk (including any
         // annotation adjustments) instead of re-analyzing.
-        let km = model
-            .kernel(&k.name)
-            .cloned()
-            .ok_or_else(|| {
-                MekongError::Parse(mekong_frontend::ParseError {
-                    line: 0,
-                    message: format!("model file lacks kernel {}", k.name),
-                })
-            })?;
+        let km = model.kernel(&k.name).cloned().ok_or_else(|| {
+            MekongError::Parse(mekong_frontend::ParseError {
+                line: 0,
+                message: format!("model file lacks kernel {}", k.name),
+            })
+        })?;
         kernels.push(CompiledKernel::from_model(k, km)?);
     }
     let pass2 = t3.elapsed();
@@ -196,10 +194,7 @@ int main() {
         assert!(k.verdict.is_partitionable());
         // The deserialized model matches the freshly analyzed one.
         let again = AppModel::from_json(&p.model_json).unwrap();
-        assert_eq!(
-            again.kernel("vadd").unwrap().scalar_params,
-            k.scalar_params
-        );
+        assert_eq!(again.kernel("vadd").unwrap().scalar_params, k.scalar_params);
     }
 
     #[test]

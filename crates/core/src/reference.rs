@@ -129,7 +129,11 @@ mod tests {
         r.h2d(a, &data);
         r.launch(
             &k,
-            &[SingleGpuRunner::scalar(n as i64), SingleGpuRunner::buf(a), SingleGpuRunner::buf(b)],
+            &[
+                SingleGpuRunner::scalar(n as i64),
+                SingleGpuRunner::buf(a),
+                SingleGpuRunner::buf(b),
+            ],
             Dim3::new1(2),
             Dim3::new1(128),
         );

@@ -43,8 +43,11 @@ pub struct AccessEnumerator {
     /// applications (Hotspot: 1500 launches with identical geometry)
     /// re-enumerate the same sets every launch; the *model* cost is still
     /// charged per launch, but the simulator need not redo the scan.
-    cache: Arc<Mutex<HashMap<Vec<i64>, Arc<Vec<ElemRange>>>>>,
+    cache: RangeCache,
 }
+
+/// Merged-range memo, keyed by the concrete parameter vector.
+type RangeCache = Arc<Mutex<HashMap<Vec<i64>, Arc<Vec<ElemRange>>>>>;
 
 /// One linearized element range `[start, end)` (in elements, not bytes).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -262,35 +265,36 @@ impl AccessEnumerator {
         // range — the common stencil/matmul shape).
         let mut collected: Vec<ElemRange> = Vec::new();
         let mut pending: Option<ElemRange> = None;
-        self.enumerator.for_each_row(&params, &mut |prefix, lo, hi| {
-            // Row-major linearization: prefix fixes dims 0..d-1.
-            debug_assert_eq!(prefix.len(), d - 1);
-            let mut base: i64 = 0;
-            for (i, &p) in prefix.iter().enumerate() {
-                base = base * exts[i] + p;
-            }
-            let row_len = exts[d - 1];
-            // Clamp defensively against over-approximated rows outside the
-            // array (read sets may over-approximate).
-            let lo = lo.max(0).min(row_len);
-            let hi = hi.max(-1).min(row_len - 1);
-            if lo > hi {
-                return;
-            }
-            let start = (base * row_len + lo) as u64;
-            let end = (base * row_len + hi + 1) as u64;
-            match &mut pending {
-                Some(p) if start <= p.end && end >= p.start => {
-                    p.start = p.start.min(start);
-                    p.end = p.end.max(end);
+        self.enumerator
+            .for_each_row(&params, &mut |prefix, lo, hi| {
+                // Row-major linearization: prefix fixes dims 0..d-1.
+                debug_assert_eq!(prefix.len(), d - 1);
+                let mut base: i64 = 0;
+                for (i, &p) in prefix.iter().enumerate() {
+                    base = base * exts[i] + p;
                 }
-                Some(p) => {
-                    collected.push(*p);
-                    *p = ElemRange { start, end };
+                let row_len = exts[d - 1];
+                // Clamp defensively against over-approximated rows outside the
+                // array (read sets may over-approximate).
+                let lo = lo.max(0).min(row_len);
+                let hi = hi.max(-1).min(row_len - 1);
+                if lo > hi {
+                    return;
                 }
-                None => pending = Some(ElemRange { start, end }),
-            }
-        });
+                let start = (base * row_len + lo) as u64;
+                let end = (base * row_len + hi + 1) as u64;
+                match &mut pending {
+                    Some(p) if start <= p.end && end >= p.start => {
+                        p.start = p.start.min(start);
+                        p.end = p.end.max(end);
+                    }
+                    Some(p) => {
+                        collected.push(*p);
+                        *p = ElemRange { start, end };
+                    }
+                    None => pending = Some(ElemRange { start, end }),
+                }
+            });
         if let Some(p) = pending {
             collected.push(p);
         }
@@ -326,9 +330,14 @@ impl AccessEnumerator {
         scalars: &[i64],
     ) -> Vec<ElemRange> {
         let mut out = Vec::new();
-        self.for_each_range(partition, block_dim, grid_dim, scalar_names, scalars, &mut |r| {
-            out.push(r)
-        });
+        self.for_each_range(
+            partition,
+            block_dim,
+            grid_dim,
+            scalar_names,
+            scalars,
+            &mut |r| out.push(r),
+        );
         out.sort_by_key(|r| r.start);
         let mut merged: Vec<ElemRange> = Vec::with_capacity(out.len());
         for r in out {
@@ -453,7 +462,13 @@ mod tests {
         let r0 = wr.ranges_merged(&parts[0], block, grid, &names, &[n]);
         let r1 = wr.ranges_merged(&parts[1], block, grid, &names, &[n]);
         assert_eq!(r0, vec![ElemRange { start: 0, end: 128 }]);
-        assert_eq!(r1, vec![ElemRange { start: 128, end: 200 }]); // clipped at n
+        assert_eq!(
+            r1,
+            vec![ElemRange {
+                start: 128,
+                end: 200
+            }]
+        ); // clipped at n
     }
 
     #[test]
@@ -471,8 +486,7 @@ mod tests {
                 store(
                     "output",
                     vec![v("i")],
-                    load("input", vec![v("i") - i(1)])
-                        + load("input", vec![v("i") + i(1)]),
+                    load("input", vec![v("i") - i(1)]) + load("input", vec![v("i") + i(1)]),
                 ),
             ],
         };
@@ -513,8 +527,7 @@ mod tests {
                     vec![assign(
                         "acc",
                         v("acc")
-                            + load("A", vec![v("r"), v("kk")])
-                                * load("B", vec![v("kk"), v("c")]),
+                            + load("A", vec![v("r"), v("kk")]) * load("B", vec![v("kk"), v("c")]),
                     )],
                 ),
                 store("C", vec![v("r"), v("c")], v("acc")),

@@ -19,7 +19,7 @@ pub enum TokenKind {
     Semi,
     Dot,
     // operators
-    Assign,      // =
+    Assign, // =
     Plus,
     Minus,
     Star,
@@ -35,10 +35,10 @@ pub enum TokenKind {
     OrOr,
     Not,
     PlusPlus,
-    PlusAssign,  // +=
+    PlusAssign, // +=
     Question,
     Colon,
-    Amp,         // & (host code pointer-out args)
+    Amp, // & (host code pointer-out args)
     // CUDA launch chevrons
     LaunchOpen,  // <<<
     LaunchClose, // >>>
@@ -60,7 +60,11 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
     let mut line = 1usize;
     macro_rules! push {
         ($kind:expr, $n:expr) => {{
-            out.push(Token { kind: $kind, line, start: i });
+            out.push(Token {
+                kind: $kind,
+                line,
+                start: i,
+            });
             i += $n;
         }};
     }

@@ -173,9 +173,8 @@ impl<'t> Parser<'t> {
         let ty = self.scalar_type()?;
         // `float* a` is rejected with guidance: the dialect needs extents.
         if self.eat(&TokenKind::Star) {
-            return self.err(
-                "pointer parameters are not supported: declare extents, e.g. `float a[n]`",
-            );
+            return self
+                .err("pointer parameters are not supported: declare extents, e.g. `float a[n]`");
         }
         let name = self.ident()?;
         let mut extents = Vec::new();
@@ -452,7 +451,8 @@ impl<'t> Parser<'t> {
                 let is_cast = matches!(
                     ty.as_str(),
                     "int" | "long" | "float" | "double" | "size_t" | "unsigned"
-                ) && self.toks.get(self.pos + 2).map(|t| &t.kind) == Some(&TokenKind::RParen);
+                ) && self.toks.get(self.pos + 2).map(|t| &t.kind)
+                    == Some(&TokenKind::RParen);
                 if is_cast {
                     self.pos += 1;
                     let ty = self.scalar_type()?;
@@ -595,15 +595,17 @@ int main() {
 
     #[test]
     fn parsed_kernel_executes() {
-        use mekong_kernel::{
-            execute_grid, Dim3, ExecMode, KernelArg, ScalarTy, Value, VecMem,
-        };
+        use mekong_kernel::{execute_grid, Dim3, ExecMode, KernelArg, ScalarTy, Value, VecMem};
         let prog = parse_program(VADD).unwrap();
         let k = prog.kernel("vadd").unwrap();
         let n = 100usize;
         let mut mem = VecMem::new();
         let a = mem.alloc_from(&(0..n).map(|i| Value::F32(i as f32)).collect::<Vec<_>>());
-        let b = mem.alloc_from(&(0..n).map(|i| Value::F32(1.0 + i as f32)).collect::<Vec<_>>());
+        let b = mem.alloc_from(
+            &(0..n)
+                .map(|i| Value::F32(1.0 + i as f32))
+                .collect::<Vec<_>>(),
+        );
         let c = mem.alloc(n * 4);
         let args = [
             KernelArg::Scalar(Value::I64(n as i64)),

@@ -27,7 +27,7 @@ fn run(k: &Kernel, n: usize, extra_scalar: Option<Value>) -> Vec<Value> {
     execute_grid(
         k,
         &args,
-        Dim3::new1(((n as u32) + 31) / 32),
+        Dim3::new1((n as u32).div_ceil(32)),
         Dim3::new1(32),
         &mut mem,
         ExecMode::Functional,
@@ -137,8 +137,8 @@ fn workload_kernels_roundtrip() {
         let prog = parse_program(src).unwrap();
         for k in &prog.kernels {
             let printed = kernel_to_string(k);
-            let back = parse_program(&printed)
-                .unwrap_or_else(|e| panic!("{}: {e}\n{printed}", k.name));
+            let back =
+                parse_program(&printed).unwrap_or_else(|e| panic!("{}: {e}\n{printed}", k.name));
             back.kernel(&k.name).unwrap().validate().unwrap();
         }
     }

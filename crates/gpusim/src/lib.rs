@@ -26,6 +26,7 @@
 pub mod machine;
 pub mod shadow;
 pub mod spec;
+pub mod stream;
 
 pub use machine::{DevBuf, Machine, OpCounters, SimArg, SimTime, TimeBreakdown, TimeCat};
 pub use spec::{DeviceSpec, LinkSpec, MachineSpec};

@@ -94,20 +94,26 @@ pub fn run_grid_parallel(
 /// launch actually wrote. This is the instrumentation path the paper's
 /// conclusion proposes for kernels whose write patterns cannot be modeled
 /// statically (§11: "using instrumentation to collect write patterns").
+/// Observed written byte ranges, keyed by buffer argument index.
+pub type ObservedWrites = HashMap<usize, Vec<(u64, u64)>>;
+
+/// One block's functional result plus its shadow write log.
+type BlockRecording = mekong_kernel::Result<(ExecStats, HashMap<(usize, usize), Value>)>;
+
 pub fn run_grid_recording(
     kernel: &Kernel,
     args: &[KernelArg],
     grid_dim: Dim3,
     block_dim: Dim3,
     mem: &mut BufStore,
-) -> mekong_kernel::Result<(ExecStats, HashMap<usize, Vec<(u64, u64)>>)> {
+) -> mekong_kernel::Result<(ExecStats, ObservedWrites)> {
     let blocks: Vec<Dim3> = (0..grid_dim.z)
         .flat_map(|z| {
             (0..grid_dim.y).flat_map(move |y| (0..grid_dim.x).map(move |x| Dim3::new3(x, y, z)))
         })
         .collect();
 
-    let results: Vec<mekong_kernel::Result<(ExecStats, HashMap<(usize, usize), Value>)>> = blocks
+    let results: Vec<BlockRecording> = blocks
         .par_iter()
         .map(|&block_idx| {
             let mut shadow = ShadowMem {
@@ -128,7 +134,7 @@ pub fn run_grid_recording(
         .collect();
 
     let mut total = ExecStats::default();
-    let mut observed: HashMap<usize, Vec<(u64, u64)>> = HashMap::new();
+    let mut observed: ObservedWrites = HashMap::new();
     for r in results {
         let (stats, writes) = r?;
         total.add(&stats);

@@ -39,9 +39,9 @@ pub struct MachineSpec {
     pub h2d_bandwidth: f64,
     /// Host↔device latency, seconds.
     pub h2d_latency: f64,
-    /// Host-side cost charged per enumerated element range (tracker query
-    /// + memcpy issue), seconds. Used by the runtime to model the
-    /// "Patterns" overhead of Figure 7/8.
+    /// Host-side cost charged per enumerated element range (tracker
+    /// query plus memcpy issue), seconds. Used by the runtime to model
+    /// the "Patterns" overhead of Figure 7/8.
     pub host_per_range: f64,
     /// Host-side cost per tracker segment update, seconds.
     pub host_per_segment: f64,

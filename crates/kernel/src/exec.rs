@@ -87,8 +87,8 @@ mod tests {
     use super::*;
     use crate::builder::*;
     use crate::interp::{KernelArg, VecMem};
-    use crate::types::{ScalarTy, Value};
     use crate::ir::Kernel;
+    use crate::types::{ScalarTy, Value};
 
     fn saxpy() -> Kernel {
         Kernel {

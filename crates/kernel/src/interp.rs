@@ -261,7 +261,11 @@ impl<'a, M: MemAccess + ?Sized> Interp<'a, M> {
 
     /// Resolve an array access: returns (buffer handle, element type,
     /// linear offset), bounds-checked in functional mode.
-    fn resolve_access(&mut self, array: &str, indices: &[Expr]) -> Result<(usize, ScalarTy, usize)> {
+    fn resolve_access(
+        &mut self,
+        array: &str,
+        indices: &[Expr],
+    ) -> Result<(usize, ScalarTy, usize)> {
         let pidx = self
             .kernel
             .param_index(array)
@@ -678,7 +682,11 @@ mod tests {
         let k = vadd_kernel();
         let mut mem = VecMem::new();
         let a = mem.alloc_from(&(0..8).map(|i| Value::F32(i as f32)).collect::<Vec<_>>());
-        let b = mem.alloc_from(&(0..8).map(|i| Value::F32(10.0 * i as f32)).collect::<Vec<_>>());
+        let b = mem.alloc_from(
+            &(0..8)
+                .map(|i| Value::F32(10.0 * i as f32))
+                .collect::<Vec<_>>(),
+        );
         let c = mem.alloc(8 * 4);
         let args = [
             KernelArg::Scalar(Value::I64(8)),
@@ -805,24 +813,24 @@ mod tests {
                 array_f32("a", &[ext_c(2), ext_c(3)]),
                 array_f32("b", &[ext_c(3), ext_c(2)]),
             ],
-            body: vec![
-                for_(
-                    "y",
+            body: vec![for_(
+                "y",
+                i(0),
+                i(3),
+                vec![for_(
+                    "x",
                     i(0),
-                    i(3),
-                    vec![for_(
-                        "x",
-                        i(0),
-                        i(2),
-                        vec![store("b", vec![v("y"), v("x")], load("a", vec![v("x"), v("y")]))],
+                    i(2),
+                    vec![store(
+                        "b",
+                        vec![v("y"), v("x")],
+                        load("a", vec![v("x"), v("y")]),
                     )],
-                ),
-            ],
+                )],
+            )],
         };
         let mut mem = VecMem::new();
-        let a = mem.alloc_from(
-            &(0..6).map(|i| Value::F32(i as f32)).collect::<Vec<_>>(),
-        ); // a = [[0,1,2],[3,4,5]]
+        let a = mem.alloc_from(&(0..6).map(|i| Value::F32(i as f32)).collect::<Vec<_>>()); // a = [[0,1,2],[3,4,5]]
         let b = mem.alloc(6 * 4);
         let args = [KernelArg::Array(a), KernelArg::Array(b)];
         Interp::new(&k, &args, ctx1d(0, 0, 1, 1), &mut mem, ExecMode::Functional)
@@ -861,7 +869,10 @@ mod tests {
             params: vec![scalar("n"), array_f32("a", &[ext("n")])],
             body: vec![
                 let_("i", i(100)),
-                let_("c", v("i").lt(v("n")).and(load("a", vec![v("i")]).gt(f(0.0)))),
+                let_(
+                    "c",
+                    v("i").lt(v("n")).and(load("a", vec![v("i")]).gt(f(0.0))),
+                ),
             ],
         };
         let mut mem = VecMem::new();

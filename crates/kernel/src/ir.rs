@@ -118,7 +118,10 @@ pub enum Expr {
     /// CUDA grid intrinsic.
     Grid(GridVar),
     /// Array element load: `array[indices...]`, outermost index first.
-    Load { array: String, indices: Vec<Expr> },
+    Load {
+        array: String,
+        indices: Vec<Expr>,
+    },
     Unary(UnOp, Box<Expr>),
     Binary(BinOp, Box<Expr>, Box<Expr>),
     /// C-style cast.

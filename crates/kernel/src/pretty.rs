@@ -15,7 +15,11 @@ pub fn kernel_to_string(k: &Kernel) -> String {
         .iter()
         .map(|p| match p {
             KernelParam::Scalar { name, ty } => format!("{ty} {name}"),
-            KernelParam::Array { name, elem, extents } => {
+            KernelParam::Array {
+                name,
+                elem,
+                extents,
+            } => {
                 let dims: Vec<String> = extents.iter().map(|e| format!("[{e}]")).collect();
                 format!("{elem} {name}{}", dims.join(""))
             }

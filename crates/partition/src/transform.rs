@@ -63,9 +63,7 @@ mod tests {
     use crate::split::{partition_grid, Partition};
     use mekong_analysis::SplitAxis;
     use mekong_kernel::builder::*;
-    use mekong_kernel::{
-        execute_grid, Dim3, ExecMode, Kernel, KernelArg, ScalarTy, Value, VecMem,
-    };
+    use mekong_kernel::{execute_grid, Dim3, ExecMode, Kernel, KernelArg, ScalarTy, Value, VecMem};
 
     fn vadd() -> Kernel {
         Kernel {
@@ -123,10 +121,12 @@ mod tests {
 
         let mk_mem = || {
             let mut mem = VecMem::new();
-            let a =
-                mem.alloc_from(&(0..n).map(|i| Value::F32(i as f32)).collect::<Vec<_>>());
-            let b = mem
-                .alloc_from(&(0..n).map(|i| Value::F32(2.0 * i as f32)).collect::<Vec<_>>());
+            let a = mem.alloc_from(&(0..n).map(|i| Value::F32(i as f32)).collect::<Vec<_>>());
+            let b = mem.alloc_from(
+                &(0..n)
+                    .map(|i| Value::F32(2.0 * i as f32))
+                    .collect::<Vec<_>>(),
+            );
             let c = mem.alloc(n * 4);
             (mem, a, b, c)
         };

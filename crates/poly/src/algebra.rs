@@ -226,8 +226,7 @@ impl Map {
                 }
             }
         }
-        let mut dim_names: Vec<String> =
-            self.relation().space().dim_names()[..n].to_vec();
+        let mut dim_names: Vec<String> = self.relation().space().dim_names()[..n].to_vec();
         // Fresh middle names to avoid collisions, then output names.
         for i in 0..m {
             dim_names.push(format!("__mid{i}"));
@@ -241,10 +240,7 @@ impl Map {
             };
             dim_names.push(candidate);
         }
-        let space = Space::from_names(
-            dim_names,
-            self.relation().space().param_names().to_vec(),
-        );
+        let space = Space::from_names(dim_names, self.relation().space().param_names().to_vec());
         let combined = Set::from_pieces(space, pieces);
         // Project out the middle block.
         let projected = combined.project_out_dims(n..n + m)?;
@@ -319,7 +315,15 @@ mod tests {
         let d = a.subtract(&b).unwrap();
         assert_eq!(
             d.points_sorted(&[]),
-            vec![vec![0], vec![1], vec![2], vec![6], vec![7], vec![8], vec![9]]
+            vec![
+                vec![0],
+                vec![1],
+                vec![2],
+                vec![6],
+                vec![7],
+                vec![8],
+                vec![9]
+            ]
         );
         // Subtracting everything leaves nothing.
         let e = a.subtract(&a).unwrap();

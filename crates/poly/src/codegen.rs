@@ -92,7 +92,10 @@ impl AstExpr {
                 } else {
                     format!(
                         "max({})",
-                        es.iter().map(|e| e.render(names)).collect::<Vec<_>>().join(", ")
+                        es.iter()
+                            .map(|e| e.render(names))
+                            .collect::<Vec<_>>()
+                            .join(", ")
                     )
                 }
             }
@@ -102,7 +105,10 @@ impl AstExpr {
                 } else {
                     format!(
                         "min({})",
-                        es.iter().map(|e| e.render(names)).collect::<Vec<_>>().join(", ")
+                        es.iter()
+                            .map(|e| e.render(names))
+                            .collect::<Vec<_>>()
+                            .join(", ")
                     )
                 }
             }
@@ -265,11 +271,7 @@ impl Enumerator {
 
     /// Run the enumerator: invoke `f(prefix, lo, hi)` once per row range
     /// (inclusive bounds). No allocation per invocation.
-    pub fn for_each_row(
-        &self,
-        params: &[i64],
-        f: &mut dyn FnMut(&[i64], i64, i64),
-    ) {
+    pub fn for_each_row(&self, params: &[i64], f: &mut dyn FnMut(&[i64], i64, i64)) {
         assert_eq!(params.len(), self.n_params, "parameter count mismatch");
         // values = [dims..., params...]; dims filled during the scan.
         let mut values = vec![0i64; self.n_dims + self.n_params];
@@ -431,7 +433,14 @@ mod tests {
         let e = Enumerator::build(&s).unwrap();
         let rows = e.rows_merged(&[]);
         assert_eq!(rows.len(), 3);
-        assert_eq!(rows[0], RowRange { prefix: vec![0], lo: 0, hi: 9 });
+        assert_eq!(
+            rows[0],
+            RowRange {
+                prefix: vec![0],
+                lo: 0,
+                hi: 9
+            }
+        );
         check_against_bruteforce(&s, &[]);
     }
 
@@ -441,7 +450,14 @@ mod tests {
         let e = Enumerator::build(&s).unwrap();
         let rows = e.rows_merged(&[]);
         assert_eq!(rows.len(), 5);
-        assert_eq!(rows[4], RowRange { prefix: vec![4], lo: 0, hi: 4 });
+        assert_eq!(
+            rows[4],
+            RowRange {
+                prefix: vec![4],
+                lo: 0,
+                hi: 4
+            }
+        );
         check_against_bruteforce(&s, &[]);
     }
 
@@ -457,11 +473,17 @@ mod tests {
     #[test]
     fn union_pieces_merge() {
         // Two overlapping boxes on the same row merge into one range.
-        let s = Set::parse("{ [y, x] : y = 0 and 0 <= x <= 5 or y = 0 and 4 <= x <= 9 }")
-            .unwrap();
+        let s = Set::parse("{ [y, x] : y = 0 and 0 <= x <= 5 or y = 0 and 4 <= x <= 9 }").unwrap();
         let e = Enumerator::build(&s).unwrap();
         let rows = e.rows_merged(&[]);
-        assert_eq!(rows, vec![RowRange { prefix: vec![0], lo: 0, hi: 9 }]);
+        assert_eq!(
+            rows,
+            vec![RowRange {
+                prefix: vec![0],
+                lo: 0,
+                hi: 9
+            }]
+        );
         check_against_bruteforce(&s, &[]);
     }
 
@@ -470,7 +492,14 @@ mod tests {
         let s = Set::parse("{ [x] : 3 <= x <= 11 }").unwrap();
         let e = Enumerator::build(&s).unwrap();
         let rows = e.rows_merged(&[]);
-        assert_eq!(rows, vec![RowRange { prefix: vec![], lo: 3, hi: 11 }]);
+        assert_eq!(
+            rows,
+            vec![RowRange {
+                prefix: vec![],
+                lo: 3,
+                hi: 11
+            }]
+        );
     }
 
     #[test]
@@ -510,7 +539,14 @@ mod tests {
         let s = Set::parse("{ [x] : 0 <= 2x and 2x <= 9 }").unwrap();
         let e = Enumerator::build(&s).unwrap();
         let rows = e.rows_merged(&[]);
-        assert_eq!(rows, vec![RowRange { prefix: vec![], lo: 0, hi: 4 }]);
+        assert_eq!(
+            rows,
+            vec![RowRange {
+                prefix: vec![],
+                lo: 0,
+                hi: 4
+            }]
+        );
     }
 
     #[test]
@@ -526,10 +562,7 @@ mod tests {
     fn pseudo_c_rendering_mentions_loops() {
         let s = Set::parse("[n] -> { [y, x] : 0 <= y < n and 0 <= x <= y }").unwrap();
         let e = Enumerator::build(&s).unwrap();
-        let c = e.to_pseudo_c(
-            &["y".into(), "x".into()],
-            &["n".into()],
-        );
+        let c = e.to_pseudo_c(&["y".into(), "x".into()], &["n".into()]);
         assert!(c.contains("for (int y"));
         assert!(c.contains("emit_row"));
     }
@@ -537,16 +570,36 @@ mod tests {
     #[test]
     fn merge_rows_fuses_adjacent() {
         let rows = vec![
-            RowRange { prefix: vec![1], lo: 5, hi: 9 },
-            RowRange { prefix: vec![1], lo: 0, hi: 4 },
-            RowRange { prefix: vec![2], lo: 0, hi: 1 },
+            RowRange {
+                prefix: vec![1],
+                lo: 5,
+                hi: 9,
+            },
+            RowRange {
+                prefix: vec![1],
+                lo: 0,
+                hi: 4,
+            },
+            RowRange {
+                prefix: vec![2],
+                lo: 0,
+                hi: 1,
+            },
         ];
         let merged = merge_rows(rows);
         assert_eq!(
             merged,
             vec![
-                RowRange { prefix: vec![1], lo: 0, hi: 9 },
-                RowRange { prefix: vec![2], lo: 0, hi: 1 },
+                RowRange {
+                    prefix: vec![1],
+                    lo: 0,
+                    hi: 9
+                },
+                RowRange {
+                    prefix: vec![2],
+                    lo: 0,
+                    hi: 1
+                },
             ]
         );
     }

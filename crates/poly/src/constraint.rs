@@ -61,10 +61,7 @@ impl Constraint {
     /// `lhs < rhs` as `rhs - lhs - 1 >= 0` (integer strictness).
     pub fn lt(lhs: &LinExpr, rhs: &LinExpr) -> crate::Result<Self> {
         let mut e = rhs.sub(lhs)?;
-        e.konst = e
-            .konst
-            .checked_sub(1)
-            .ok_or(crate::PolyError::Overflow)?;
+        e.konst = e.konst.checked_sub(1).ok_or(crate::PolyError::Overflow)?;
         Ok(Constraint::ge0(e))
     }
 
@@ -93,7 +90,11 @@ impl Constraint {
                 ConstraintKind::Eq => k == 0,
                 ConstraintKind::GeZero => k >= 0,
             };
-            return if sat { Normalized::True } else { Normalized::False };
+            return if sat {
+                Normalized::True
+            } else {
+                Normalized::False
+            };
         }
         if g == 1 {
             return Normalized::Constraint(self.clone());
@@ -184,8 +185,14 @@ mod tests {
 
     #[test]
     fn trivial_constraints() {
-        assert_eq!(Constraint::ge0(e(vec![0, 0], 3)).normalize(), Normalized::True);
-        assert_eq!(Constraint::ge0(e(vec![0, 0], -1)).normalize(), Normalized::False);
+        assert_eq!(
+            Constraint::ge0(e(vec![0, 0], 3)).normalize(),
+            Normalized::True
+        );
+        assert_eq!(
+            Constraint::ge0(e(vec![0, 0], -1)).normalize(),
+            Normalized::False
+        );
         assert_eq!(Constraint::eq(e(vec![0], 0)).normalize(), Normalized::True);
         assert_eq!(Constraint::eq(e(vec![0], 7)).normalize(), Normalized::False);
     }

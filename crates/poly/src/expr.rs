@@ -164,7 +164,7 @@ impl LinExpr {
     pub fn insert_vars(&self, at: usize, count: usize) -> LinExpr {
         let mut coeffs = Vec::with_capacity(self.coeffs.len() + count);
         coeffs.extend_from_slice(&self.coeffs[..at]);
-        coeffs.extend(std::iter::repeat(0).take(count));
+        coeffs.extend(std::iter::repeat_n(0, count));
         coeffs.extend_from_slice(&self.coeffs[at..]);
         LinExpr {
             coeffs,
@@ -242,11 +242,7 @@ impl std::fmt::Display for DisplayLinExpr<'_> {
             if c == 0 {
                 continue;
             }
-            let name = self
-                .names
-                .get(i)
-                .map(|s| s.as_str())
-                .unwrap_or("?");
+            let name = self.names.get(i).map(|s| s.as_str()).unwrap_or("?");
             if first {
                 match c {
                     1 => write!(f, "{name}")?,

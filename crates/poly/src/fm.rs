@@ -248,17 +248,17 @@ mod tests {
     #[test]
     fn eliminate_with_unit_equality_is_exact() {
         // v0 == v1 + 2 and 0 <= v0 <= 5  --eliminate v0-->  -2 <= v1 <= 3
-        let cs = vec![
-            eq(vec![1, -1], -2),
-            ge(vec![1, 0], 0),
-            ge(vec![-1, 0], 5),
-        ];
+        let cs = vec![eq(vec![1, -1], -2), ge(vec![1, 0], 0), ge(vec![-1, 0], 5)];
         let (out, exact, empty) = eliminate(&cs, 2, 0, false).unwrap();
         assert!(exact);
         assert!(!empty);
         // v1 + 2 >= 0 and 3 - v1 >= 0
-        assert!(out.iter().any(|c| c.expr.coeffs == vec![1] && c.expr.konst == 2));
-        assert!(out.iter().any(|c| c.expr.coeffs == vec![-1] && c.expr.konst == 3));
+        assert!(out
+            .iter()
+            .any(|c| c.expr.coeffs == vec![1] && c.expr.konst == 2));
+        assert!(out
+            .iter()
+            .any(|c| c.expr.coeffs == vec![-1] && c.expr.konst == 3));
     }
 
     #[test]

@@ -98,7 +98,10 @@ impl std::fmt::Display for PolyError {
                 write!(f, "dimension {index} out of range (set has {n_dims} dims)")
             }
             PolyError::Unbounded { dim } => {
-                write!(f, "set dimension {dim} is unbounded; cannot generate a scan")
+                write!(
+                    f,
+                    "set dimension {dim} is unbounded; cannot generate a scan"
+                )
             }
         }
     }

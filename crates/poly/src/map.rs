@@ -136,11 +136,7 @@ impl Map {
     ///
     /// This is how the paper constrains an access map to one grid
     /// partition (§6): the partition box is given by parameters.
-    pub fn constrain_inputs_to_box(
-        &self,
-        lo: &[LinExpr],
-        hi: &[LinExpr],
-    ) -> Result<Map> {
+    pub fn constrain_inputs_to_box(&self, lo: &[LinExpr], hi: &[LinExpr]) -> Result<Map> {
         assert_eq!(lo.len(), self.n_in);
         assert_eq!(hi.len(), self.n_in);
         let width = self.rel.n_dims() + self.n_params();
@@ -214,11 +210,7 @@ impl Map {
     }
 
     /// Enumerate `(input, output)` pairs for concrete params (test helper).
-    pub fn for_each_pair(
-        &self,
-        params: &[i64],
-        f: &mut dyn FnMut(&[i64], &[i64]),
-    ) -> Result<()> {
+    pub fn for_each_pair(&self, params: &[i64], f: &mut dyn FnMut(&[i64], &[i64])) -> Result<()> {
         let n = self.n_in;
         self.rel.for_each_point(params, &mut |pt| {
             f(&pt[..n], &pt[n..]);
@@ -252,13 +244,7 @@ fn widen_param_expr(e: &LinExpr, full_width: usize, n_dims: usize) -> LinExpr {
 /// Remap a constraint over `[t (n), y (d), params]` into the combined
 /// space `[t (n), t' (n), y (d), params]`; if `primed`, the input block
 /// goes to `t'` instead of `t`.
-fn remap_piece(
-    c: &Constraint,
-    n: usize,
-    d: usize,
-    np: usize,
-    primed: bool,
-) -> Constraint {
+fn remap_piece(c: &Constraint, n: usize, d: usize, np: usize, primed: bool) -> Constraint {
     let mut coeffs = vec![0i64; 2 * n + d + np];
     let src = &c.expr.coeffs;
     debug_assert_eq!(src.len(), n + d + np);
@@ -279,12 +265,7 @@ fn remap_piece(
 /// useful for building access maps programmatically. `width` is the full
 /// relation width (n_in + n_out + n_params); `out_dim` indexes the output
 /// block (so the constrained variable is `n_in + out_dim`).
-pub fn output_eq(
-    width: usize,
-    n_in: usize,
-    out_dim: usize,
-    rhs: &LinExpr,
-) -> Result<Constraint> {
+pub fn output_eq(width: usize, n_in: usize, out_dim: usize, rhs: &LinExpr) -> Result<Constraint> {
     let v = LinExpr::var(width, n_in + out_dim);
     Ok(Constraint {
         kind: ConstraintKind::Eq,
@@ -320,10 +301,7 @@ mod tests {
     #[test]
     fn apply_point_stencil_reads() {
         // 1D 3-point stencil: i -> {i-1, i, i+1}
-        let m = Map::parse(
-            "{ [i] -> [a] : i - 1 <= a and a <= i + 1 }",
-        )
-        .unwrap();
+        let m = Map::parse("{ [i] -> [a] : i - 1 <= a and a <= i + 1 }").unwrap();
         let outs = m.apply_point(&[5], &[]).unwrap();
         assert_eq!(outs, vec![vec![4], vec![5], vec![6]]);
     }
@@ -346,8 +324,9 @@ mod tests {
     #[test]
     fn non_injective_stencil_reads() {
         // The 3-point read stencil maps distinct i to shared elements.
-        let m = Map::parse("[n] -> { [i] -> [a] : i - 1 <= a and a <= i + 1 and 0 <= i and i < n }")
-            .unwrap();
+        let m =
+            Map::parse("[n] -> { [i] -> [a] : i - 1 <= a and a <= i + 1 and 0 <= i and i < n }")
+                .unwrap();
         let ctx = Polyhedron::universe(0, 1);
         assert!(!m.is_injective(&ctx).unwrap());
     }
@@ -367,9 +346,7 @@ mod tests {
         let np = 2;
         let lo = LinExpr::var(np, 0);
         let hi = LinExpr::var(np, 1);
-        let boxed = m
-            .constrain_inputs_to_box(&[lo], &[hi])
-            .unwrap();
+        let boxed = m.constrain_inputs_to_box(&[lo], &[hi]).unwrap();
         let img = boxed.range().unwrap();
         assert_eq!(
             img.points_sorted(&[10, 13]),

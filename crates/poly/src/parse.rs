@@ -146,7 +146,9 @@ fn lex(text: &str) -> Result<Vec<Tok>> {
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
                 while i < bytes.len()
-                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'.')
+                    && ((bytes[i] as char).is_ascii_alphanumeric()
+                        || bytes[i] == b'_'
+                        || bytes[i] == b'.')
                 {
                     i += 1;
                 }
@@ -264,7 +266,7 @@ impl Parser {
     // term := '-' term | INT ['*'] ident | INT | ident | '(' expr ')'
     fn term(&mut self) -> Result<LinExpr> {
         match self.next()? {
-            Tok::Minus => return Ok(self.term()?.neg()),
+            Tok::Minus => Ok(self.term()?.neg()),
             Tok::Int(n) => {
                 // optional multiplication with an identifier
                 let star = self.eat(&Tok::Star);
@@ -299,13 +301,8 @@ impl Parser {
         let mut constraints = Vec::new();
         let mut lhs = self.expr()?;
         let mut any = false;
-        loop {
-            let op = match self.peek() {
-                Some(Tok::Le) | Some(Tok::Lt) | Some(Tok::Ge) | Some(Tok::Gt) | Some(Tok::Eq) => {
-                    self.next()?
-                }
-                _ => break,
-            };
+        while let Some(Tok::Le | Tok::Lt | Tok::Ge | Tok::Gt | Tok::Eq) = self.peek() {
+            let op = self.next()?;
             let rhs = self.expr()?;
             let c = match op {
                 Tok::Le => Constraint::le(&lhs, &rhs)?,

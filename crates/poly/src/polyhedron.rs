@@ -142,10 +142,7 @@ impl Polyhedron {
                 coeffs: c.expr.coeffs[..self.n_dims].to_vec(),
                 konst,
             };
-            out.add_constraint(Constraint {
-                kind: c.kind,
-                expr,
-            });
+            out.add_constraint(Constraint { kind: c.kind, expr });
         }
         Ok(out)
     }
@@ -337,11 +334,7 @@ impl Polyhedron {
     /// Enumerate all integer points for concrete `params`, invoking `f` for
     /// each. Intended for tests and small sets; complexity is the volume of
     /// the bounding box. Returns an error if some dimension is unbounded.
-    pub fn for_each_point(
-        &self,
-        params: &[i64],
-        f: &mut dyn FnMut(&[i64]),
-    ) -> Result<()> {
+    pub fn for_each_point(&self, params: &[i64], f: &mut dyn FnMut(&[i64])) -> Result<()> {
         let bound = self.bind_params(params)?;
         if bound.empty {
             return Ok(());
@@ -490,7 +483,8 @@ mod tests {
     fn contains_matches_enumeration() {
         let p = s1();
         let mut pts = Vec::new();
-        p.for_each_point(&[], &mut |pt| pts.push(pt.to_vec())).unwrap();
+        p.for_each_point(&[], &mut |pt| pts.push(pt.to_vec()))
+            .unwrap();
         for y in -1..6 {
             for x in -1..6 {
                 let inside = p.contains(&[y, x], &[]);
@@ -524,7 +518,6 @@ mod tests {
     #[test]
     fn empty_by_gcd() {
         // 2x == 1 has no integer solutions; detected at add_constraint time.
-        let w = 1;
         let e = LinExpr {
             coeffs: vec![2],
             konst: -1,

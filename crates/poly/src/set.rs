@@ -269,7 +269,7 @@ impl Set {
     /// Count distinct integer points (test helper).
     pub fn count_points(&self, params: &[i64]) -> u64 {
         let mut n = 0;
-        self.for_each_point(params, &mut |_| n = n + 1)
+        self.for_each_point(params, &mut |_| n += 1)
             .expect("count_points requires a bounded set");
         n
     }

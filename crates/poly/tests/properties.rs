@@ -16,9 +16,7 @@ fn arb_cut(n: usize) -> impl Strategy<Value = Constraint> {
         proptest::collection::vec(-2i64..=2, n),
         -(2 * BOX)..=(2 * BOX),
     )
-        .prop_map(move |(coeffs, k)| {
-            Constraint::ge0(LinExpr { coeffs, konst: k })
-        })
+        .prop_map(move |(coeffs, k)| Constraint::ge0(LinExpr { coeffs, konst: k }))
 }
 
 /// A random bounded convex polyhedron: `0 <= d_i <= BOX` plus up to 3 cuts.
@@ -38,9 +36,8 @@ fn arb_poly(n: usize) -> impl Strategy<Value = Polyhedron> {
 }
 
 fn arb_set(n: usize) -> impl Strategy<Value = Set> {
-    proptest::collection::vec(arb_poly(n), 1..=2).prop_map(move |pieces| {
-        Set::from_pieces(Space::anonymous(n, 0), pieces)
-    })
+    proptest::collection::vec(arb_poly(n), 1..=2)
+        .prop_map(move |pieces| Set::from_pieces(Space::anonymous(n, 0), pieces))
 }
 
 fn points(s: &Set) -> Vec<Vec<i64>> {

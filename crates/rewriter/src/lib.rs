@@ -135,13 +135,10 @@ fn parse_launch(src: &str, tokens: &[Token], i: usize) -> Result<(LaunchSite, us
         _ => unreachable!(),
     };
     let mut p = i + 2; // past <<<
-    let grid_start = tokens
-        .get(p)
-        .map(|t| t.start)
-        .ok_or(ParseError {
-            line,
-            message: "unterminated `<<<`".into(),
-        })?;
+    let grid_start = tokens.get(p).map(|t| t.start).ok_or(ParseError {
+        line,
+        message: "unterminated `<<<`".into(),
+    })?;
     // grid expression: up to the comma at paren depth 0.
     let mut depth = 0usize;
     let mut comma = None;
@@ -164,13 +161,10 @@ fn parse_launch(src: &str, tokens: &[Token], i: usize) -> Result<(LaunchSite, us
     })?;
     let grid = src[grid_start..tokens[comma].start].trim().to_string();
     p = comma + 1;
-    let block_start = tokens
-        .get(p)
-        .map(|t| t.start)
-        .ok_or(ParseError {
-            line,
-            message: "unterminated `<<<`".into(),
-        })?;
+    let block_start = tokens.get(p).map(|t| t.start).ok_or(ParseError {
+        line,
+        message: "unterminated `<<<`".into(),
+    })?;
     while p < tokens.len() && tokens[p].kind != TokenKind::LaunchClose {
         p += 1;
     }

@@ -22,6 +22,68 @@ pub enum LaunchArg {
     Buf(VBufId),
 }
 
+/// A tracker-walk accumulator that turns remote-owned segments into a
+/// minimal list of D2D copies (§8.3's transfer-coalescing pass).
+///
+/// With a non-zero `max_gap`, a segment from the same source device
+/// extends the previous planned copy when every byte in between is
+/// [`Owner::Uninit`] — undefined content may be overwritten freely — and
+/// the gap is small enough that re-copying it is cheaper than paying a
+/// second transfer latency. Fragmented trackers (e.g. from instrumented
+/// strided writes) collapse from one copy per element run into one copy
+/// per device this way.
+struct TransferPlan {
+    gpu: usize,
+    max_gap: u64,
+    copies: Vec<(usize, u64, u64)>,
+    /// End of the last visited segment; a jump means the walk moved to a
+    /// disjoint query range, which must not be bridged.
+    cursor: u64,
+    /// True while every byte since the last planned copy's end is known
+    /// to be Uninit and contiguous with it.
+    bridge: bool,
+}
+
+impl TransferPlan {
+    fn new(gpu: usize, max_gap: u64) -> TransferPlan {
+        TransferPlan {
+            gpu,
+            max_gap,
+            copies: Vec::new(),
+            cursor: 0,
+            bridge: false,
+        }
+    }
+
+    /// Break-even gap for a machine: bytes whose copy time equals one
+    /// link latency.
+    fn break_even_gap(machine: &mekong_gpusim::Machine) -> u64 {
+        (machine.spec().link.latency * machine.spec().link.bandwidth) as u64
+    }
+
+    fn visit(&mut self, s: u64, e: u64, o: Owner) {
+        if s != self.cursor {
+            self.bridge = false;
+        }
+        self.cursor = e;
+        match o {
+            Owner::Device(d) if d != self.gpu => {
+                match self.copies.last_mut() {
+                    Some((ld, _, le)) if *ld == d && self.bridge && s - *le <= self.max_gap => {
+                        *le = e;
+                    }
+                    _ => self.copies.push((d, s, e)),
+                }
+                self.bridge = true;
+            }
+            // Undefined bytes: a bridged copy may overwrite them.
+            Owner::Uninit => {}
+            // Local or host-owned bytes must survive: stop bridging.
+            _ => self.bridge = false,
+        }
+    }
+}
+
 impl MgpuRuntime {
     /// The kernel-launch replacement: run `ck` over `grid × block` across
     /// all devices (Figure 4). Errors if the kernel failed the §4 checks.
@@ -53,7 +115,14 @@ impl MgpuRuntime {
                         _ => unreachable!("validated"),
                     };
                     self.sync_buffer_for_partition(
-                        vb_id, renum, part, block, grid, &ck.enums.scalar_names, &scalars, gpu,
+                        vb_id,
+                        renum,
+                        part,
+                        block,
+                        grid,
+                        &ck.enums.scalar_names,
+                        &scalars,
+                        gpu,
                     )?;
                 }
             }
@@ -103,7 +172,6 @@ impl MgpuRuntime {
                         _ => unreachable!("validated"),
                     };
                     let elem = self.buffers[vb_id.0].elem_size as u64;
-                    let mut n_ranges = 0u64;
                     let mut updates: Vec<(u64, u64)> = Vec::new();
                     wenum.for_each_range(
                         part,
@@ -112,15 +180,21 @@ impl MgpuRuntime {
                         &ck.enums.scalar_names,
                         &scalars,
                         &mut |r| {
-                            n_ranges += 1;
                             updates.push((r.start * elem, r.end * elem));
                         },
                     );
+                    let n_ranges = updates.len();
+                    // Segment maintenance costs what the update actually
+                    // walked, same accounting as the read path's query —
+                    // not one flat segment per range.
+                    let mut touched = 0usize;
                     for (s, e) in updates {
-                        self.buffers[vb_id.0].tracker.update(s, e, Owner::Device(gpu));
+                        touched += self.buffers[vb_id.0]
+                            .tracker
+                            .update(s, e, Owner::Device(gpu));
                     }
                     let cost = self.machine.spec().host_per_range * n_ranges as f64
-                        + self.machine.spec().host_per_segment * n_ranges as f64;
+                        + self.machine.spec().host_per_segment * touched as f64;
                     self.machine.charge_host(cost, TimeCat::Pattern);
                     debug_assert!(self.buffers[vb_id.0].tracker.check_invariants());
                 }
@@ -147,25 +221,39 @@ impl MgpuRuntime {
         let vb = &self.buffers[vb_id.0];
         let elem = vb.elem_size as u64;
         let instances = vb.instances.clone();
-        let mut transfers: Vec<(usize, u64, u64)> = Vec::new();
-        let mut n_ranges = 0u64;
-        let mut n_segments = 0u64;
+        let mut ranges: Vec<(u64, u64)> = Vec::new();
         renum.for_each_range(part, block, grid, scalar_names, scalars, &mut |r| {
-            n_ranges += 1;
-            vb.tracker.query(r.start * elem, r.end * elem, &mut |s, e, o| {
-                n_segments += 1;
-                match o {
-                    Owner::Device(d) if d != gpu => transfers.push((d, s, e)),
-                    // Already local, host-owned (impossible for kernels) or
-                    // uninitialized: nothing to move.
-                    _ => {}
-                }
-            });
+            ranges.push((r.start * elem, r.end * elem));
         });
+        let n_ranges = ranges.len();
+        let max_gap = if self.config.coalesce_transfers {
+            TransferPlan::break_even_gap(&self.machine)
+        } else {
+            0
+        };
+        let mut plan = TransferPlan::new(gpu, max_gap);
+        let n_segments = if self.config.coalesce_transfers {
+            // Merge adjacent/overlapping read ranges (e.g. consecutive
+            // rows of a 2-D halo) so each owner run costs one segment —
+            // and below, one D2D copy — instead of one per row.
+            let (_, emitted) = vb
+                .tracker
+                .query_coalesced(&ranges, &mut |s, e, o| plan.visit(s, e, o));
+            emitted
+        } else {
+            let mut emitted = 0usize;
+            for &(s, e) in &ranges {
+                vb.tracker.query(s, e, &mut |s, e, o| {
+                    emitted += 1;
+                    plan.visit(s, e, o);
+                });
+            }
+            emitted
+        };
         let cost = self.machine.spec().host_per_range * n_ranges as f64
             + self.machine.spec().host_per_segment * n_segments as f64;
         self.machine.charge_host(cost, TimeCat::Pattern);
-        for (d, s, e) in transfers {
+        for (d, s, e) in plan.copies {
             self.machine.copy_d2d(
                 instances[d],
                 s as usize,
@@ -191,32 +279,9 @@ impl MgpuRuntime {
     ) -> Result<()> {
         let scalars = self.validate_args(ck, args)?;
         // Pull every array argument fully local.
-        for (idx, a) in args.iter().enumerate() {
+        for a in args {
             if let LaunchArg::Buf(b) = a {
-                let _ = idx;
-                let vb = &self.buffers[b.0];
-                let instances = vb.instances.clone();
-                let mut transfers: Vec<(usize, u64, u64)> = Vec::new();
-                let mut n_segments = 0u64;
-                vb.tracker.query(0, vb.len as u64, &mut |s, e, o| {
-                    n_segments += 1;
-                    if let Owner::Device(d) = o {
-                        if d != device {
-                            transfers.push((d, s, e));
-                        }
-                    }
-                });
-                let cost = self.machine.spec().host_per_segment * n_segments as f64;
-                self.machine.charge_host(cost, TimeCat::Pattern);
-                for (d, s, e) in transfers {
-                    self.machine.copy_d2d(
-                        instances[d],
-                        s as usize,
-                        instances[device],
-                        s as usize,
-                        (e - s) as usize,
-                    )?;
-                }
+                self.sync_whole_buffer(*b, device)?;
             }
         }
         self.machine.sync_all();
@@ -224,7 +289,9 @@ impl MgpuRuntime {
         for a in args {
             match a {
                 LaunchArg::Scalar(v) => sim_args.push(SimArg::Scalar(*v)),
-                LaunchArg::Buf(b) => sim_args.push(SimArg::Buf(self.buffers[b.0].instances[device])),
+                LaunchArg::Buf(b) => {
+                    sim_args.push(SimArg::Buf(self.buffers[b.0].instances[device]))
+                }
             }
         }
         let whole = Partition::whole(grid);
@@ -244,7 +311,9 @@ impl MgpuRuntime {
             if arg_model.is_written_array() {
                 if let LaunchArg::Buf(b) = args[idx] {
                     let len = self.buffers[b.0].len as u64;
-                    self.buffers[b.0].tracker.update(0, len, Owner::Device(device));
+                    self.buffers[b.0]
+                        .tracker
+                        .update(0, len, Owner::Device(device));
                 }
             }
         }
@@ -350,31 +419,34 @@ impl MgpuRuntime {
             for (gpu, s, e) in claims {
                 self.buffers[b.0].tracker.update(s, e, Owner::Device(gpu));
             }
-            let cost = (self.machine.spec().host_per_range
-                + self.machine.spec().host_per_segment)
+            let cost = (self.machine.spec().host_per_range + self.machine.spec().host_per_segment)
                 * n_claims;
             self.machine.charge_host(cost, TimeCat::Pattern);
         }
         Ok(())
     }
 
-    /// Pull every stale byte of one buffer onto `gpu`.
+    /// Pull every stale byte of one buffer onto `gpu`. A full-range
+    /// query emits maximal same-owner segments already; the transfer
+    /// plan additionally bridges same-source copies across small Uninit
+    /// gaps, which collapses fragmented trackers.
     fn sync_whole_buffer(&mut self, b: VBufId, gpu: usize) -> Result<()> {
         let vb = &self.buffers[b.0];
         let instances = vb.instances.clone();
-        let mut transfers: Vec<(usize, u64, u64)> = Vec::new();
+        let max_gap = if self.config.coalesce_transfers {
+            TransferPlan::break_even_gap(&self.machine)
+        } else {
+            0
+        };
+        let mut plan = TransferPlan::new(gpu, max_gap);
         let mut n_segments = 0u64;
         vb.tracker.query(0, vb.len as u64, &mut |s, e, o| {
             n_segments += 1;
-            if let Owner::Device(d) = o {
-                if d != gpu {
-                    transfers.push((d, s, e));
-                }
-            }
+            plan.visit(s, e, o);
         });
         let cost = self.machine.spec().host_per_segment * n_segments as f64;
         self.machine.charge_host(cost, TimeCat::Pattern);
-        for (d, s, e) in transfers {
+        for (d, s, e) in plan.copies {
             self.machine.copy_d2d(
                 instances[d],
                 s as usize,
@@ -627,7 +699,10 @@ mod tests {
         let out = rt.malloc(n * 4, 4).unwrap();
         // Pairwise swap permutation.
         let perm: Vec<usize> = (0..n).map(|i| i ^ 1).collect();
-        let idx_host: Vec<u8> = perm.iter().flat_map(|&p| (p as f32).to_le_bytes()).collect();
+        let idx_host: Vec<u8> = perm
+            .iter()
+            .flat_map(|&p| (p as f32).to_le_bytes())
+            .collect();
         let a_host: Vec<u8> = (0..n).flat_map(|i| (i as f32).to_le_bytes()).collect();
         rt.memcpy_h2d(idx, &idx_host).unwrap();
         rt.memcpy_h2d(a, &a_host).unwrap();
@@ -666,11 +741,7 @@ mod tests {
             body: vec![
                 let_("i", global_x()),
                 guard_return(v("i").ge(v("n"))),
-                store(
-                    "out",
-                    vec![to_i64(load("idx", vec![v("i")]))],
-                    f(1.0),
-                ),
+                store("out", vec![to_i64(load("idx", vec![v("i")]))], f(1.0)),
             ],
         };
         let ck = CompiledKernel::compile(&bad).unwrap();
@@ -769,8 +840,7 @@ mod tests {
         let ck = CompiledKernel::compile(&scale_kernel()).unwrap();
         let n = 1 << 16;
         let run = |cfg: RuntimeConfig| -> f64 {
-            let mut rt =
-                MgpuRuntime::new(Machine::new(MachineSpec::kepler_system(4), false));
+            let mut rt = MgpuRuntime::new(Machine::new(MachineSpec::kepler_system(4), false));
             rt.set_config(cfg);
             let a = rt.malloc(n * 4, 4).unwrap();
             let b = rt.malloc(n * 4, 4).unwrap();
@@ -798,6 +868,121 @@ mod tests {
         assert!(alpha >= beta, "alpha {alpha} >= beta {beta}");
         assert!(beta >= gamma, "beta {beta} >= gamma {gamma}");
         assert!(gamma > 0.0);
+    }
+
+    #[test]
+    fn transfer_plan_bridges_uninit_gaps_only() {
+        use crate::tracker::Tracker;
+        let mut t = Tracker::new(100);
+        t.update(0, 10, Owner::Device(1));
+        t.update(20, 30, Owner::Device(1));
+        t.update(30, 40, Owner::Device(0));
+        t.update(40, 50, Owner::Device(1));
+        let walk = |plan: &mut TransferPlan| {
+            t.query(0, 100, &mut |s, e, o| plan.visit(s, e, o));
+        };
+        // Generous gap budget: [0,10) and [20,30) bridge across the
+        // Uninit hole, but never across the locally-owned [30,40).
+        let mut plan = TransferPlan::new(0, 100);
+        walk(&mut plan);
+        assert_eq!(plan.copies, vec![(1, 0, 30), (1, 40, 50)]);
+        // Gap budget smaller than the hole: no bridging.
+        let mut plan = TransferPlan::new(0, 5);
+        walk(&mut plan);
+        assert_eq!(plan.copies, vec![(1, 0, 10), (1, 20, 30), (1, 40, 50)]);
+        // From device 1's perspective only [30,40) is remote.
+        let mut plan = TransferPlan::new(1, 100);
+        walk(&mut plan);
+        assert_eq!(plan.copies, vec![(0, 30, 40)]);
+    }
+
+    /// Fragmented-tracker coalescing end to end: instrumented strided
+    /// writes leave `out` as alternating Device/Uninit single-element
+    /// segments; pulling it onto one device then needs one bridged copy
+    /// per source instead of one per element.
+    #[test]
+    fn coalescing_collapses_fragmented_tracker_transfers() {
+        let scatter = Kernel {
+            name: "stride_scatter".into(),
+            params: vec![
+                scalar("n"),
+                array_f32("idx", &[ext("n")]),
+                array_f32("a", &[ext("n")]),
+                array_f32("out", &[ext("n")]),
+            ],
+            body: vec![
+                let_("i", global_x()),
+                guard_return(v("i").ge(v("n") / i(2))),
+                store(
+                    "out",
+                    vec![to_i64(load("idx", vec![v("i")]))],
+                    load("a", vec![v("i")]),
+                ),
+            ],
+        };
+        let ck = CompiledKernel::compile(&scatter).unwrap();
+        let reader = CompiledKernel::compile(&scale_kernel()).unwrap();
+        let n = 2048usize;
+        let run = |coalesce: bool| -> (u64, f64) {
+            let mut rt = runtime(4);
+            rt.set_config(RuntimeConfig {
+                coalesce_transfers: coalesce,
+                ..RuntimeConfig::alpha()
+            });
+            let idx = rt.malloc(n * 4, 4).unwrap();
+            let a = rt.malloc(n * 4, 4).unwrap();
+            let out = rt.malloc(n * 4, 4).unwrap();
+            let idx_host: Vec<u8> = (0..n)
+                .flat_map(|i| ((2 * i) as f32).to_le_bytes())
+                .collect();
+            rt.memcpy_h2d(idx, &idx_host).unwrap();
+            rt.memcpy_h2d(a, &vec![0u8; n * 4]).unwrap();
+            rt.launch_instrumented(
+                &ck,
+                Dim3::new1(8),
+                Dim3::new1(128),
+                &[
+                    LaunchArg::Scalar(Value::I64(n as i64)),
+                    LaunchArg::Buf(idx),
+                    LaunchArg::Buf(a),
+                    LaunchArg::Buf(out),
+                ],
+            )
+            .unwrap();
+            assert!(rt.segment_count(out) > n / 2, "tracker must be fragmented");
+            let res = rt.malloc(n * 4, 4).unwrap();
+            let before = rt.machine().counters().d2d_copies;
+            let t0 = rt.elapsed();
+            rt.launch_unpartitioned(
+                &reader,
+                Dim3::new1(8),
+                Dim3::new1(256),
+                &[
+                    LaunchArg::Scalar(Value::I64(n as i64)),
+                    LaunchArg::Buf(out),
+                    LaunchArg::Buf(res),
+                ],
+                0,
+            )
+            .unwrap();
+            rt.synchronize();
+            (
+                rt.machine().counters().d2d_copies - before,
+                rt.elapsed() - t0,
+            )
+        };
+        let (copies_plain, time_plain) = run(false);
+        let (copies_coalesced, time_coalesced) = run(true);
+        // 3 remote devices hold ~n/8 single-element segments each.
+        assert!(
+            copies_plain > 500,
+            "expected fragmentation, got {copies_plain}"
+        );
+        assert_eq!(copies_coalesced, 3, "one bridged copy per remote device");
+        assert!(
+            time_coalesced < time_plain,
+            "saved latencies must show up: {time_coalesced} vs {time_plain}"
+        );
     }
 
     #[test]

@@ -54,10 +54,15 @@ impl Tracker {
     }
 
     /// Record that `owner` wrote `[start, end)`.
-    pub fn update(&mut self, start: u64, end: u64, owner: Owner) {
+    ///
+    /// Returns the number of pre-update segments the range touched (what a
+    /// `query` over the same range would have visited) — the metadata work
+    /// the update actually performed, which the runtime charges as
+    /// host-side tracker-maintenance time.
+    pub fn update(&mut self, start: u64, end: u64, owner: Owner) -> usize {
         let end = end.min(self.len);
         if start >= end {
-            return;
+            return 0;
         }
         // Split the segment containing `start` if it begins earlier.
         if let Some((&s, &(e, o))) = self.segments.range(..=start).next_back() {
@@ -73,18 +78,19 @@ impl Tracker {
                 self.segments.insert(end, (e, o));
             }
         }
-        // Remove all segments now fully inside [start, end).
-        let inside: Vec<u64> = self
-            .segments
-            .range(start..end)
-            .map(|(&s, _)| s)
-            .collect();
+        // Remove all segments now fully inside [start, end). After the
+        // boundary splits, each pre-update segment overlapping the range
+        // maps to exactly one entry here, so the count is the touched
+        // segment count.
+        let inside: Vec<u64> = self.segments.range(start..end).map(|(&s, _)| s).collect();
+        let touched = inside.len();
         for s in inside {
             self.segments.remove(&s);
         }
         self.segments.insert(start, (end, owner));
         // Merge with neighbors of the same owner.
         self.merge_around(start);
+        touched
     }
 
     fn merge_around(&mut self, start: u64) {
@@ -126,6 +132,48 @@ impl Tracker {
                 f(cs, ce, o);
             }
         }
+    }
+
+    /// Visit the segments overlapping a *set* of ranges, after merging
+    /// overlapping and adjacent input ranges.
+    ///
+    /// Access patterns from 2-D/3-D enumerators arrive as one range per
+    /// row; in row-major layout neighbouring rows are byte-adjacent, so
+    /// merging first means one tracker walk (and one emitted segment per
+    /// owner run) instead of one per row. Overlapping halo ranges are
+    /// deduplicated for free. The tracker tiles `[0, len)` with maximal
+    /// segments, so segments inside one merged range never need a second
+    /// merge pass.
+    ///
+    /// Returns `(merged_range_count, emitted_segment_count)`.
+    pub fn query_coalesced(
+        &self,
+        ranges: &[(u64, u64)],
+        f: &mut dyn FnMut(u64, u64, Owner),
+    ) -> (usize, usize) {
+        let mut sorted: Vec<(u64, u64)> = ranges
+            .iter()
+            .map(|&(s, e)| (s, e.min(self.len)))
+            .filter(|&(s, e)| s < e)
+            .collect();
+        sorted.sort_unstable();
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(sorted.len());
+        for (s, e) in sorted {
+            match merged.last_mut() {
+                // `s <= last.1` merges adjacent ranges too, not just
+                // overlapping ones — that is where the win comes from.
+                Some(last) if s <= last.1 => last.1 = last.1.max(e),
+                _ => merged.push((s, e)),
+            }
+        }
+        let mut emitted = 0;
+        for &(s, e) in &merged {
+            self.query(s, e, &mut |cs, ce, o| {
+                emitted += 1;
+                f(cs, ce, o);
+            });
+        }
+        (merged.len(), emitted)
     }
 
     /// Collected segments over a range (convenience for tests).
@@ -187,10 +235,7 @@ mod tests {
         t.update(20, 30, Owner::Device(0));
         assert!(t.check_invariants());
         assert_eq!(t.segments_in(5, 35).len(), 3);
-        assert_eq!(
-            t.segments_in(10, 30),
-            vec![(10, 30, Owner::Device(0))]
-        );
+        assert_eq!(t.segments_in(10, 30), vec![(10, 30, Owner::Device(0))]);
     }
 
     #[test]
@@ -250,6 +295,48 @@ mod tests {
         t.update(7, 3, Owner::Device(0));
         assert_eq!(t.segment_count(), 1);
         assert!(t.segments_in(3, 3).is_empty());
+    }
+
+    #[test]
+    fn update_reports_touched_segment_count() {
+        let mut t = Tracker::new(100);
+        // Fresh tracker: one Uninit segment touched.
+        assert_eq!(t.update(10, 20, Owner::Device(0)), 1);
+        // [0,10) Uninit | [10,20) D0 | [20,100) Uninit.
+        // Overwriting [5, 25) touches all three.
+        assert_eq!(t.update(5, 25, Owner::Device(1)), 3);
+        // Rewriting exactly the same range touches only its own segment.
+        assert_eq!(t.update(5, 25, Owner::Device(1)), 1);
+        // Clipped/empty ranges touch nothing.
+        assert_eq!(t.update(200, 300, Owner::Device(0)), 0);
+        assert_eq!(t.update(7, 7, Owner::Device(0)), 0);
+        assert!(t.check_invariants());
+    }
+
+    #[test]
+    fn query_coalesced_merges_adjacent_and_overlapping_ranges() {
+        let mut t = Tracker::new(100);
+        t.update(0, 50, Owner::Device(0));
+        t.update(50, 100, Owner::Device(1));
+        // Four adjacent "rows" + one overlapping halo → one merged range.
+        let ranges = [(30, 40), (40, 50), (50, 60), (60, 70), (35, 55)];
+        let mut got = Vec::new();
+        let (n_ranges, n_segments) = t.query_coalesced(&ranges, &mut |s, e, o| got.push((s, e, o)));
+        assert_eq!(n_ranges, 1);
+        assert_eq!(n_segments, 2);
+        assert_eq!(
+            got,
+            vec![(30, 50, Owner::Device(0)), (50, 70, Owner::Device(1))]
+        );
+        // Disjoint ranges stay separate and keep sorted order.
+        let mut got = Vec::new();
+        let (n_ranges, n_segments) =
+            t.query_coalesced(&[(80, 90), (0, 10)], &mut |s, e, o| got.push((s, e, o)));
+        assert_eq!((n_ranges, n_segments), (2, 2));
+        assert_eq!(
+            got,
+            vec![(0, 10, Owner::Device(0)), (80, 90, Owner::Device(1))]
+        );
     }
 
     #[test]

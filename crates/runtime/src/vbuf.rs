@@ -26,6 +26,11 @@ pub struct RuntimeConfig {
     pub transfer_timing: bool,
     /// Count dependency-resolution / tracker time (α, β on; γ: off).
     pub pattern_timing: bool,
+    /// Merge adjacent/overlapping access ranges before querying the
+    /// tracker during buffer synchronization, so one D2D copy moves what
+    /// would otherwise be several per-row copies. On in every measurement
+    /// configuration; off exists for the ablation benchmark.
+    pub coalesce_transfers: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -33,6 +38,7 @@ impl Default for RuntimeConfig {
         RuntimeConfig {
             transfer_timing: true,
             pattern_timing: true,
+            coalesce_transfers: true,
         }
     }
 }
@@ -47,7 +53,7 @@ impl RuntimeConfig {
     pub fn beta() -> Self {
         RuntimeConfig {
             transfer_timing: false,
-            pattern_timing: true,
+            ..Self::default()
         }
     }
 
@@ -56,6 +62,7 @@ impl RuntimeConfig {
         RuntimeConfig {
             transfer_timing: false,
             pattern_timing: false,
+            ..Self::default()
         }
     }
 }
@@ -90,8 +97,7 @@ impl MgpuRuntime {
         // γ semantics: with pattern work disabled, transfers cannot be
         // computed either. Functional machines keep resolving so results
         // stay correct; performance machines skip the work entirely.
-        self.resolve_dependencies =
-            cfg.pattern_timing || self.machine.is_functional();
+        self.resolve_dependencies = cfg.pattern_timing || self.machine.is_functional();
     }
 
     /// The wrapped machine.
@@ -118,7 +124,7 @@ impl MgpuRuntime {
     /// `cudaMalloc` replacement: allocate one instance per device and a
     /// tracker (§8.1).
     pub fn malloc(&mut self, bytes: usize, elem_size: usize) -> Result<VBufId> {
-        assert!(elem_size > 0 && bytes % elem_size == 0);
+        assert!(elem_size > 0 && bytes.is_multiple_of(elem_size));
         let mut instances = Vec::with_capacity(self.n_devices());
         for d in 0..self.n_devices() {
             instances.push(self.machine.alloc(d, bytes)?);
@@ -180,14 +186,14 @@ impl MgpuRuntime {
         let rem = total_elems % n;
         let mut start_elem = 0usize;
         let instances = vb.instances.clone();
-        for d in 0..n {
+        for (d, &inst) in instances.iter().enumerate() {
             let len_elems = base + usize::from(d < rem);
             let (s, e) = (start_elem * elem, (start_elem + len_elems) * elem);
             start_elem += len_elems;
             if s == e {
                 continue;
             }
-            self.machine.copy_h2d(&src[s..e], instances[d], s, false)?;
+            self.machine.copy_h2d(&src[s..e], inst, s, false)?;
             self.buffers[dst.0]
                 .tracker
                 .update(s as u64, e as u64, Owner::Device(d));
@@ -233,6 +239,7 @@ impl MgpuRuntime {
     /// timing as [`MgpuRuntime::memcpy_h2d`], but without host payload
     /// (paper-scale buffers need not exist in host memory).
     pub fn memcpy_h2d_sim(&mut self, dst: VBufId) -> Result<()> {
+        self.check_live(dst)?;
         let vb = &self.buffers[dst.0];
         let n = self.n_devices();
         let elem = vb.elem_size;
@@ -241,14 +248,14 @@ impl MgpuRuntime {
         let rem = total_elems % n;
         let mut start_elem = 0usize;
         let instances = vb.instances.clone();
-        for d in 0..n {
+        for (d, &inst) in instances.iter().enumerate() {
             let len_elems = base + usize::from(d < rem);
             let (s, e) = (start_elem * elem, (start_elem + len_elems) * elem);
             start_elem += len_elems;
             if s == e {
                 continue;
             }
-            self.machine.copy_h2d_timed(instances[d], s, e - s, false)?;
+            self.machine.copy_h2d_timed(inst, s, e - s, false)?;
             self.buffers[dst.0]
                 .tracker
                 .update(s as u64, e as u64, Owner::Device(d));
@@ -261,6 +268,7 @@ impl MgpuRuntime {
     /// Performance-mode D2H: tracker-driven gather without a host
     /// destination.
     pub fn memcpy_d2h_sim(&mut self, src: VBufId) -> Result<()> {
+        self.check_live(src)?;
         let vb = &self.buffers[src.0];
         let mut plan: Vec<(usize, u64, u64)> = Vec::new();
         vb.tracker.query(0, vb.len as u64, &mut |s, e, o| {
@@ -306,14 +314,14 @@ impl MgpuRuntime {
         let rem = total_elems % n;
         let mut start_elem = 0usize;
         let instances = vb.instances.clone();
-        for d in 0..n {
+        for (d, &inst) in instances.iter().enumerate() {
             let len_elems = base + usize::from(d < rem);
             let (s, e) = (start_elem * elem, (start_elem + len_elems) * elem);
             start_elem += len_elems;
             if s == e {
                 continue;
             }
-            self.machine.copy_h2d(&src[s..e], instances[d], s, true)?;
+            self.machine.copy_h2d(&src[s..e], inst, s, true)?;
             self.buffers[dst.0]
                 .tracker
                 .update(s as u64, e as u64, Owner::Device(d));
@@ -359,9 +367,7 @@ mod tests {
         let mut rt = runtime(4);
         let n = 100usize; // elements
         let b = rt.malloc(n * 4, 4).unwrap();
-        let data: Vec<u8> = (0..n)
-            .flat_map(|i| (i as f32).to_le_bytes())
-            .collect();
+        let data: Vec<u8> = (0..n).flat_map(|i| (i as f32).to_le_bytes()).collect();
         rt.memcpy_h2d(b, &data).unwrap();
         // 4 devices, 100 elements -> 25 each; tracker has 4 segments.
         assert_eq!(rt.segment_count(b), 4);
@@ -435,6 +441,33 @@ mod tests {
     }
 
     #[test]
+    fn sim_memcpys_reject_freed_and_unknown_buffers() {
+        // Regression: the performance-mode copies used to skip the
+        // liveness check and indexed `buffers` directly, so a freed
+        // handle silently revived and an unknown one panicked.
+        let mut rt = MgpuRuntime::new(Machine::new(MachineSpec::kepler_system(2), false));
+        let b = rt.malloc(64, 4).unwrap();
+        rt.free(b).unwrap();
+        assert!(matches!(
+            rt.memcpy_h2d_sim(b),
+            Err(RuntimeError::BadArgument(_))
+        ));
+        assert!(matches!(
+            rt.memcpy_d2h_sim(b),
+            Err(RuntimeError::BadArgument(_))
+        ));
+        let bogus = VBufId(99);
+        assert!(matches!(
+            rt.memcpy_h2d_sim(bogus),
+            Err(RuntimeError::BadArgument(_))
+        ));
+        assert!(matches!(
+            rt.memcpy_d2h_sim(bogus),
+            Err(RuntimeError::BadArgument(_))
+        ));
+    }
+
+    #[test]
     fn async_h2d_moves_data_without_blocking_host() {
         let mut rt = runtime(2);
         let n = 64usize;
@@ -453,7 +486,10 @@ mod tests {
     fn gamma_disables_resolution_only_in_perf_mode() {
         let mut rt = runtime(2);
         rt.set_config(RuntimeConfig::gamma());
-        assert!(rt.resolve_dependencies, "functional machines keep resolving");
+        assert!(
+            rt.resolve_dependencies,
+            "functional machines keep resolving"
+        );
         let mut rt2 = MgpuRuntime::new(Machine::new(MachineSpec::kepler_system(2), false));
         rt2.set_config(RuntimeConfig::gamma());
         assert!(!rt2.resolve_dependencies);

@@ -9,17 +9,11 @@ use proptest::prelude::*;
 const LEN: u64 = 256;
 
 fn arb_owner() -> impl Strategy<Value = Owner> {
-    prop_oneof![
-        Just(Owner::Host),
-        (0usize..4).prop_map(Owner::Device),
-    ]
+    prop_oneof![Just(Owner::Host), (0usize..4).prop_map(Owner::Device),]
 }
 
 fn arb_ops() -> impl Strategy<Value = Vec<(u64, u64, Owner)>> {
-    proptest::collection::vec(
-        (0u64..LEN, 0u64..=LEN + 16, arb_owner()),
-        1..40,
-    )
+    proptest::collection::vec((0u64..LEN, 0u64..=LEN + 16, arb_owner()), 1..40)
 }
 
 /// Expand a tracker query into a per-byte ownership vector.
@@ -85,6 +79,57 @@ proptest! {
         if qs < qe {
             prop_assert_eq!(covered, qe - qs, "query must tile the range");
         }
+    }
+
+    /// `query_coalesced` over arbitrary (overlapping, adjacent, unsorted)
+    /// ranges visits exactly the bytes of the ranges' union, with the
+    /// naive model's ownership, in sorted disjoint maximal segments.
+    #[test]
+    fn coalesced_queries_match_union_of_ranges(
+        ops in arb_ops(),
+        ranges in proptest::collection::vec((0u64..LEN, 0u64..=LEN + 16), 0..12),
+    ) {
+        let mut t = Tracker::new(LEN);
+        let mut naive = vec![Owner::Uninit; LEN as usize];
+        for (start, end, owner) in ops {
+            t.update(start, end, owner);
+            let end = end.min(LEN);
+            if start < end {
+                for slot in &mut naive[start as usize..end as usize] {
+                    *slot = owner;
+                }
+            }
+        }
+        let range_list: Vec<(u64, u64)> = ranges.clone();
+        let mut in_union = vec![false; LEN as usize];
+        for &(s, e) in &range_list {
+            let e = e.min(LEN);
+            if s < e {
+                for slot in &mut in_union[s as usize..e as usize] {
+                    *slot = true;
+                }
+            }
+        }
+        let mut segs: Vec<(u64, u64, Owner)> = Vec::new();
+        let (n_merged, n_emitted) =
+            t.query_coalesced(&range_list, &mut |s, e, o| segs.push((s, e, o)));
+        prop_assert_eq!(n_emitted, segs.len());
+        prop_assert!(n_merged <= range_list.len(), "merging cannot add ranges");
+        // Visited bytes = union, with correct owners; segments sorted,
+        // disjoint, non-empty.
+        let mut visited = vec![false; LEN as usize];
+        let mut prev_end = 0u64;
+        for &(s, e, o) in &segs {
+            prop_assert!(s < e && e <= LEN, "bad segment [{s},{e})");
+            prop_assert!(s >= prev_end, "segments out of order or overlapping");
+            prev_end = e;
+            for i in s..e {
+                prop_assert!(!visited[i as usize], "byte {} visited twice", i);
+                visited[i as usize] = true;
+                prop_assert_eq!(naive[i as usize], o, "byte {} owner mismatch", i);
+            }
+        }
+        prop_assert_eq!(visited, in_union);
     }
 
     /// Segment count never exceeds the number of distinct ownership runs.

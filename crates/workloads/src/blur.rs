@@ -55,10 +55,7 @@ int main() {
 /// Launch geometry: 32×4 thread blocks.
 pub fn geometry(n: usize) -> (Dim3, Dim3) {
     let block = Dim3::new2(32, 4);
-    let grid = Dim3::new2(
-        (n as u32).div_ceil(block.x),
-        (n as u32).div_ceil(block.y),
-    );
+    let grid = Dim3::new2((n as u32).div_ceil(block.x), (n as u32).div_ceil(block.y));
     (grid, block)
 }
 
@@ -72,19 +69,43 @@ pub fn cpu_reference(n: usize, img: &[f32], iters: usize) -> Vec<f32> {
         let at = |dy: i64, dx: i64| buf[clamp(y as i64 + dy) * n + clamp(x as i64 + dx)];
         let (m2, m1, c, p1, p2) = if horizontal {
             (
-                if x > 1 { at(0, -2) } else if x > 0 { at(0, -1) } else { at(0, 0) },
+                if x > 1 {
+                    at(0, -2)
+                } else if x > 0 {
+                    at(0, -1)
+                } else {
+                    at(0, 0)
+                },
                 if x > 0 { at(0, -1) } else { at(0, 0) },
                 at(0, 0),
                 if x < n - 1 { at(0, 1) } else { at(0, 0) },
-                if x < n - 2 { at(0, 2) } else if x < n - 1 { at(0, 1) } else { at(0, 0) },
+                if x < n - 2 {
+                    at(0, 2)
+                } else if x < n - 1 {
+                    at(0, 1)
+                } else {
+                    at(0, 0)
+                },
             )
         } else {
             (
-                if y > 1 { at(-2, 0) } else if y > 0 { at(-1, 0) } else { at(0, 0) },
+                if y > 1 {
+                    at(-2, 0)
+                } else if y > 0 {
+                    at(-1, 0)
+                } else {
+                    at(0, 0)
+                },
                 if y > 0 { at(-1, 0) } else { at(0, 0) },
                 at(0, 0),
                 if y < n - 1 { at(1, 0) } else { at(0, 0) },
-                if y < n - 2 { at(2, 0) } else if y < n - 1 { at(1, 0) } else { at(0, 0) },
+                if y < n - 2 {
+                    at(2, 0)
+                } else if y < n - 1 {
+                    at(1, 0)
+                } else {
+                    at(0, 0)
+                },
             )
         };
         W[0] * m2 + W[1] * m1 + W[2] * c + W[3] * p1 + W[4] * p2
@@ -139,14 +160,22 @@ impl Benchmark for Blur {
         for _ in 0..iters {
             r.launch_with_traffic(
                 &row.original,
-                &[SimArg::Scalar(Value::I64(n as i64)), SimArg::Buf(a), SimArg::Buf(tmp)],
+                &[
+                    SimArg::Scalar(Value::I64(n as i64)),
+                    SimArg::Buf(a),
+                    SimArg::Buf(tmp),
+                ],
                 grid,
                 block,
                 t_row,
             );
             r.launch_with_traffic(
                 &col.original,
-                &[SimArg::Scalar(Value::I64(n as i64)), SimArg::Buf(tmp), SimArg::Buf(a)],
+                &[
+                    SimArg::Scalar(Value::I64(n as i64)),
+                    SimArg::Buf(tmp),
+                    SimArg::Buf(a),
+                ],
                 grid,
                 block,
                 t_col,
@@ -176,10 +205,20 @@ impl Benchmark for Blur {
         rt.memcpy_h2d_sim(a).unwrap();
         let n_arg = LaunchArg::Scalar(Value::I64(n as i64));
         for _ in 0..iters {
-            rt.launch(row, grid, block, &[n_arg, LaunchArg::Buf(a), LaunchArg::Buf(tmp)])
-                .expect("blur_row launch");
-            rt.launch(col, grid, block, &[n_arg, LaunchArg::Buf(tmp), LaunchArg::Buf(a)])
-                .expect("blur_col launch");
+            rt.launch(
+                row,
+                grid,
+                block,
+                &[n_arg, LaunchArg::Buf(a), LaunchArg::Buf(tmp)],
+            )
+            .expect("blur_row launch");
+            rt.launch(
+                col,
+                grid,
+                block,
+                &[n_arg, LaunchArg::Buf(tmp), LaunchArg::Buf(a)],
+            )
+            .expect("blur_col launch");
         }
         rt.synchronize();
         rt.memcpy_d2h_sim(a).unwrap();
@@ -209,13 +248,23 @@ impl Benchmark for Blur {
         let n_arg = LaunchArg::Scalar(Value::I64(n as i64));
         for _ in 0..iters {
             if rt
-                .launch(row, grid, block, &[n_arg, LaunchArg::Buf(a), LaunchArg::Buf(tmp)])
+                .launch(
+                    row,
+                    grid,
+                    block,
+                    &[n_arg, LaunchArg::Buf(a), LaunchArg::Buf(tmp)],
+                )
                 .is_err()
             {
                 return false;
             }
             if rt
-                .launch(col, grid, block, &[n_arg, LaunchArg::Buf(tmp), LaunchArg::Buf(a)])
+                .launch(
+                    col,
+                    grid,
+                    block,
+                    &[n_arg, LaunchArg::Buf(tmp), LaunchArg::Buf(a)],
+                )
                 .is_err()
             {
                 return false;
@@ -270,10 +319,20 @@ mod tests {
         rt.memcpy_h2d_sim(a).unwrap();
         let n_arg = LaunchArg::Scalar(Value::I64(2048));
         for _ in 0..3 {
-            rt.launch(row, grid, block, &[n_arg, LaunchArg::Buf(a), LaunchArg::Buf(tmp)])
-                .unwrap();
-            rt.launch(row, grid, block, &[n_arg, LaunchArg::Buf(tmp), LaunchArg::Buf(a)])
-                .unwrap();
+            rt.launch(
+                row,
+                grid,
+                block,
+                &[n_arg, LaunchArg::Buf(a), LaunchArg::Buf(tmp)],
+            )
+            .unwrap();
+            rt.launch(
+                row,
+                grid,
+                block,
+                &[n_arg, LaunchArg::Buf(tmp), LaunchArg::Buf(a)],
+            )
+            .unwrap();
         }
         rt.synchronize();
         // Row-pass reads are partition-local under a Y split: zero halo.

@@ -39,10 +39,7 @@ pub const CAP: f32 = 0.125;
 /// Launch geometry for a side length `n`: 32×4 thread blocks.
 pub fn geometry(n: usize) -> (Dim3, Dim3) {
     let block = Dim3::new2(32, 4);
-    let grid = Dim3::new2(
-        ((n as u32) + block.x - 1) / block.x,
-        ((n as u32) + block.y - 1) / block.y,
-    );
+    let grid = Dim3::new2((n as u32).div_ceil(block.x), (n as u32).div_ceil(block.y));
     (grid, block)
 }
 
@@ -91,18 +88,15 @@ impl Benchmark for Hotspot {
         let kernel = &ck.original;
         let (grid, block) = geometry(n);
         let bytes = n * n * 4;
-        let traffic = ck.footprint_bytes(
-            &Partition::whole(grid),
-            block,
-            grid,
-            &[n as i64, 0],
-        );
+        let traffic = ck.footprint_bytes(&Partition::whole(grid), block, grid, &[n as i64, 0]);
         let mut r = SingleGpuRunner::performance();
         let a = r.machine_mut().alloc(0, bytes).unwrap();
         let b = r.machine_mut().alloc(0, bytes).unwrap();
         let p = r.machine_mut().alloc(0, bytes).unwrap();
         for buf in [a, b, p] {
-            r.machine_mut().copy_h2d_timed(buf, 0, bytes, false).unwrap();
+            r.machine_mut()
+                .copy_h2d_timed(buf, 0, bytes, false)
+                .unwrap();
         }
         let (mut src, mut dst) = (a, b);
         for _ in 0..iters {
@@ -122,7 +116,9 @@ impl Benchmark for Hotspot {
             std::mem::swap(&mut src, &mut dst);
         }
         r.synchronize();
-        r.machine_mut().copy_d2h_timed(src, 0, bytes, false).unwrap();
+        r.machine_mut()
+            .copy_d2h_timed(src, 0, bytes, false)
+            .unwrap();
         r.elapsed()
     }
 

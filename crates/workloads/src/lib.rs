@@ -33,11 +33,7 @@ pub use nbody::NBody;
 
 /// The paper's three benchmarks, in Table 1 order.
 pub fn benchmarks() -> Vec<Box<dyn Benchmark>> {
-    vec![
-        Box::new(Hotspot),
-        Box::new(NBody),
-        Box::new(Matmul),
-    ]
+    vec![Box::new(Hotspot), Box::new(NBody), Box::new(Matmul)]
 }
 
 /// Additional workloads beyond the paper's evaluation (toolchain

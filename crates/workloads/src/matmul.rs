@@ -35,10 +35,7 @@ int main() {
 /// Launch geometry: 16×16 thread blocks.
 pub fn geometry(n: usize) -> (Dim3, Dim3) {
     let block = Dim3::new2(16, 16);
-    let grid = Dim3::new2(
-        ((n as u32) + block.x - 1) / block.x,
-        ((n as u32) + block.y - 1) / block.y,
-    );
+    let grid = Dim3::new2((n as u32).div_ceil(block.x), (n as u32).div_ceil(block.y));
     (grid, block)
 }
 
@@ -85,7 +82,9 @@ impl Benchmark for Matmul {
         let b = r.machine_mut().alloc(0, bytes).unwrap();
         let c = r.machine_mut().alloc(0, bytes).unwrap();
         for buf in [a, b] {
-            r.machine_mut().copy_h2d_timed(buf, 0, bytes, false).unwrap();
+            r.machine_mut()
+                .copy_h2d_timed(buf, 0, bytes, false)
+                .unwrap();
         }
         r.launch_with_traffic(
             kernel,

@@ -61,12 +61,12 @@ pub const EPS: f32 = 0.0625;
 /// Launch geometry: 256-thread blocks.
 pub fn geometry(n: usize) -> (Dim3, Dim3) {
     let block = Dim3::new1(256);
-    let grid = Dim3::new1(((n as u32) + block.x - 1) / block.x);
+    let grid = Dim3::new1((n as u32).div_ceil(block.x));
     (grid, block)
 }
 
 /// CPU reference: `steps` leapfrog-ish steps over `posm` (xyzm) and `vel`.
-pub fn cpu_reference(n: usize, posm: &mut Vec<f32>, vel: &mut Vec<f32>, steps: usize) {
+pub fn cpu_reference(n: usize, posm: &mut Vec<f32>, vel: &mut [f32], steps: usize) {
     for _ in 0..steps {
         let mut out = posm.clone();
         for i in 0..n {
@@ -132,18 +132,15 @@ impl Benchmark for NBody {
         let kernel = &ck.original;
         let (grid, block) = geometry(n);
         let bytes = n * 4 * 4;
-        let traffic = ck.footprint_bytes(
-            &Partition::whole(grid),
-            block,
-            grid,
-            &[n as i64, 0, 0],
-        );
+        let traffic = ck.footprint_bytes(&Partition::whole(grid), block, grid, &[n as i64, 0, 0]);
         let mut r = SingleGpuRunner::performance();
         let a = r.machine_mut().alloc(0, bytes).unwrap();
         let b = r.machine_mut().alloc(0, bytes).unwrap();
         let v = r.machine_mut().alloc(0, bytes).unwrap();
         for buf in [a, v] {
-            r.machine_mut().copy_h2d_timed(buf, 0, bytes, false).unwrap();
+            r.machine_mut()
+                .copy_h2d_timed(buf, 0, bytes, false)
+                .unwrap();
         }
         let (mut src, mut dst) = (a, b);
         for _ in 0..iters {
@@ -164,7 +161,9 @@ impl Benchmark for NBody {
             std::mem::swap(&mut src, &mut dst);
         }
         r.synchronize();
-        r.machine_mut().copy_d2h_timed(src, 0, bytes, false).unwrap();
+        r.machine_mut()
+            .copy_d2h_timed(src, 0, bytes, false)
+            .unwrap();
         r.elapsed()
     }
 

@@ -7,7 +7,9 @@ use mekong_workloads::{Benchmark, Hotspot, Matmul, NBody};
 
 fn speedup(b: &dyn Benchmark, size: usize, iters: usize, gpus: usize) -> f64 {
     let t_ref = b.reference_time(size, iters);
-    let t = b.mgpu_run(size, iters, gpus, RuntimeConfig::alpha()).elapsed;
+    let t = b
+        .mgpu_run(size, iters, gpus, RuntimeConfig::alpha())
+        .elapsed;
     t_ref / t
 }
 

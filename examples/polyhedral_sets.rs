@@ -43,10 +43,7 @@ fn main() {
     // emit as C, here interpreted at runtime).
     let e = Enumerator::build(&s1).unwrap();
     println!("generated scan for S1 (pseudo-C):");
-    print!(
-        "{}",
-        e.to_pseudo_c(&["y".into(), "x".into()], &[])
-    );
+    print!("{}", e.to_pseudo_c(&["y".into(), "x".into()], &[]));
     println!("\nrow ranges of S1 (first/last element per row, §6.1):");
     for r in e.rows_merged(&[]) {
         println!("    row {:?}: columns {}..={}", r.prefix, r.lo, r.hi);

@@ -59,7 +59,7 @@ fn main() {
     rt.memcpy_h2d(y, &h_y).unwrap();
     rt.launch(
         ck,
-        Dim3::new1(((n as u32) + 255) / 256),
+        Dim3::new1((n as u32).div_ceil(256)),
         Dim3::new1(256),
         &[
             LaunchArg::Scalar(Value::I64(n as i64)),

@@ -32,7 +32,10 @@ int main() {
 
 fn main() {
     let program = parse_program(SOURCE).expect("parse");
-    println!("found {} kernel(s); host code below is fed to the rewriter\n", program.kernels.len());
+    println!(
+        "found {} kernel(s); host code below is fed to the rewriter\n",
+        program.kernels.len()
+    );
     let rewritten = rewrite_host(&program.host_source).expect("rewrite");
     println!("=== rewritten host code ===");
     println!("{}", rewritten.source);

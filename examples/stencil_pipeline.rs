@@ -53,10 +53,7 @@ fn main() {
     let n = 256usize;
     let iters = 10;
     let block = Dim3::new2(32, 4);
-    let grid = Dim3::new2(
-        (n as u32 + 31) / 32,
-        (n as u32 + 3) / 4,
-    );
+    let grid = Dim3::new2((n as u32).div_ceil(32), (n as u32).div_ceil(4));
     let init: Vec<f32> = (0..n * n)
         .map(|i| if i % 977 == 0 { 100.0 } else { 0.0 })
         .collect();
@@ -64,7 +61,10 @@ fn main() {
     let want = cpu_reference(n, &init, iters);
 
     // Functional runs on 1..8 devices, plus a timing sweep.
-    println!("\n{:>5} {:>12} {:>10} {:>10}", "GPUs", "sim time", "speedup", "verified");
+    println!(
+        "\n{:>5} {:>12} {:>10} {:>10}",
+        "GPUs", "sim time", "speedup", "verified"
+    );
     let mut t1 = 0.0f64;
     for gpus in [1usize, 2, 4, 8] {
         let mut rt = MgpuRuntime::new(Machine::new(MachineSpec::kepler_system(gpus), true));

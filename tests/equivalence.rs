@@ -29,15 +29,17 @@ fn arb_spec() -> impl Strategy<Value = StencilSpec> {
         2usize..=6,
         (3u32..=7),
     )
-        .prop_map(|(left, right, scale, use_second, n, gpus, block_pow)| StencilSpec {
-            left,
-            right,
-            scale: scale as f64,
-            use_second,
-            n,
-            gpus,
-            block: 1 << block_pow, // 8..=128
-        })
+        .prop_map(
+            |(left, right, scale, use_second, n, gpus, block_pow)| StencilSpec {
+                left,
+                right,
+                scale: scale as f64,
+                use_second,
+                n,
+                gpus,
+                block: 1 << block_pow, // 8..=128
+            },
+        )
 }
 
 fn source_for(spec: &StencilSpec) -> String {
@@ -70,7 +72,7 @@ fn run(spec: &StencilSpec, gpus: usize) -> Vec<u8> {
     );
     let n = spec.n;
     let mut rt = MgpuRuntime::new(Machine::new(MachineSpec::kepler_system(gpus), true));
-    let grid = Dim3::new1(((n as u32) + spec.block - 1) / spec.block);
+    let grid = Dim3::new1((n as u32).div_ceil(spec.block));
     let block = Dim3::new1(spec.block);
     let a = rt.malloc(n * 4, 4).unwrap();
     let a_host: Vec<u8> = (0..n)
@@ -132,7 +134,7 @@ __global__ void step(int n, float a[n], float b[n]) {
         let ck = program.kernel("step").unwrap();
         let run_iters = |gpus: usize| -> Vec<u8> {
             let mut rt = MgpuRuntime::new(Machine::new(MachineSpec::kepler_system(gpus), true));
-            let grid = Dim3::new1(((n as u32) + 31) / 32);
+            let grid = Dim3::new1((n as u32).div_ceil(32));
             let block = Dim3::new1(32);
             let a = rt.malloc(n * 4, 4).unwrap();
             let b = rt.malloc(n * 4, 4).unwrap();

@@ -48,14 +48,19 @@ fn run_multi_kernel(gpus: usize, n: usize, blur_iters: usize) -> Vec<f32> {
         );
     }
     let mut rt = MgpuRuntime::new(Machine::new(MachineSpec::kepler_system(gpus), true));
-    let grid = Dim3::new1(((n as u32) + 63) / 64);
+    let grid = Dim3::new1((n as u32).div_ceil(64));
     let block = Dim3::new1(64);
     let a = rt.malloc(n * 4, 4).unwrap();
     let b = rt.malloc(n * 4, 4).unwrap();
     let c = rt.malloc(n * 4, 4).unwrap();
     let n_arg = LaunchArg::Scalar(Value::I64(n as i64));
-    rt.launch(program.kernel("init").unwrap(), grid, block, &[n_arg, LaunchArg::Buf(a)])
-        .unwrap();
+    rt.launch(
+        program.kernel("init").unwrap(),
+        grid,
+        block,
+        &[n_arg, LaunchArg::Buf(a)],
+    )
+    .unwrap();
     let (mut src, mut dst) = (a, b);
     for _ in 0..blur_iters {
         rt.launch(
@@ -113,11 +118,17 @@ int main() {
     let program = compile_source(src).unwrap();
     assert_eq!(program.launch_sites.len(), 2);
     assert_eq!(
-        program.rewritten_host.matches("mekongSyncReadBuffers").count(),
+        program
+            .rewritten_host
+            .matches("mekongSyncReadBuffers")
+            .count(),
         2
     );
     assert_eq!(
-        program.rewritten_host.matches("mekongUpdateTrackers").count(),
+        program
+            .rewritten_host
+            .matches("mekongUpdateTrackers")
+            .count(),
         2
     );
 }
@@ -177,7 +188,7 @@ __global__ void colsum(int n, float m[n][n], float s[n]) {
         rt.memcpy_h2d(m, &mb).unwrap();
         rt.launch(
             ck,
-            Dim3::new1(((n as u32) + 31) / 32),
+            Dim3::new1((n as u32).div_ceil(32)),
             Dim3::new1(32),
             &[
                 LaunchArg::Scalar(Value::I64(n as i64)),
@@ -265,7 +276,7 @@ __global__ void rowscale(int n, float a[n][n], float b[n][n]) {
     let a_host: Vec<f32> = (0..n * n).map(|i| i as f32).collect();
     let run = |gpus: usize| -> Vec<f32> {
         let mut rt = MgpuRuntime::new(Machine::new(MachineSpec::kepler_system(gpus), true));
-        let grid = Dim3::new2(((n as u32) + 7) / 8, ((n as u32) + 7) / 8);
+        let grid = Dim3::new2((n as u32).div_ceil(8), (n as u32).div_ceil(8));
         let block = Dim3::new2(8, 8);
         let a = rt.malloc(n * n * 4, 4).unwrap();
         let b = rt.malloc(n * n * 4, 4).unwrap();
@@ -275,12 +286,27 @@ __global__ void rowscale(int n, float a[n][n], float b[n][n]) {
         rt.memcpy_h2d(a, &bytes).unwrap();
         let n_arg = LaunchArg::Scalar(Value::I64(n as i64));
         // transpose -> rowscale -> transpose: result = 2 * A.
-        rt.launch(tp, grid, block, &[n_arg, LaunchArg::Buf(a), LaunchArg::Buf(b)])
-            .unwrap();
-        rt.launch(rs, grid, block, &[n_arg, LaunchArg::Buf(b), LaunchArg::Buf(c)])
-            .unwrap();
-        rt.launch(tp, grid, block, &[n_arg, LaunchArg::Buf(c), LaunchArg::Buf(d)])
-            .unwrap();
+        rt.launch(
+            tp,
+            grid,
+            block,
+            &[n_arg, LaunchArg::Buf(a), LaunchArg::Buf(b)],
+        )
+        .unwrap();
+        rt.launch(
+            rs,
+            grid,
+            block,
+            &[n_arg, LaunchArg::Buf(b), LaunchArg::Buf(c)],
+        )
+        .unwrap();
+        rt.launch(
+            tp,
+            grid,
+            block,
+            &[n_arg, LaunchArg::Buf(c), LaunchArg::Buf(d)],
+        )
+        .unwrap();
         rt.synchronize();
         let mut out = vec![0u8; n * n * 4];
         rt.memcpy_d2h(d, &mut out).unwrap();
@@ -325,7 +351,10 @@ __global__ void scatter(int n, float idx[n], float a[n], float out[n]) {
         let idx = rt.malloc(n * 4, 4).unwrap();
         let a = rt.malloc(n * 4, 4).unwrap();
         let out = rt.malloc(n * 4, 4).unwrap();
-        let idx_host: Vec<u8> = perm.iter().flat_map(|&p| (p as f32).to_le_bytes()).collect();
+        let idx_host: Vec<u8> = perm
+            .iter()
+            .flat_map(|&p| (p as f32).to_le_bytes())
+            .collect();
         let a_host: Vec<u8> = (0..n).flat_map(|i| (i as f32).to_le_bytes()).collect();
         rt.memcpy_h2d(idx, &idx_host).unwrap();
         rt.memcpy_h2d(a, &a_host).unwrap();

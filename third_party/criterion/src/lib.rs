@@ -1,0 +1,128 @@
+//! Offline drop-in subset of `criterion`: runs each benchmark a fixed
+//! small number of timed iterations and prints mean wall time. No
+//! statistics, warm-up calibration, or reports — just enough to keep
+//! `cargo bench` working and useful as a smoke-perf signal.
+
+use std::time::Instant;
+
+const ITERS: u32 = 20;
+
+pub struct Criterion;
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            prefix: name.to_string(),
+            _c: self,
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    prefix: String,
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<S, F>(&mut self, name: S, mut f: F) -> &mut Self
+    where
+        S: Into<String>,
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.prefix, name.into());
+        run_one(&full, &mut f);
+        self
+    }
+
+    /// Accepted for API compatibility; the subset's fixed measurement
+    /// loop ignores the requested sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, f: &mut F) {
+    let mut b = Bencher {
+        elapsed_ns: 0,
+        iters: 0,
+    };
+    f(&mut b);
+    let mean = if b.iters > 0 {
+        b.elapsed_ns / b.iters as u128
+    } else {
+        0
+    };
+    println!("bench {name:<48} {mean:>12} ns/iter ({} iters)", b.iters);
+}
+
+pub struct Bencher {
+    elapsed_ns: u128,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        for _ in 0..ITERS {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.elapsed_ns += start.elapsed().as_nanos();
+            self.iters += 1;
+        }
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..ITERS {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.elapsed_ns += start.elapsed().as_nanos();
+            self.iters += 1;
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

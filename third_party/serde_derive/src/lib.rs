@@ -1,0 +1,368 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde subset.
+//!
+//! Implemented without `syn`/`quote` (unavailable offline): a small
+//! token-tree walk extracts the item's shape (struct field names, enum
+//! variants and their arities), and the impls are emitted as formatted
+//! source text. Supported shapes are exactly what the workspace uses:
+//! non-generic structs with named fields, unit structs, and enums whose
+//! variants are unit, tuple, or struct-like. Unsupported shapes produce
+//! a `compile_error!` naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, VariantKind)>,
+    },
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Skip attributes (`#[...]`) and visibility (`pub`, `pub(...)`) at `i`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Advance past a type (or any token run) until a top-level `,`, tracking
+/// `<...>` nesting. Consumes the trailing comma if present.
+fn skip_until_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle: i32 = 0;
+    while let Some(t) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1, // `->` cannot appear in the field types we support
+                ',' if angle <= 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Parse the comma-separated named fields inside a brace group.
+fn parse_named_fields(group: &TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = group.clone().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(t) => return Err(format!("expected field name, found `{t}`")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        skip_until_comma(&tokens, &mut i);
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Count the top-level comma-separated entries of a paren group (tuple
+/// variant arity).
+fn tuple_arity(group: &TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = group.clone().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut arity = 1;
+    let mut angle: i32 = 0;
+    let mut saw_token_since_comma = false;
+    for t in &tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle <= 0 => {
+                    arity += 1;
+                    saw_token_since_comma = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        saw_token_since_comma = true;
+    }
+    if !saw_token_since_comma {
+        arity -= 1; // trailing comma
+    }
+    arity
+}
+
+fn parse_variants(group: &TokenStream) -> Result<Vec<(String, VariantKind)>, String> {
+    let tokens: Vec<TokenTree> = group.clone().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(t) => return Err(format!("expected variant name, found `{t}`")),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(tuple_arity(&g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(&g.stream())?)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional `= discriminant` and the separating comma.
+        skip_until_comma(&tokens, &mut i);
+        variants.push((name, kind));
+    }
+    Ok(variants)
+}
+
+fn parse_shape(input: &TokenStream) -> Result<Shape, String> {
+    let tokens: Vec<TokenTree> = input.clone().into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected `struct` or `enum`".into()),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected item name".into()),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde stub derive does not support generic type `{name}`"
+        ));
+    }
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Shape::Struct {
+                name,
+                fields: parse_named_fields(&g.stream())?,
+            }),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Shape::Struct {
+                name,
+                fields: Vec::new(),
+            }),
+            _ => Err(format!(
+                "serde stub derive does not support tuple struct `{name}`"
+            )),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Shape::Enum {
+                name,
+                variants: parse_variants(&g.stream())?,
+            }),
+            _ => Err(format!("malformed enum `{name}`")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(&input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match shape {
+        Shape::Struct { name, fields } => {
+            let mut pushes = String::new();
+            for f in &fields {
+                pushes.push_str(&format!(
+                    "m.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut m: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Map(m)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (v, kind) in &variants {
+                match kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::Str({v:?}.to_string()),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                        let sers: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v}({}) => ::serde::Value::Map(vec![({v:?}.to_string(), \
+                             ::serde::Value::Seq(vec![{}]))]),\n",
+                            binders.join(", "),
+                            sers.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let sers: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!("({f:?}.to_string(), ::serde::Serialize::to_value({f}))")
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {} }} => ::serde::Value::Map(vec![({v:?}.to_string(), \
+                             ::serde::Value::Map(vec![{}]))]),\n",
+                            fields.join(", "),
+                            sers.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(&input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match shape {
+        Shape::Struct { name, fields } => {
+            let mut inits = String::new();
+            for f in &fields {
+                inits.push_str(&format!(
+                    "{f}: ::serde::Deserialize::from_value(v.get({f:?}).ok_or_else(|| \
+                     ::serde::DeError::new(concat!(\"missing field `\", {f:?}, \"` in {name}\")))?)?,\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         Ok({name} {{\n{inits}}})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for (v, kind) in &variants {
+                match kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "::serde::Value::Str(s) if s == {v:?} => return Ok({name}::{v}),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let gets: Vec<String> = (0..*n)
+                            .map(|k| {
+                                format!(
+                                    "::serde::Deserialize::from_value(items.get({k}).ok_or_else(|| \
+                                     ::serde::DeError::new(\"variant payload too short\"))?)?"
+                                )
+                            })
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "{v:?} => {{\n\
+                                 let items = inner.as_seq().ok_or_else(|| \
+                                     ::serde::DeError::new(\"expected sequence payload\"))?;\n\
+                                 return Ok({name}::{v}({}));\n\
+                             }}\n",
+                            gets.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(inner.get({f:?}).ok_or_else(|| \
+                                     ::serde::DeError::new(concat!(\"missing field `\", {f:?}, \"`\")))?)?"
+                                )
+                            })
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "{v:?} => return Ok({name}::{v} {{ {} }}),\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match v {{\n\
+                             {unit_arms}\
+                             ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                                 let (tag, inner) = &entries[0];\n\
+                                 let _ = inner;\n\
+                                 match tag.as_str() {{\n\
+                                     {tagged_arms}\
+                                     _ => {{}}\n\
+                                 }}\n\
+                             }}\n\
+                             _ => {{}}\n\
+                         }}\n\
+                         Err(::serde::DeError::new(format!(\
+                             \"no variant of {name} matches {{v:?}}\")))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}

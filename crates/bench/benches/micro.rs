@@ -135,6 +135,72 @@ fn bench_enumerator_runtime(c: &mut Criterion) {
     g.finish();
 }
 
+/// The launch hot path in performance mode: one steady-state ping-pong
+/// Hotspot launch per iteration, with the plan cache on (replay: hash
+/// the trackers, enqueue the captured sequence) and off (full tracker
+/// walk + transfer planning every time). The gap between the two is the
+/// wall-clock win A6 measures end-to-end.
+fn bench_launch_replay(c: &mut Criterion) {
+    use mekong_gpusim::Machine;
+    let mut g = c.benchmark_group("launch");
+    let program = compile_source(mekong_workloads::hotspot::SOURCE).unwrap();
+    let ck = program.kernel("hotspot").unwrap();
+    let n = 2048usize;
+    let (grid, block) = mekong_workloads::hotspot::geometry(n);
+    for (label, capture) in [("replay_on", true), ("replay_off", false)] {
+        let mut rt = MgpuRuntime::new(Machine::new(MachineSpec::kepler_system(4), false));
+        rt.set_config(RuntimeConfig {
+            capture_plans: capture,
+            ..RuntimeConfig::beta()
+        });
+        let a = rt.malloc(n * n * 4, 4).unwrap();
+        let b = rt.malloc(n * n * 4, 4).unwrap();
+        let p = rt.malloc(n * n * 4, 4).unwrap();
+        for buf in [a, b, p] {
+            rt.memcpy_h2d_sim(buf).unwrap();
+        }
+        let (mut src, mut dst) = (a, b);
+        // Warm up past the two ping-pong phases so `replay_on` measures
+        // pure hits.
+        for _ in 0..4 {
+            rt.launch(
+                ck,
+                grid,
+                block,
+                &[
+                    LaunchArg::Scalar(Value::I64(n as i64)),
+                    LaunchArg::Scalar(Value::F32(mekong_workloads::hotspot::CAP)),
+                    LaunchArg::Buf(src),
+                    LaunchArg::Buf(p),
+                    LaunchArg::Buf(dst),
+                ],
+            )
+            .unwrap();
+            std::mem::swap(&mut src, &mut dst);
+        }
+        g.bench_function(format!("hotspot_steady_state_{label}"), |bch| {
+            bch.iter(|| {
+                rt.launch(
+                    ck,
+                    grid,
+                    block,
+                    &[
+                        LaunchArg::Scalar(Value::I64(n as i64)),
+                        LaunchArg::Scalar(Value::F32(mekong_workloads::hotspot::CAP)),
+                        LaunchArg::Buf(src),
+                        LaunchArg::Buf(p),
+                        LaunchArg::Buf(dst),
+                    ],
+                )
+                .unwrap();
+                std::mem::swap(&mut src, &mut dst);
+                black_box(src)
+            })
+        });
+    }
+    g.finish();
+}
+
 fn bench_interpreter(c: &mut Criterion) {
     use mekong_kernel::{
         execute_grid, interp::KernelArg, Dim3 as KDim3, ExecMode, Value as KValue, VecMem,
@@ -181,6 +247,7 @@ criterion_group!(
     bench_tracker,
     bench_analysis,
     bench_enumerator_runtime,
+    bench_launch_replay,
     bench_interpreter
 );
 criterion_main!(benches);

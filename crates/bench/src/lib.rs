@@ -14,6 +14,8 @@
 //! | `ablation_tracker`     | A2 — tracker fragmentation vs sync cost   |
 //! | `ablation_split_dim`   | A3 — partition axis choice                |
 //! | `ablation_interconnect`| A4 — PCIe-tree vs NVLink-class fabric     |
+//! | `ablation_streams`     | A5 — execution engine, transfer coalescing|
+//! | `ablation_replay`      | A6 — launch-plan capture & replay         |
 //!
 //! All binaries accept `--quick` to scale down iteration counts for a fast
 //! smoke run; without it, the Table 1 configurations are used.

@@ -25,6 +25,7 @@ use mekong_partition::Partition;
 use mekong_poly::{Constraint, Enumerator, LinExpr, Map, PolyError, Set, Space};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Number of partition-box parameters appended to the map parameters.
@@ -46,8 +47,20 @@ pub struct AccessEnumerator {
     cache: RangeCache,
 }
 
-/// Merged-range memo, keyed by the concrete parameter vector.
-type RangeCache = Arc<Mutex<HashMap<Vec<i64>, Arc<Vec<ElemRange>>>>>;
+/// Merged-range memo, keyed by the concrete parameter vector. Shared by
+/// all clones of an enumerator (the runtime clones `KernelEnumerators`
+/// into each compiled kernel).
+type RangeCache = Arc<RangeCacheInner>;
+
+/// Backing store of the range memo plus hit/miss counters, so the memo's
+/// effectiveness is observable (asserted in the iterative-stencil test and
+/// reported by the ablation benches).
+#[derive(Debug, Default)]
+struct RangeCacheInner {
+    map: Mutex<HashMap<Vec<i64>, Arc<Vec<ElemRange>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
 
 /// One linearized element range `[start, end)` (in elements, not bytes).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -183,7 +196,7 @@ impl AccessEnumerator {
             extents: extents.to_vec(),
             n_orig_params,
             exact,
-            cache: Arc::new(Mutex::new(HashMap::new())),
+            cache: Arc::new(RangeCacheInner::default()),
         })
     }
 
@@ -252,12 +265,14 @@ impl AccessEnumerator {
         f: &mut dyn FnMut(ElemRange),
     ) {
         let params = self.params_vec(partition, block_dim, grid_dim, scalars);
-        if let Some(cached) = self.cache.lock().get(&params).cloned() {
+        if let Some(cached) = self.cache.map.lock().get(&params).cloned() {
+            self.cache.hits.fetch_add(1, Ordering::Relaxed);
             for r in cached.iter() {
                 f(*r);
             }
             return;
         }
+        self.cache.misses.fetch_add(1, Ordering::Relaxed);
         let exts = self.concrete_extents(scalar_names, scalars);
         let d = exts.len();
         // Linearize rows and fuse ranges that are adjacent in the
@@ -316,7 +331,16 @@ impl AccessEnumerator {
         for r in &merged {
             f(*r);
         }
-        self.cache.lock().insert(params, Arc::new(merged));
+        self.cache.map.lock().insert(params, Arc::new(merged));
+    }
+
+    /// `(hits, misses)` of this enumerator's range memo, accumulated over
+    /// every clone sharing the cache.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (
+            self.cache.hits.load(Ordering::Relaxed),
+            self.cache.misses.load(Ordering::Relaxed),
+        )
     }
 
     /// Collect merged, sorted element ranges (convenience; hot paths use
@@ -412,6 +436,19 @@ impl KernelEnumerators {
     /// Write enumerator of argument `idx`, if the kernel writes it.
     pub fn write_of(&self, idx: usize) -> Option<&AccessEnumerator> {
         self.writes.iter().find(|(i, _)| *i == idx).map(|(_, e)| e)
+    }
+
+    /// Aggregate `(hits, misses)` of the range memos across every read and
+    /// write enumerator of this kernel.
+    pub fn range_cache_stats(&self) -> (u64, u64) {
+        let mut hits = 0;
+        let mut misses = 0;
+        for (_, e) in self.reads.iter().chain(self.writes.iter()) {
+            let (h, m) = e.cache_stats();
+            hits += h;
+            misses += m;
+        }
+        (hits, misses)
     }
 }
 

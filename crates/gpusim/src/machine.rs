@@ -65,6 +65,11 @@ pub struct OpCounters {
     pub h2d_bytes: u64,
     pub d2h_bytes: u64,
     pub d2d_bytes: u64,
+    /// Launch-plan cache hits (runtime capture/replay; see mekong-runtime).
+    pub plan_hits: u64,
+    /// Launch-plan cache misses: launches that walked trackers and
+    /// captured a fresh plan (or ran with capture disabled).
+    pub plan_misses: u64,
 }
 
 /// A kernel launch argument at the machine level.
@@ -245,6 +250,16 @@ impl Machine {
     /// Operation counters.
     pub fn counters(&self) -> OpCounters {
         self.counters
+    }
+
+    /// Record a launch-plan cache hit (runtime capture/replay).
+    pub fn note_plan_hit(&mut self) {
+        self.counters.plan_hits += 1;
+    }
+
+    /// Record a launch-plan cache miss.
+    pub fn note_plan_miss(&mut self) {
+        self.counters.plan_misses += 1;
     }
 
     /// Reset clocks, breakdown and counters (memory contents stay).

@@ -48,6 +48,11 @@ pub struct MachineSpec {
     /// Host-side cost to orchestrate one partitioned kernel launch
     /// (argument marshalling, enumerator setup), seconds.
     pub host_per_launch: f64,
+    /// Host-side cost to replay a captured launch plan (one cache lookup
+    /// plus iterating pre-resolved commands), seconds. Charged *instead
+    /// of* the per-range/per-segment pattern costs on a plan-cache hit —
+    /// the CUDA-Graphs-style amortization of the §5 launch rewrite.
+    pub host_per_replay: f64,
 }
 
 impl MachineSpec {
@@ -77,6 +82,7 @@ impl MachineSpec {
             host_per_range: 0.6e-6,
             host_per_segment: 0.25e-6,
             host_per_launch: 4.0e-6,
+            host_per_replay: 1.0e-6,
         }
     }
 

@@ -55,6 +55,15 @@ impl CompiledKernel {
         self.model.verdict.is_partitionable()
     }
 
+    /// Cumulative `(hits, misses)` of the enumerator range memo across
+    /// all read/write enumerators of this kernel. Every
+    /// [`footprint_bytes`](Self::footprint_bytes) call and every
+    /// cache-missing launch queries the memo; iterative workloads should
+    /// show hits ≫ misses.
+    pub fn range_cache_stats(&self) -> (u64, u64) {
+        self.enums.range_cache_stats()
+    }
+
     /// The polyhedral memory footprint of one partition, in bytes: the
     /// unique array elements the partition reads or writes, per the access
     /// maps. Used as the bandwidth term of the simulator's roofline (a
@@ -110,6 +119,37 @@ mod tests {
         assert!(ck.enums.read_of(1).is_some());
         assert!(ck.enums.write_of(2).is_some());
         assert!(ck.enums.write_of(1).is_none());
+    }
+
+    #[test]
+    fn footprint_queries_feed_the_range_memo() {
+        use mekong_kernel::Dim3;
+        use mekong_partition::Partition;
+        let k = Kernel {
+            name: "scale".into(),
+            params: vec![
+                scalar("n"),
+                array_f32("a", &[ext("n")]),
+                array_f32("b", &[ext("n")]),
+            ],
+            body: vec![
+                let_("i", global_x()),
+                guard_return(v("i").ge(v("n"))),
+                store("b", vec![v("i")], load("a", vec![v("i")]) * f(3.0)),
+            ],
+        };
+        let ck = CompiledKernel::compile(&k).unwrap();
+        let (grid, block) = (Dim3::new1(4), Dim3::new1(64));
+        let part = Partition::whole(grid);
+        let f1 = ck.footprint_bytes(&part, block, grid, &[256]);
+        let (h0, m0) = ck.range_cache_stats();
+        assert_eq!(h0, 0, "first walk cannot hit");
+        assert!(m0 > 0, "first walk must populate the memo");
+        let f2 = ck.footprint_bytes(&part, block, grid, &[256]);
+        assert_eq!(f1, f2);
+        let (h1, m1) = ck.range_cache_stats();
+        assert_eq!(m1, m0, "second identical walk must not miss");
+        assert!(h1 > 0, "second identical walk must hit");
     }
 
     #[test]

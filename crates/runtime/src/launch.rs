@@ -6,14 +6,18 @@
 //! 4. update the buffer trackers for all writes.
 
 use crate::compiled::CompiledKernel;
+use crate::plan::{ArgKey, LaunchPlan, PlanCopy, PlanKey, PlanLaunch, PlanUpdate};
 use crate::tracker::Owner;
-use crate::vbuf::{MgpuRuntime, VBufId};
+use crate::vbuf::{MgpuRuntime, VBufId, VirtualBuffer};
 use crate::{Result, RuntimeError};
-use mekong_analysis::ArgModel;
+use mekong_analysis::{ArgModel, SplitAxis};
+use mekong_enumgen::AccessEnumerator;
 use mekong_gpusim::machine::SimArg;
 use mekong_gpusim::TimeCat;
 use mekong_kernel::{Dim3, Extent, Value};
 use mekong_partition::{partition_grid, Partition};
+use rayon::prelude::*;
+use std::sync::Arc;
 
 /// An argument of a rewritten kernel launch.
 #[derive(Debug, Clone, Copy)]
@@ -84,9 +88,128 @@ impl TransferPlan {
     }
 }
 
+/// The precomputed synchronization of one `(gpu, read-argument)` pair:
+/// the enumerator walk and tracker query reduced to cost terms plus the
+/// coalesced D2D copy list. Planning is a read-only function of the
+/// buffer state, so a capturing miss plans every pair in parallel;
+/// applying the plans (charging costs, issuing copies) stays serial and
+/// in the §5 order.
+struct SyncPlan {
+    vb: VBufId,
+    gpu: usize,
+    n_ranges: usize,
+    n_segments: usize,
+    /// `(source device, start, end)` in bytes.
+    copies: Vec<(usize, u64, u64)>,
+}
+
+/// Plan the synchronization of `vb` for one partition (§8.3): enumerate
+/// the partition's read set, query the tracker for each range, and turn
+/// remote-owned segments into a minimal copy list. Mutates nothing.
+#[allow(clippy::too_many_arguments)]
+fn plan_sync(
+    vb: &VirtualBuffer,
+    vb_id: VBufId,
+    renum: &AccessEnumerator,
+    part: &Partition,
+    block: Dim3,
+    grid: Dim3,
+    scalar_names: &[String],
+    scalars: &[i64],
+    gpu: usize,
+    max_gap: u64,
+    coalesce: bool,
+) -> SyncPlan {
+    let elem = vb.elem_size as u64;
+    let mut ranges: Vec<(u64, u64)> = Vec::new();
+    renum.for_each_range(part, block, grid, scalar_names, scalars, &mut |r| {
+        ranges.push((r.start * elem, r.end * elem));
+    });
+    let n_ranges = ranges.len();
+    let mut plan = TransferPlan::new(gpu, max_gap);
+    let n_segments = if coalesce {
+        // Merge adjacent/overlapping read ranges (e.g. consecutive rows
+        // of a 2-D halo) so each owner run costs one segment — and one
+        // D2D copy — instead of one per row.
+        let (_, emitted) = vb
+            .tracker
+            .query_coalesced(&ranges, &mut |s, e, o| plan.visit(s, e, o));
+        emitted
+    } else {
+        let mut emitted = 0usize;
+        for &(s, e) in &ranges {
+            vb.tracker.query(s, e, &mut |s, e, o| {
+                emitted += 1;
+                plan.visit(s, e, o);
+            });
+        }
+        emitted
+    };
+    SyncPlan {
+        vb: vb_id,
+        gpu,
+        n_ranges,
+        n_segments,
+        copies: plan.copies,
+    }
+}
+
+/// Find a pair of *different* devices whose observed write ranges
+/// overlap, if any (`claims` holds `(device, start, end)` triples and is
+/// sorted by start as a side effect). Returns the two devices.
+///
+/// A single running max-end is not enough once a device may contribute
+/// nested ranges: after sorting, `(A,0,100), (A,10,20), (B,50,60)` has
+/// no *adjacent* conflicting pair. Instead keep the furthest-reaching
+/// end seen so far plus the furthest end among claims of any *other*
+/// device: for a claim of device `g`, an overlap with an earlier claim
+/// of another device exists iff `start < max{end of earlier claims not
+/// from g}` — which is the leader's end when the leader is another
+/// device, else the runner-up's.
+fn cross_device_overlap(claims: &mut [(usize, u64, u64)]) -> Option<(usize, usize)> {
+    claims.sort_by_key(|&(_, s, _)| s);
+    // Furthest-reaching earlier claim (end, device)…
+    let mut max_end = 0u64;
+    let mut max_dev = usize::MAX;
+    // …and the furthest among earlier claims of devices != max_dev.
+    let mut other_end = 0u64;
+    let mut other_dev = usize::MAX;
+    for &(g, s, e) in claims.iter() {
+        if s >= e {
+            continue; // empty claims cover nothing
+        }
+        if max_dev != usize::MAX {
+            if g == max_dev {
+                if s < other_end {
+                    return Some((other_dev, g));
+                }
+            } else if s < max_end {
+                return Some((max_dev, g));
+            }
+        }
+        if max_dev == usize::MAX || g == max_dev {
+            max_dev = g;
+            max_end = max_end.max(e);
+        } else if e > max_end {
+            other_end = max_end;
+            other_dev = max_dev;
+            max_end = e;
+            max_dev = g;
+        } else if e > other_end {
+            other_end = e;
+            other_dev = g;
+        }
+    }
+    None
+}
+
 impl MgpuRuntime {
     /// The kernel-launch replacement: run `ck` over `grid × block` across
     /// all devices (Figure 4). Errors if the kernel failed the §4 checks.
+    ///
+    /// With [`crate::RuntimeConfig::capture_plans`] on, the complete
+    /// command sequence is captured into the plan cache on a miss and
+    /// replayed directly on a hit (see [`crate::plan`]).
     pub fn launch(
         &mut self,
         ck: &CompiledKernel,
@@ -101,29 +224,191 @@ impl MgpuRuntime {
             )));
         }
         let scalars = self.validate_args(ck, args)?;
+        let capture = self.config.capture_plans && self.resolve_dependencies;
+        if capture {
+            let key = self.plan_key(ck, grid, block, args);
+            if let Some(plan) = self.plan_cache.get(&key).cloned() {
+                return self.replay_plan(ck, block, &plan);
+            }
+            self.machine.note_plan_miss();
+            let plan = self.launch_full(ck, grid, block, args, &scalars, true)?;
+            self.plan_cache.insert(
+                key,
+                Arc::new(plan.expect("capturing launch returns a plan")),
+            );
+        } else {
+            if self.resolve_dependencies {
+                self.machine.note_plan_miss();
+            }
+            self.launch_full(ck, grid, block, args, &scalars, false)?;
+        }
+        Ok(())
+    }
+
+    /// The content-addressed cache key of one launch: kernel identity,
+    /// geometry, scalar values, and per-buffer `(id, tracker signature)`
+    /// pairs. Any tracker mutation since capture changes a signature and
+    /// turns the lookup into a miss — no explicit invalidation exists.
+    fn plan_key(
+        &self,
+        ck: &CompiledKernel,
+        grid: Dim3,
+        block: Dim3,
+        args: &[LaunchArg],
+    ) -> PlanKey {
+        let axis = match ck.model.partitioning {
+            SplitAxis::X => 0,
+            SplitAxis::Y => 1,
+            SplitAxis::Z => 2,
+        };
+        let args = args
+            .iter()
+            .map(|a| match a {
+                LaunchArg::Scalar(v) => ArgKey::scalar(*v),
+                LaunchArg::Buf(b) => ArgKey::Buf {
+                    id: *b,
+                    sig: self.buffers[b.0].tracker.signature(),
+                },
+            })
+            .collect();
+        PlanKey {
+            kernel: ck.model.kernel_name.clone(),
+            axis,
+            grid,
+            block,
+            args,
+        }
+    }
+
+    /// Replay a captured launch: enqueue the recorded copies and
+    /// launches, apply the recorded tracker updates. The tracker state
+    /// matches the capture byte for byte (the key embeds its signature),
+    /// so the sequence is exact — only the pattern cost differs: one
+    /// flat `host_per_replay` instead of the per-range/per-segment walk.
+    fn replay_plan(&mut self, ck: &CompiledKernel, block: Dim3, plan: &LaunchPlan) -> Result<()> {
+        self.machine.note_plan_hit();
+        let cost = self.machine.spec().host_per_replay;
+        self.machine.charge_host(cost, TimeCat::Pattern);
+        for c in &plan.copies {
+            let src = self.buffers[c.vb.0].instances[c.src_dev];
+            let dst = self.buffers[c.vb.0].instances[c.dst_gpu];
+            self.machine.copy_d2d(
+                src,
+                c.start as usize,
+                dst,
+                c.start as usize,
+                (c.end - c.start) as usize,
+            )?;
+        }
+        // Figure 4, line 8 — same barrier as the captured run.
+        self.machine.sync_all();
+        for l in &plan.launches {
+            self.machine.launch_with_traffic(
+                l.gpu,
+                &ck.partitioned,
+                &l.sim_args,
+                l.grid,
+                block,
+                Some(l.traffic),
+            )?;
+        }
+        for u in &plan.updates {
+            self.buffers[u.vb.0]
+                .tracker
+                .update(u.start, u.end, Owner::Device(u.gpu));
+            debug_assert!(self.buffers[u.vb.0].tracker.check_invariants());
+        }
+        Ok(())
+    }
+
+    /// The full Figure 4 sequence: synchronize reads, launch partitions,
+    /// update trackers. With `capture` set, additionally records every
+    /// issued command into the returned [`LaunchPlan`] (and plans the
+    /// read synchronizations in parallel — they are read-only walks).
+    fn launch_full(
+        &mut self,
+        ck: &CompiledKernel,
+        grid: Dim3,
+        block: Dim3,
+        args: &[LaunchArg],
+        scalars: &[i64],
+        capture: bool,
+    ) -> Result<Option<LaunchPlan>> {
         let parts = partition_grid(grid, self.n_devices(), ck.model.partitioning);
+        let mut captured = capture.then(LaunchPlan::default);
 
         // ---- (2) synchronize read buffers --------------------------------
         if self.resolve_dependencies {
+            let mut tasks: Vec<(usize, &Partition, usize, &AccessEnumerator)> = Vec::new();
             for (gpu, part) in parts.iter().enumerate() {
                 if part.is_empty() {
                     continue;
                 }
                 for (arg_idx, renum) in &ck.enums.reads {
-                    let vb_id = match args[*arg_idx] {
-                        LaunchArg::Buf(b) => b,
-                        _ => unreachable!("validated"),
-                    };
-                    self.sync_buffer_for_partition(
-                        vb_id,
-                        renum,
-                        part,
-                        block,
-                        grid,
-                        &ck.enums.scalar_names,
-                        &scalars,
-                        gpu,
-                    )?;
+                    tasks.push((gpu, part, *arg_idx, renum));
+                }
+            }
+            let coalesce = self.config.coalesce_transfers;
+            let max_gap = if coalesce {
+                TransferPlan::break_even_gap(&self.machine)
+            } else {
+                0
+            };
+            let buffers = &self.buffers;
+            let names = &ck.enums.scalar_names;
+            let run = |&(gpu, part, arg_idx, renum): &(
+                usize,
+                &Partition,
+                usize,
+                &AccessEnumerator,
+            )|
+             -> SyncPlan {
+                let vb_id = match args[arg_idx] {
+                    LaunchArg::Buf(b) => b,
+                    _ => unreachable!("validated"),
+                };
+                plan_sync(
+                    &buffers[vb_id.0],
+                    vb_id,
+                    renum,
+                    part,
+                    block,
+                    grid,
+                    names,
+                    scalars,
+                    gpu,
+                    max_gap,
+                    coalesce,
+                )
+            };
+            // Parallel planning pays off exactly when the result will be
+            // reused — the capture path. Everyday launches with capture
+            // off keep the serial walk; the plans are identical either
+            // way, and applying them below preserves the serial
+            // (gpu-major, declaration-order) charge→copy sequence.
+            let sync_plans: Vec<SyncPlan> = if capture && tasks.len() > 1 {
+                tasks.par_iter().map(run).collect()
+            } else {
+                tasks.iter().map(run).collect()
+            };
+            for p in sync_plans {
+                let cost = self.machine.spec().host_per_range * p.n_ranges as f64
+                    + self.machine.spec().host_per_segment * p.n_segments as f64;
+                self.machine.charge_host(cost, TimeCat::Pattern);
+                for &(d, s, e) in &p.copies {
+                    let src = self.buffers[p.vb.0].instances[d];
+                    let dst = self.buffers[p.vb.0].instances[p.gpu];
+                    self.machine
+                        .copy_d2d(src, s as usize, dst, s as usize, (e - s) as usize)?;
+                    if let Some(cap) = &mut captured {
+                        cap.copies.push(PlanCopy {
+                            vb: p.vb,
+                            dst_gpu: p.gpu,
+                            src_dev: d,
+                            start: s,
+                            end: e,
+                        });
+                    }
                 }
             }
             // Figure 4, line 8: all_devs_synchronize().
@@ -136,20 +421,18 @@ impl MgpuRuntime {
                 continue;
             }
             let mut sim_args: Vec<SimArg> = Vec::with_capacity(args.len() + 6);
-            for (idx, a) in args.iter().enumerate() {
+            for a in args {
                 match a {
                     LaunchArg::Scalar(v) => sim_args.push(SimArg::Scalar(*v)),
                     LaunchArg::Buf(b) => {
-                        let inst = self.buffers[b.0].instances[gpu];
-                        let _ = idx;
-                        sim_args.push(SimArg::Buf(inst));
+                        sim_args.push(SimArg::Buf(self.buffers[b.0].instances[gpu]))
                     }
                 }
             }
             for &m in part.lo.iter().chain(part.hi.iter()) {
                 sim_args.push(SimArg::Scalar(Value::I64(m)));
             }
-            let traffic = ck.footprint_bytes(part, block, grid, &scalars);
+            let traffic = ck.footprint_bytes(part, block, grid, scalars);
             self.machine.launch_with_traffic(
                 gpu,
                 &ck.partitioned,
@@ -158,10 +441,20 @@ impl MgpuRuntime {
                 block,
                 Some(traffic),
             )?;
+            if let Some(cap) = &mut captured {
+                cap.launches.push(PlanLaunch {
+                    gpu,
+                    sim_args,
+                    grid: part.launch_grid(),
+                    traffic,
+                });
+            }
         }
 
         // ---- (4) update trackers (concurrent to the async kernels) --------
         if self.resolve_dependencies {
+            // One scratch Vec for every (gpu, write-arg) pair.
+            let mut updates: Vec<(u64, u64)> = Vec::new();
             for (gpu, part) in parts.iter().enumerate() {
                 if part.is_empty() {
                     continue;
@@ -172,13 +465,13 @@ impl MgpuRuntime {
                         _ => unreachable!("validated"),
                     };
                     let elem = self.buffers[vb_id.0].elem_size as u64;
-                    let mut updates: Vec<(u64, u64)> = Vec::new();
+                    updates.clear();
                     wenum.for_each_range(
                         part,
                         block,
                         grid,
                         &ck.enums.scalar_names,
-                        &scalars,
+                        scalars,
                         &mut |r| {
                             updates.push((r.start * elem, r.end * elem));
                         },
@@ -188,10 +481,18 @@ impl MgpuRuntime {
                     // walked, same accounting as the read path's query —
                     // not one flat segment per range.
                     let mut touched = 0usize;
-                    for (s, e) in updates {
+                    for &(s, e) in &updates {
                         touched += self.buffers[vb_id.0]
                             .tracker
                             .update(s, e, Owner::Device(gpu));
+                        if let Some(cap) = &mut captured {
+                            cap.updates.push(PlanUpdate {
+                                vb: vb_id,
+                                gpu,
+                                start: s,
+                                end: e,
+                            });
+                        }
                     }
                     let cost = self.machine.spec().host_per_range * n_ranges as f64
                         + self.machine.spec().host_per_segment * touched as f64;
@@ -200,69 +501,7 @@ impl MgpuRuntime {
                 }
             }
         }
-        Ok(())
-    }
-
-    /// Synchronize one virtual buffer for one partition (§8.3): enumerate
-    /// the partition's read set, query the tracker for each range, and
-    /// copy stale data from its most recent writer.
-    #[allow(clippy::too_many_arguments)]
-    fn sync_buffer_for_partition(
-        &mut self,
-        vb_id: VBufId,
-        renum: &mekong_enumgen::AccessEnumerator,
-        part: &Partition,
-        block: Dim3,
-        grid: Dim3,
-        scalar_names: &[String],
-        scalars: &[i64],
-        gpu: usize,
-    ) -> Result<()> {
-        let vb = &self.buffers[vb_id.0];
-        let elem = vb.elem_size as u64;
-        let instances = vb.instances.clone();
-        let mut ranges: Vec<(u64, u64)> = Vec::new();
-        renum.for_each_range(part, block, grid, scalar_names, scalars, &mut |r| {
-            ranges.push((r.start * elem, r.end * elem));
-        });
-        let n_ranges = ranges.len();
-        let max_gap = if self.config.coalesce_transfers {
-            TransferPlan::break_even_gap(&self.machine)
-        } else {
-            0
-        };
-        let mut plan = TransferPlan::new(gpu, max_gap);
-        let n_segments = if self.config.coalesce_transfers {
-            // Merge adjacent/overlapping read ranges (e.g. consecutive
-            // rows of a 2-D halo) so each owner run costs one segment —
-            // and below, one D2D copy — instead of one per row.
-            let (_, emitted) = vb
-                .tracker
-                .query_coalesced(&ranges, &mut |s, e, o| plan.visit(s, e, o));
-            emitted
-        } else {
-            let mut emitted = 0usize;
-            for &(s, e) in &ranges {
-                vb.tracker.query(s, e, &mut |s, e, o| {
-                    emitted += 1;
-                    plan.visit(s, e, o);
-                });
-            }
-            emitted
-        };
-        let cost = self.machine.spec().host_per_range * n_ranges as f64
-            + self.machine.spec().host_per_segment * n_segments as f64;
-        self.machine.charge_host(cost, TimeCat::Pattern);
-        for (d, s, e) in plan.copies {
-            self.machine.copy_d2d(
-                instances[d],
-                s as usize,
-                instances[gpu],
-                s as usize,
-                (e - s) as usize,
-            )?;
-        }
-        Ok(())
+        Ok(captured)
     }
 
     /// Single-device fallback path for kernels that failed the §4 checks
@@ -403,17 +642,12 @@ impl MgpuRuntime {
                     }
                 }
             }
-            claims.sort_by_key(|&(_, s, _)| s);
-            for w in claims.windows(2) {
-                let (g0, _, e0) = w[0];
-                let (g1, s1, _) = w[1];
-                if g0 != g1 && s1 < e0 {
-                    return Err(RuntimeError::NotPartitionable(format!(
-                        "instrumentation observed a cross-partition write collision \
-                         on argument {} (devices {g0} and {g1})",
-                        ck.model.args[idx].name()
-                    )));
-                }
+            if let Some((g0, g1)) = cross_device_overlap(&mut claims) {
+                return Err(RuntimeError::NotPartitionable(format!(
+                    "instrumentation observed a cross-partition write collision \
+                     on argument {} (devices {g0} and {g1})",
+                    ck.model.args[idx].name()
+                )));
             }
             let n_claims = claims.len() as f64;
             for (gpu, s, e) in claims {
@@ -579,11 +813,8 @@ mod tests {
         assert!(rt.elapsed() > 0.0);
     }
 
-    /// Iterative 1-D stencil: the real coherence test. Each iteration
-    /// reads the halo written by neighboring devices in the previous one.
-    #[test]
-    fn iterative_stencil_stays_coherent_across_devices() {
-        let stencil = Kernel {
+    fn stencil_kernel() -> Kernel {
+        Kernel {
             name: "stencil".into(),
             params: vec![
                 scalar("n"),
@@ -606,8 +837,28 @@ mod tests {
                     )],
                 ),
             ],
-        };
-        let ck = CompiledKernel::compile(&stencil).unwrap();
+        }
+    }
+
+    /// CPU reference for [`stencil_kernel`].
+    fn stencil_reference(init: &[f32], iters: usize) -> Vec<f32> {
+        let n = init.len();
+        let mut cur = init.to_vec();
+        for _ in 0..iters {
+            let mut next = cur.clone();
+            for i in 1..n - 1 {
+                next[i] = (cur[i - 1] + cur[i] + cur[i + 1]) / 3.0;
+            }
+            cur = next;
+        }
+        cur
+    }
+
+    /// Iterative 1-D stencil: the real coherence test. Each iteration
+    /// reads the halo written by neighboring devices in the previous one.
+    #[test]
+    fn iterative_stencil_stays_coherent_across_devices() {
+        let ck = CompiledKernel::compile(&stencil_kernel()).unwrap();
         assert!(ck.is_partitionable(), "verdict: {:?}", ck.model.verdict);
 
         let n = 512usize;
@@ -616,16 +867,7 @@ mod tests {
         let block = Dim3::new1(128);
         let init: Vec<f32> = (0..n).map(|i| ((i * 37) % 101) as f32).collect();
         let init_bytes: Vec<u8> = init.iter().flat_map(|v| v.to_le_bytes()).collect();
-
-        // CPU reference.
-        let mut cur = init.clone();
-        for _ in 0..iters {
-            let mut next = cur.clone();
-            for i in 1..n - 1 {
-                next[i] = (cur[i - 1] + cur[i] + cur[i + 1]) / 3.0;
-            }
-            cur = next;
-        }
+        let cur = stencil_reference(&init, iters);
 
         // Multi-device run with ping-pong buffers.
         let mut rt = runtime(4);
@@ -660,6 +902,10 @@ mod tests {
                 cur[i]
             );
         }
+        // Iterations 2..6 re-enumerate the exact parameter vectors of
+        // iterations 0/1 — the enumerator range memo must be hitting.
+        let (hits, misses) = ck.enums.range_cache_stats();
+        assert!(hits > 0, "range memo never hit (misses: {misses})");
     }
 
     /// §11 extension: a data-dependent scatter becomes multi-GPU runnable
@@ -983,6 +1229,276 @@ mod tests {
             time_coalesced < time_plain,
             "saved latencies must show up: {time_coalesced} vs {time_plain}"
         );
+    }
+
+    /// Regression for the `windows(2)` collision check: a long range
+    /// from device A followed by a short same-device range hid a later
+    /// overlap with device B.
+    #[test]
+    fn cross_device_overlap_sees_past_adjacent_pairs() {
+        // The exact pathological shape: (A,0,100), (A,10,20), (B,50,60).
+        let mut claims = vec![(0usize, 0u64, 100u64), (0, 10, 20), (1, 50, 60)];
+        assert_eq!(cross_device_overlap(&mut claims), Some((0, 1)));
+        // Runner-up end matters too: the leader may be the same device
+        // as the claim under test.
+        let mut claims = vec![
+            (0usize, 0u64, 300u64),
+            (1, 350, 500),
+            (1, 360, 370),
+            (0, 400, 410),
+        ];
+        assert_eq!(cross_device_overlap(&mut claims), Some((1, 0)));
+        // Same-device overlap is not a cross-partition hazard.
+        let mut claims = vec![(0usize, 0u64, 100u64), (0, 10, 20), (1, 100, 160)];
+        assert_eq!(cross_device_overlap(&mut claims), None);
+        // Disjoint per-device bands (the normal partitioned shape).
+        let mut claims = vec![(0usize, 0u64, 50u64), (1, 50, 100), (2, 100, 150)];
+        assert_eq!(cross_device_overlap(&mut claims), None);
+        // Touching endpoints do not overlap; empty claims never do.
+        let mut claims = vec![(0usize, 0u64, 50u64), (1, 50, 50), (1, 30, 30)];
+        assert_eq!(cross_device_overlap(&mut claims), None);
+    }
+
+    /// End-to-end: an instrumented scatter where device 1's writes land
+    /// strictly *inside* device 0's long claimed run (a partial overlap,
+    /// not the everyone-writes-element-0 shape of the test above) is
+    /// rejected as a cross-partition collision.
+    #[test]
+    fn instrumented_launch_detects_nested_range_collision() {
+        let scatter = Kernel {
+            name: "nested_scatter".into(),
+            params: vec![
+                scalar("n"),
+                array_f32("idx", &[ext("n")]),
+                array_f32("out", &[ext("n")]),
+            ],
+            body: vec![
+                let_("i", global_x()),
+                guard_return(v("i").ge(v("n"))),
+                store("out", vec![to_i64(load("idx", vec![v("i")]))], f(1.0)),
+            ],
+        };
+        let ck = CompiledKernel::compile(&scatter).unwrap();
+        let n = 128usize;
+        let mut rt = runtime(2);
+        let idx = rt.malloc(n * 4, 4).unwrap();
+        let out = rt.malloc(n * 4, 4).unwrap();
+        // Device 0 runs threads 0..64 and writes elements 0..64 (one
+        // long run). Device 1 runs threads 64..128 and writes 32..48
+        // via (i-64)/4 + 32 — strictly inside device 0's run.
+        let perm: Vec<usize> = (0..n)
+            .map(|i| if i < 64 { i } else { (i - 64) / 4 + 32 })
+            .collect();
+        let idx_host: Vec<u8> = perm
+            .iter()
+            .flat_map(|&p| (p as f32).to_le_bytes())
+            .collect();
+        rt.memcpy_h2d(idx, &idx_host).unwrap();
+        let err = rt
+            .launch_instrumented(
+                &ck,
+                Dim3::new1(2),
+                Dim3::new1(64),
+                &[
+                    LaunchArg::Scalar(Value::I64(n as i64)),
+                    LaunchArg::Buf(idx),
+                    LaunchArg::Buf(out),
+                ],
+            )
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::NotPartitionable(_)), "{err}");
+    }
+
+    /// Capture/replay on the ping-pong stencil: after the trackers reach
+    /// their periodic fixed point (two keys per phase), every further
+    /// launch replays. Simulated transfer bytes and launch counts must
+    /// be identical with capture on and off; host pattern time and
+    /// elapsed time must strictly drop.
+    #[test]
+    fn plan_cache_replays_steady_state_launches() {
+        let ck = CompiledKernel::compile(&stencil_kernel()).unwrap();
+        let n = 512usize;
+        let iters = 10;
+        let run = |capture: bool| {
+            let mut rt = MgpuRuntime::new(Machine::new(MachineSpec::kepler_system(3), false));
+            rt.set_config(RuntimeConfig {
+                capture_plans: capture,
+                ..RuntimeConfig::beta()
+            });
+            let a = rt.malloc(n * 4, 4).unwrap();
+            let b = rt.malloc(n * 4, 4).unwrap();
+            rt.memcpy_h2d_sim(a).unwrap();
+            rt.memcpy_h2d_sim(b).unwrap();
+            let (mut src, mut dst) = (a, b);
+            for _ in 0..iters {
+                rt.launch(
+                    &ck,
+                    Dim3::new1(4),
+                    Dim3::new1(128),
+                    &[
+                        LaunchArg::Scalar(Value::I64(n as i64)),
+                        LaunchArg::Buf(src),
+                        LaunchArg::Buf(dst),
+                    ],
+                )
+                .unwrap();
+                std::mem::swap(&mut src, &mut dst);
+            }
+            rt.synchronize();
+            (
+                rt.elapsed(),
+                rt.machine().breakdown(),
+                rt.machine().counters(),
+            )
+        };
+        let (t_off, bd_off, c_off) = run(false);
+        let (t_on, bd_on, c_on) = run(true);
+        // Phases: (a→b, b fresh), (b→a, a fresh), (a→b, steady),
+        // (b→a, steady) — 4 misses, then hits only.
+        assert_eq!(c_on.plan_misses, 4, "{c_on:?}");
+        assert_eq!(c_on.plan_hits as usize, iters - 4, "{c_on:?}");
+        assert_eq!(c_off.plan_hits, 0);
+        // Identical simulated work.
+        assert_eq!(c_on.launches, c_off.launches);
+        assert_eq!(c_on.d2d_copies, c_off.d2d_copies);
+        assert_eq!(c_on.d2d_bytes, c_off.d2d_bytes);
+        // Replay must be strictly cheaper on the host.
+        assert!(
+            bd_on.pattern < bd_off.pattern,
+            "pattern {} !< {}",
+            bd_on.pattern,
+            bd_off.pattern
+        );
+        // Elapsed never regresses (the device-side critical path may hide
+        // the host savings entirely — here the kernels dominate).
+        assert!(t_on <= t_off, "elapsed {t_on} > {t_off}");
+        assert_eq!(bd_on.app, bd_off.app);
+    }
+
+    /// The cache key embeds tracker signatures, so dirtying a read
+    /// buffer with an H2D between iterations changes the key and forces
+    /// a re-capture — content-addressed invalidation, no epochs to wire.
+    #[test]
+    fn plan_cache_invalidates_when_h2d_dirties_read_buffer() {
+        let ck = CompiledKernel::compile(&stencil_kernel()).unwrap();
+        let n = 512usize;
+        // 3 devices: the linear H2D layout (171/171/170 elements) differs
+        // from the write-partition layout (256/128/128), so the memcpy
+        // really changes the tracker structure.
+        let mut rt = MgpuRuntime::new(Machine::new(MachineSpec::kepler_system(3), false));
+        rt.set_config(RuntimeConfig::beta());
+        let a = rt.malloc(n * 4, 4).unwrap();
+        let b = rt.malloc(n * 4, 4).unwrap();
+        rt.memcpy_h2d_sim(a).unwrap();
+        rt.memcpy_h2d_sim(b).unwrap();
+        let launch = |rt: &mut MgpuRuntime, src: VBufId, dst: VBufId| {
+            rt.launch(
+                &ck,
+                Dim3::new1(4),
+                Dim3::new1(128),
+                &[
+                    LaunchArg::Scalar(Value::I64(n as i64)),
+                    LaunchArg::Buf(src),
+                    LaunchArg::Buf(dst),
+                ],
+            )
+            .unwrap();
+        };
+        let (mut src, mut dst) = (a, b);
+        for _ in 0..10 {
+            launch(&mut rt, src, dst);
+            std::mem::swap(&mut src, &mut dst);
+        }
+        let before = rt.machine().counters();
+        assert!(before.plan_hits > 0);
+        // Dirty the buffer the next launch reads.
+        rt.memcpy_h2d_sim(src).unwrap();
+        launch(&mut rt, src, dst);
+        let after = rt.machine().counters();
+        assert_eq!(
+            after.plan_misses,
+            before.plan_misses + 1,
+            "H2D must force a re-capture"
+        );
+        assert_eq!(after.plan_hits, before.plan_hits);
+    }
+
+    /// Functional equivalence: with capture on, the replayed copies and
+    /// launches must produce byte-identical results to the uncached
+    /// sequence (and to the CPU reference).
+    #[test]
+    fn capture_replay_preserves_functional_results() {
+        let ck = CompiledKernel::compile(&stencil_kernel()).unwrap();
+        let n = 384usize;
+        let iters = 9;
+        let init: Vec<f32> = (0..n).map(|i| ((i * 53) % 89) as f32).collect();
+        let init_bytes: Vec<u8> = init.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let run = |capture: bool| -> Vec<u8> {
+            let mut rt = runtime(4);
+            rt.set_config(RuntimeConfig {
+                capture_plans: capture,
+                ..RuntimeConfig::alpha()
+            });
+            let a = rt.malloc(n * 4, 4).unwrap();
+            let b = rt.malloc(n * 4, 4).unwrap();
+            rt.memcpy_h2d(a, &init_bytes).unwrap();
+            rt.memcpy_h2d(b, &init_bytes).unwrap();
+            let (mut src, mut dst) = (a, b);
+            for _ in 0..iters {
+                rt.launch(
+                    &ck,
+                    Dim3::new1(6),
+                    Dim3::new1(64),
+                    &[
+                        LaunchArg::Scalar(Value::I64(n as i64)),
+                        LaunchArg::Buf(src),
+                        LaunchArg::Buf(dst),
+                    ],
+                )
+                .unwrap();
+                std::mem::swap(&mut src, &mut dst);
+            }
+            rt.synchronize();
+            if capture {
+                let c = rt.machine().counters();
+                assert!(c.plan_hits > 0, "expected replays, got {c:?}");
+            }
+            let mut out = vec![0u8; n * 4];
+            rt.memcpy_d2h(src, &mut out).unwrap();
+            out
+        };
+        let plain = run(false);
+        let replayed = run(true);
+        assert_eq!(plain, replayed, "replay diverged from the full path");
+        let want = stencil_reference(&init, iters);
+        let got = f32s(&replayed);
+        for i in 0..n {
+            assert!((got[i] - want[i]).abs() < 1e-4, "element {i}");
+        }
+    }
+
+    #[test]
+    fn set_config_flushes_captured_plans() {
+        let ck = CompiledKernel::compile(&scale_kernel()).unwrap();
+        let mut rt = MgpuRuntime::new(Machine::new(MachineSpec::kepler_system(2), false));
+        rt.set_config(RuntimeConfig::beta());
+        let n = 1024usize;
+        let a = rt.malloc(n * 4, 4).unwrap();
+        let b = rt.malloc(n * 4, 4).unwrap();
+        rt.memcpy_h2d_sim(a).unwrap();
+        let args = [
+            LaunchArg::Scalar(Value::I64(n as i64)),
+            LaunchArg::Buf(a),
+            LaunchArg::Buf(b),
+        ];
+        for _ in 0..3 {
+            rt.launch(&ck, Dim3::new1(8), Dim3::new1(128), &args)
+                .unwrap();
+        }
+        assert!(rt.plan_cache_len() > 0);
+        assert!(rt.machine().counters().plan_hits > 0);
+        rt.set_config(RuntimeConfig::alpha());
+        assert_eq!(rt.plan_cache_len(), 0, "config change must flush plans");
     }
 
     #[test]

@@ -17,14 +17,21 @@
 //! [`RuntimeConfig`]: β disables transfer *timing* (data still moves so
 //! functional checks keep passing), γ additionally disables
 //! dependency-resolution timing.
+//!
+//! Iterative applications relaunch identical configurations thousands of
+//! times; the [`plan`] module caches the whole rewritten launch sequence
+//! (CUDA-Graphs-style capture & replay) keyed by the structural state of
+//! every argument buffer's tracker. See [`RuntimeConfig::capture_plans`].
 
 pub mod compiled;
 pub mod launch;
+pub mod plan;
 pub mod tracker;
 pub mod vbuf;
 
 pub use compiled::CompiledKernel;
 pub use launch::LaunchArg;
+pub use plan::{ArgKey, LaunchPlan, PlanKey};
 pub use tracker::{Owner, Tracker};
 pub use vbuf::{MgpuRuntime, RuntimeConfig, VBufId};
 

@@ -1,0 +1,135 @@
+//! Launch-plan capture & replay: CUDA-Graphs-style caching of the §5
+//! launch sequence.
+//!
+//! The paper's workloads are iterative — Hotspot issues 1500 launches
+//! with identical geometry (§9) — and the Figure 4 rewrite expands every
+//! launch into synchronize-reads → launch-partitions → update-trackers.
+//! After warm-up, ping-pong trackers reach a periodic fixed point: the
+//! tracker state at launch *k* is structurally identical to the state at
+//! launch *k − 2*, so the entire command sequence the rewrite derives
+//! from it is identical too. The runtime therefore captures that
+//! sequence once and replays it on subsequent launches.
+//!
+//! The cache is **content-addressed**: the key embeds a structural
+//! signature of every argument buffer's tracker ([`crate::Tracker::signature`]).
+//! There is no explicit invalidation — any tracker mutation (a kernel
+//! write update, a `memcpy_h2d` re-distribution) changes the signature
+//! and the next launch simply misses and re-captures.
+
+use crate::vbuf::VBufId;
+use mekong_gpusim::machine::SimArg;
+use mekong_kernel::{Dim3, Value};
+
+/// One launch argument reduced to its cache-key form.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ArgKey {
+    /// Scalar value as a `(type tag, bit pattern)` pair. Floats key by
+    /// their bit pattern (`Value` itself is not `Eq`); the tag keeps
+    /// `I64(1)` and `F32` with the same bits from colliding.
+    Scalar(u8, u64),
+    /// Buffer identity plus the structural signature of its tracker at
+    /// launch time. `VBufId`s are never reused, so `id` pins the exact
+    /// allocation and `sig` pins its coherence state.
+    Buf { id: VBufId, sig: u64 },
+}
+
+impl ArgKey {
+    /// Key form of a scalar launch argument.
+    pub fn scalar(v: Value) -> ArgKey {
+        match v {
+            Value::I64(x) => ArgKey::Scalar(0, x as u64),
+            Value::F32(x) => ArgKey::Scalar(1, x.to_bits() as u64),
+            Value::F64(x) => ArgKey::Scalar(2, x.to_bits()),
+        }
+    }
+}
+
+/// Cache key of one captured launch: everything the §5 rewrite's command
+/// sequence is a deterministic function of.
+///
+/// Kernels are keyed by *name* (same convention as the simulator's
+/// roofline memo): two distinct kernels sharing a name would alias. The
+/// split axis is included so a recompiled kernel whose partitioning
+/// strategy changed cannot replay a stale plan.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    pub kernel: String,
+    /// Partitioning axis (`SplitAxis` encoded as 0/1/2 for X/Y/Z).
+    pub axis: u8,
+    pub grid: Dim3,
+    pub block: Dim3,
+    pub args: Vec<ArgKey>,
+}
+
+/// One captured D2D copy: pull `[start, end)` bytes of `vb`'s instance
+/// on `src_dev` into the instance on `dst_gpu`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanCopy {
+    pub vb: VBufId,
+    pub dst_gpu: usize,
+    pub src_dev: usize,
+    pub start: u64,
+    pub end: u64,
+}
+
+/// One captured partition launch. The kernel body is *not* stored — the
+/// caller passes the same [`crate::CompiledKernel`] at replay — only the
+/// fully resolved argument vector (device-local buffer instances plus
+/// the six partition-bound scalars) and the roofline traffic estimate.
+#[derive(Debug, Clone)]
+pub struct PlanLaunch {
+    pub gpu: usize,
+    pub sim_args: Vec<SimArg>,
+    /// The partition's launch grid (not the global grid).
+    pub grid: Dim3,
+    pub traffic: u64,
+}
+
+/// One captured tracker write-update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanUpdate {
+    pub vb: VBufId,
+    pub gpu: usize,
+    pub start: u64,
+    pub end: u64,
+}
+
+/// The complete captured command sequence of one partitioned launch,
+/// in issue order: copies (synchronize-reads), launches, tracker
+/// updates. Replay applies them directly and charges a single flat
+/// `host_per_replay` cost instead of the per-range/per-segment pattern
+/// costs the capture paid.
+#[derive(Debug, Clone, Default)]
+pub struct LaunchPlan {
+    pub copies: Vec<PlanCopy>,
+    pub launches: Vec<PlanLaunch>,
+    pub updates: Vec<PlanUpdate>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_keys_distinguish_types_and_values() {
+        assert_ne!(
+            ArgKey::scalar(Value::I64(1)),
+            ArgKey::scalar(Value::F64(1.0))
+        );
+        assert_ne!(
+            ArgKey::scalar(Value::F32(1.0)),
+            ArgKey::scalar(Value::F64(1.0))
+        );
+        assert_ne!(ArgKey::scalar(Value::I64(1)), ArgKey::scalar(Value::I64(2)));
+        assert_eq!(
+            ArgKey::scalar(Value::F32(0.125)),
+            ArgKey::scalar(Value::F32(0.125))
+        );
+        // Negative zero and zero differ bitwise — a conservative miss,
+        // never a false hit.
+        assert_ne!(
+            ArgKey::scalar(Value::F32(0.0)),
+            ArgKey::scalar(Value::F32(-0.0))
+        );
+    }
+}

@@ -5,6 +5,7 @@
 //! segment as the key and the 'owner' of the most recent version as the
 //! value."
 
+use parking_lot::Mutex;
 use std::collections::BTreeMap;
 
 /// Who holds the freshest copy of a byte range.
@@ -20,11 +21,39 @@ pub enum Owner {
 }
 
 /// Non-overlapping, fully covering segment list over `[0, len)`.
-#[derive(Debug, Clone)]
 pub struct Tracker {
     len: u64,
     /// start → (end, owner); segments tile `[0, len)`.
     segments: BTreeMap<u64, (u64, Owner)>,
+    /// Mutation counter: bumped by every [`Tracker::update`] that covers
+    /// at least one byte. Lets callers detect "nothing changed since I
+    /// last looked" without walking the segment list.
+    epoch: u64,
+    /// Memoized `(epoch, structural hash)` pair backing
+    /// [`Tracker::signature`]; interior mutability so read-only consumers
+    /// (the launch-plan cache key) can fill it.
+    sig_memo: Mutex<Option<(u64, u64)>>,
+}
+
+impl Clone for Tracker {
+    fn clone(&self) -> Tracker {
+        Tracker {
+            len: self.len,
+            segments: self.segments.clone(),
+            epoch: self.epoch,
+            sig_memo: Mutex::new(*self.sig_memo.lock()),
+        }
+    }
+}
+
+impl std::fmt::Debug for Tracker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracker")
+            .field("len", &self.len)
+            .field("segments", &self.segments)
+            .field("epoch", &self.epoch)
+            .finish()
+    }
 }
 
 impl Tracker {
@@ -34,7 +63,52 @@ impl Tracker {
         if len > 0 {
             segments.insert(0, (len, Owner::Uninit));
         }
-        Tracker { len, segments }
+        Tracker {
+            len,
+            segments,
+            epoch: 0,
+            sig_memo: Mutex::new(None),
+        }
+    }
+
+    /// Mutation epoch: increases on every update that covers ≥ 1 byte.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Structural hash of the segment list (FNV-1a over `(start, end,
+    /// owner)` triples plus the length). Two trackers with identical
+    /// segment lists hash equal regardless of the update history that
+    /// produced them, so steady-state iterative workloads (ping-pong
+    /// stencils) reach a periodic fixed point of signatures. Memoized per
+    /// [`Tracker::epoch`]: the hot launch path pays one hash-map-sized
+    /// walk only after an actual mutation.
+    pub fn signature(&self) -> u64 {
+        let mut memo = self.sig_memo.lock();
+        if let Some((epoch, hash)) = *memo {
+            if epoch == self.epoch {
+                return hash;
+            }
+        }
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(FNV_PRIME);
+        };
+        mix(self.len);
+        for (&s, &(e, o)) in &self.segments {
+            mix(s);
+            mix(e);
+            mix(match o {
+                Owner::Uninit => u64::MAX,
+                Owner::Host => u64::MAX - 1,
+                Owner::Device(d) => d as u64,
+            });
+        }
+        *memo = Some((self.epoch, h));
+        h
     }
 
     /// Tracked length in bytes.
@@ -64,6 +138,7 @@ impl Tracker {
         if start >= end {
             return 0;
         }
+        self.epoch += 1;
         // Split the segment containing `start` if it begins earlier.
         if let Some((&s, &(e, o))) = self.segments.range(..=start).next_back() {
             if s < start && start < e {
@@ -337,6 +412,54 @@ mod tests {
             got,
             vec![(0, 10, Owner::Device(0)), (80, 90, Owner::Device(1))]
         );
+    }
+
+    #[test]
+    fn epoch_counts_effective_updates_only() {
+        let mut t = Tracker::new(100);
+        assert_eq!(t.epoch(), 0);
+        t.update(0, 10, Owner::Device(0));
+        assert_eq!(t.epoch(), 1);
+        // Clipped-empty and reversed ranges do not bump the epoch.
+        t.update(200, 300, Owner::Device(1));
+        t.update(7, 3, Owner::Device(1));
+        assert_eq!(t.epoch(), 1);
+        // A structurally no-op rewrite still counts as a mutation (the
+        // signature memo recomputes and lands on the same hash).
+        let sig = t.signature();
+        t.update(0, 10, Owner::Device(0));
+        assert_eq!(t.epoch(), 2);
+        assert_eq!(t.signature(), sig);
+    }
+
+    #[test]
+    fn signature_is_structural_not_historical() {
+        // Two different update histories, same final segment list.
+        let mut a = Tracker::new(64);
+        a.update(0, 32, Owner::Device(0));
+        a.update(32, 64, Owner::Device(1));
+        let mut b = Tracker::new(64);
+        b.update(0, 64, Owner::Device(7));
+        b.update(32, 64, Owner::Device(1));
+        b.update(0, 32, Owner::Device(0));
+        assert_eq!(a.signature(), b.signature());
+        assert_ne!(a.epoch(), b.epoch());
+        // Changing the segment list changes the signature.
+        let before = a.signature();
+        a.update(10, 20, Owner::Device(2));
+        assert_ne!(a.signature(), before);
+        // Different lengths hash apart even when both are fully Uninit.
+        assert_ne!(Tracker::new(10).signature(), Tracker::new(20).signature());
+    }
+
+    #[test]
+    fn signature_memo_survives_clone() {
+        let mut t = Tracker::new(100);
+        t.update(0, 50, Owner::Device(1));
+        let sig = t.signature();
+        let c = t.clone();
+        assert_eq!(c.signature(), sig);
+        assert_eq!(c.epoch(), t.epoch());
     }
 
     #[test]

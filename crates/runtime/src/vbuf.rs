@@ -1,8 +1,11 @@
 //! Virtual buffers and the CUDA-replacement runtime object.
 
+use crate::plan::{LaunchPlan, PlanKey};
 use crate::tracker::{Owner, Tracker};
 use crate::{Result, RuntimeError};
 use mekong_gpusim::{DevBuf, Machine, TimeCat};
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Handle to a virtual buffer — the value the rewritten application holds
 /// where the original held a device pointer.
@@ -31,6 +34,13 @@ pub struct RuntimeConfig {
     /// would otherwise be several per-row copies. On in every measurement
     /// configuration; off exists for the ablation benchmark.
     pub coalesce_transfers: bool,
+    /// Capture & replay launch plans (CUDA-Graphs-style, see
+    /// [`crate::plan`]): when a launch's key — kernel, geometry, scalar
+    /// values, buffer ids and tracker signatures — matches a previously
+    /// captured launch, replay its command sequence directly and charge
+    /// the flat `host_per_replay` cost instead of walking trackers. Off
+    /// in α (which measures the full overhead), on in β/γ.
+    pub capture_plans: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -39,6 +49,7 @@ impl Default for RuntimeConfig {
             transfer_timing: true,
             pattern_timing: true,
             coalesce_transfers: true,
+            capture_plans: false,
         }
     }
 }
@@ -53,6 +64,7 @@ impl RuntimeConfig {
     pub fn beta() -> Self {
         RuntimeConfig {
             transfer_timing: false,
+            capture_plans: true,
             ..Self::default()
         }
     }
@@ -62,6 +74,7 @@ impl RuntimeConfig {
         RuntimeConfig {
             transfer_timing: false,
             pattern_timing: false,
+            capture_plans: true,
             ..Self::default()
         }
     }
@@ -76,6 +89,10 @@ pub struct MgpuRuntime {
     /// When γ disables dependency resolution, transfers are skipped
     /// entirely (they depend on resolution), like the paper's γ run.
     pub(crate) resolve_dependencies: bool,
+    /// Captured launch plans, keyed by the content-addressed [`PlanKey`]
+    /// (see [`crate::plan`]). `Arc` so a hit clones a handle, not the
+    /// command lists.
+    pub(crate) plan_cache: HashMap<PlanKey, Arc<LaunchPlan>>,
 }
 
 impl MgpuRuntime {
@@ -86,6 +103,7 @@ impl MgpuRuntime {
             buffers: Vec::new(),
             config: RuntimeConfig::default(),
             resolve_dependencies: true,
+            plan_cache: HashMap::new(),
         }
     }
 
@@ -98,6 +116,14 @@ impl MgpuRuntime {
         // computed either. Functional machines keep resolving so results
         // stay correct; performance machines skip the work entirely.
         self.resolve_dependencies = cfg.pattern_timing || self.machine.is_functional();
+        // Plans captured under another configuration must not replay:
+        // the keys deliberately exclude config flags, so flush instead.
+        self.plan_cache.clear();
+    }
+
+    /// Launch-plan cache size (captured plans currently held).
+    pub fn plan_cache_len(&self) -> usize {
+        self.plan_cache.len()
     }
 
     /// The wrapped machine.

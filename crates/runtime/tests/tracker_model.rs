@@ -143,4 +143,56 @@ proptest! {
         let runs = 1 + naive.windows(2).filter(|w| w[0] != w[1]).count();
         prop_assert_eq!(t.segment_count(), runs, "unmerged or split segments");
     }
+
+    /// Structural hashing: trackers with equal segment lists hash equal,
+    /// regardless of the update history that produced them. The witness
+    /// tracker is rebuilt by replaying the *final* ownership runs of the
+    /// original — a different (usually much shorter) history.
+    #[test]
+    fn equal_segment_lists_hash_equal(ops in arb_ops()) {
+        let mut t = Tracker::new(LEN);
+        for (start, end, owner) in ops {
+            t.update(start, end, owner);
+        }
+        let naive = bytes_of(&t);
+        let mut rebuilt = Tracker::new(LEN);
+        let mut run_start = 0usize;
+        for i in 1..=naive.len() {
+            if i == naive.len() || naive[i] != naive[run_start] {
+                if naive[run_start] != Owner::Uninit {
+                    rebuilt.update(run_start as u64, i as u64, naive[run_start]);
+                }
+                run_start = i;
+            }
+        }
+        prop_assert_eq!(bytes_of(&rebuilt), naive, "rebuild mismatch");
+        prop_assert_eq!(t.signature(), rebuilt.signature(),
+            "same segments, different hash");
+    }
+
+    /// Any update that changes the segment list changes the hash (the
+    /// plan cache's correctness hinges on this: a stale signature would
+    /// replay a plan against a different coherence state). Updates that
+    /// leave the list unchanged must leave the hash unchanged.
+    #[test]
+    fn updates_changing_segments_change_hash(
+        ops in arb_ops(),
+        extra in (0u64..LEN, 0u64..=LEN + 16, arb_owner()),
+    ) {
+        let mut t = Tracker::new(LEN);
+        for (start, end, owner) in ops {
+            t.update(start, end, owner);
+        }
+        let before_bytes = bytes_of(&t);
+        let before_sig = t.signature();
+        let (s, e, o) = extra;
+        t.update(s, e, o);
+        prop_assert!(t.check_invariants());
+        if bytes_of(&t) == before_bytes {
+            prop_assert_eq!(t.signature(), before_sig,
+                "no-op update changed the hash");
+        } else {
+            prop_assert!(t.signature() != before_sig, "segment change kept the hash");
+        }
+    }
 }

@@ -45,6 +45,21 @@ pub struct RunOutcome {
     pub counters: OpCounters,
 }
 
+impl RunOutcome {
+    /// Launch-plan cache hit rate of the run: `hits / (hits + misses)`,
+    /// or 0.0 when no partitioned launch resolved dependencies. With
+    /// `capture_plans` off every resolving launch counts as a miss, so
+    /// the rate is directly comparable across configurations.
+    pub fn plan_hit_rate(&self) -> f64 {
+        let total = self.counters.plan_hits + self.counters.plan_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.counters.plan_hits as f64 / total as f64
+        }
+    }
+}
+
 /// A benchmark application.
 pub trait Benchmark {
     /// Display name (Table 1).

@@ -16,6 +16,7 @@
 //! | `ablation_interconnect`| A4 — PCIe-tree vs NVLink-class fabric     |
 //! | `ablation_streams`     | A5 — execution engine, transfer coalescing|
 //! | `ablation_replay`      | A6 — launch-plan capture & replay         |
+//! | `ablation_tuner`       | A7 — cost-model-driven autotuner          |
 //!
 //! All binaries accept `--quick` to scale down iteration counts for a fast
 //! smoke run; without it, the Table 1 configurations are used.

@@ -28,7 +28,10 @@ pub mod shadow;
 pub mod spec;
 pub mod stream;
 
-pub use machine::{DevBuf, Machine, OpCounters, SimArg, SimTime, TimeBreakdown, TimeCat};
+pub use machine::{
+    sample_kernel_profile, DevBuf, Machine, OpCounters, SimArg, SimTime, ThreadProfile,
+    TimeBreakdown, TimeCat,
+};
 pub use spec::{DeviceSpec, LinkSpec, MachineSpec};
 
 /// Errors from the simulator.

@@ -70,6 +70,19 @@ pub struct OpCounters {
     /// Launch-plan cache misses: launches that walked trackers and
     /// captured a fresh plan (or ran with capture disabled).
     pub plan_misses: u64,
+    /// The most recent autotuner decision, encoded as
+    /// `(axis + 1) | parts << 8 | weighted << 16` (0 = no decision yet;
+    /// axis is the `SplitAxis` zyx-free index 0/1/2 for X/Y/Z). The
+    /// runtime's tuner reports decisions here; `mekong-tuner` decodes
+    /// them back into a human-readable strategy string.
+    pub strategy_chosen: u32,
+    /// Predicted steady-state transfer bytes *per launch* of the most
+    /// recent autotuner decision.
+    pub tuner_predict_bytes: u64,
+    /// Measured transfer bytes per launch (averaged over the tuner's
+    /// observation window) for the most recently refined decision;
+    /// 0 until a window completes.
+    pub tuner_measured_bytes: u64,
 }
 
 /// A kernel launch argument at the machine level.
@@ -114,6 +127,10 @@ pub struct Machine {
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct KernelTimeKey {
     kernel: String,
+    /// 0 on homogeneous machines (every device prices identically, so
+    /// partitions share memo entries); the device index when overrides
+    /// make the roofline device-dependent.
+    device: usize,
     grid: Dim3,
     block: Dim3,
     scalars: Vec<i64>,
@@ -260,6 +277,20 @@ impl Machine {
     /// Record a launch-plan cache miss.
     pub fn note_plan_miss(&mut self) {
         self.counters.plan_misses += 1;
+    }
+
+    /// Record an autotuner decision: the encoded strategy (see
+    /// [`OpCounters::strategy_chosen`]) and its predicted steady-state
+    /// transfer bytes per launch.
+    pub fn note_tuner_choice(&mut self, encoded: u32, predict_bytes: u64) {
+        self.counters.strategy_chosen = encoded;
+        self.counters.tuner_predict_bytes = predict_bytes;
+    }
+
+    /// Record a completed autotuner observation window: measured transfer
+    /// bytes per launch for the current strategy.
+    pub fn note_tuner_measured(&mut self, bytes_per_launch: u64) {
+        self.counters.tuner_measured_bytes = bytes_per_launch;
     }
 
     /// Reset clocks, breakdown and counters (memory contents stay).
@@ -587,6 +618,7 @@ impl Machine {
         // Cost model: sample threads (memoized per geometry + scalars).
         let key = KernelTimeKey {
             kernel: kernel.name.clone(),
+            device: if self.spec.is_homogeneous() { 0 } else { d },
             grid: grid_dim,
             block: block_dim,
             scalars: kargs
@@ -601,7 +633,7 @@ impl Machine {
         let t_kernel = match self.kernel_time_cache.get(&key) {
             Some(&t) => t,
             None => {
-                let t = self.kernel_time(kernel, &kargs, grid_dim, block_dim, traffic)?;
+                let t = self.kernel_time(d, kernel, &kargs, grid_dim, block_dim, traffic)?;
                 self.kernel_time_cache.insert(key, t);
                 t
             }
@@ -624,9 +656,10 @@ impl Machine {
                 run_grid_parallel(kernel, &kargs, grid_dim, block_dim, store.get_mut())?;
             }
         }
+        let overhead = self.spec.device_spec(d).launch_overhead;
         let dev = &mut self.devices[d];
         let start = self.host_now.max(dev.busy_until);
-        let t = self.spec.device.launch_overhead + t_kernel;
+        let t = overhead + t_kernel;
         dev.busy_until = start + t;
         self.breakdown.app += t;
         Ok(())
@@ -670,7 +703,7 @@ impl Machine {
                 }
             }
         }
-        let t_kernel = self.kernel_time(kernel, &kargs, grid_dim, block_dim, None)?;
+        let t_kernel = self.kernel_time(d, kernel, &kargs, grid_dim, block_dim, None)?;
         self.charge_host(self.spec.host_per_launch, TimeCat::Application);
         // Recording needs the final bytes and runs synchronously.
         self.flush_streams();
@@ -690,17 +723,20 @@ impl Machine {
                 DeviceMem::Virtual(_) => unreachable!("checked functional above"),
             }
         };
+        let overhead = self.spec.device_spec(d).launch_overhead;
         let dev = &mut self.devices[d];
         let start = self.host_now.max(dev.busy_until);
-        let t = self.spec.device.launch_overhead + t_kernel * INSTRUMENTATION_FACTOR;
+        let t = overhead + t_kernel * INSTRUMENTATION_FACTOR;
         dev.busy_until = start + t;
         self.breakdown.app += t;
         Ok(observed)
     }
 
-    /// Roofline kernel-time estimate from sampled per-thread statistics.
+    /// Roofline kernel-time estimate from sampled per-thread statistics,
+    /// priced with device `d`'s spec.
     fn kernel_time(
         &self,
+        d: usize,
         kernel: &Kernel,
         args: &[KernelArg],
         grid_dim: Dim3,
@@ -711,38 +747,19 @@ impl Machine {
         if total_threads == 0 {
             return Ok(0.0);
         }
-        // Sample a few blocks (first, interior, last) and a few threads in
-        // each; average the counters.
-        let mut probe = BufStore::new();
-        let blocks = sample_indices(grid_dim);
-        let threads = sample_indices(block_dim);
-        let mut agg = ExecStats::default();
-        let mut n_samples = 0u64;
-        for &b in &blocks {
-            for &t in &threads {
-                let ctx = ThreadCtx {
-                    block_idx: b,
-                    thread_idx: t,
-                    block_dim,
-                    grid_dim,
-                };
-                let s = execute_thread(kernel, args, ctx, &mut probe, ExecMode::CountOnly)?;
-                agg.add(&s);
-                n_samples += 1;
-            }
-        }
-        let scale = total_threads as f64 / n_samples as f64;
-        let flops = agg.flops as f64 * scale;
-        let intops = agg.int_ops as f64 * scale;
+        let profile = sample_kernel_profile(kernel, args, grid_dim, block_dim)?;
+        let flops = profile.flops_per_thread * total_threads as f64;
+        let intops = profile.intops_per_thread * total_threads as f64;
         // Memory traffic: the polyhedral footprint when provided (models
         // on-chip reuse), else the no-reuse per-thread total.
         let bytes = match traffic {
             Some(t) => t as f64,
-            None => agg.bytes_total() as f64 * scale,
+            None => profile.bytes_per_thread * total_threads as f64,
         };
-        let t = (flops / self.spec.device.flops)
-            .max(intops / self.spec.device.int_ops)
-            .max(bytes / self.spec.device.mem_bw);
+        let spec = self.spec.device_spec(d);
+        let t = (flops / spec.flops)
+            .max(intops / spec.int_ops)
+            .max(bytes / spec.mem_bw);
         Ok(t)
     }
 
@@ -796,6 +813,56 @@ impl Machine {
             store.get_mut().bytes_mut(buf.handle)[..data.len()].copy_from_slice(data);
         }
     }
+}
+
+/// Average per-thread operation counts of one kernel launch, measured by
+/// sampling representative threads in counting mode.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ThreadProfile {
+    pub flops_per_thread: f64,
+    pub intops_per_thread: f64,
+    /// No-reuse per-thread DRAM bytes (every load/store counted).
+    pub bytes_per_thread: f64,
+}
+
+/// Sample a kernel's per-thread cost profile: execute a few
+/// representative threads (first/middle/last blocks × threads) in
+/// counting mode and average the counters. Counting mode never
+/// dereferences array arguments, so placeholder handles
+/// (`KernelArg::Array(0)`) are fine — this is how the partitioning
+/// autotuner profiles a kernel without a machine.
+pub fn sample_kernel_profile(
+    kernel: &Kernel,
+    args: &[KernelArg],
+    grid_dim: Dim3,
+    block_dim: Dim3,
+) -> Result<ThreadProfile> {
+    let mut probe = BufStore::new();
+    let blocks = sample_indices(grid_dim);
+    let threads = sample_indices(block_dim);
+    let mut agg = ExecStats::default();
+    let mut n_samples = 0u64;
+    for &b in &blocks {
+        for &t in &threads {
+            let ctx = ThreadCtx {
+                block_idx: b,
+                thread_idx: t,
+                block_dim,
+                grid_dim,
+            };
+            let s = execute_thread(kernel, args, ctx, &mut probe, ExecMode::CountOnly)?;
+            agg.add(&s);
+            n_samples += 1;
+        }
+    }
+    if n_samples == 0 {
+        return Ok(ThreadProfile::default());
+    }
+    Ok(ThreadProfile {
+        flops_per_thread: agg.flops as f64 / n_samples as f64,
+        intops_per_thread: agg.int_ops as f64 / n_samples as f64,
+        bytes_per_thread: agg.bytes_total() as f64 / n_samples as f64,
+    })
 }
 
 /// Up to 3 sample coordinates per axis: first, middle, last.
@@ -1021,7 +1088,7 @@ mod tests {
             KernelArg::Array(0),
             KernelArg::Array(1),
         ];
-        let t = m.kernel_time(&k, &args, grid, block, None).unwrap();
+        let t = m.kernel_time(0, &k, &args, grid, block, None).unwrap();
         let expect = (n as f64) * 12.0 / m.spec().device.mem_bw;
         assert!((t / expect - 1.0).abs() < 0.2, "t={t}, expect={expect}");
     }

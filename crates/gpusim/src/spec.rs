@@ -29,11 +29,18 @@ pub struct LinkSpec {
     pub host_staged: bool,
 }
 
-/// The whole machine: homogeneous devices behind one interconnect.
+/// The whole machine: devices behind one interconnect. Homogeneous by
+/// default (`device` describes every device); heterogeneous systems
+/// override individual devices via [`MachineSpec::with_device_override`].
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MachineSpec {
     pub n_devices: usize,
     pub device: DeviceSpec,
+    /// Per-device replacements for `device`, as `(index, spec)` pairs.
+    /// Empty for homogeneous machines (the default; serde-compatible
+    /// with specs serialized before heterogeneity existed).
+    #[serde(default)]
+    pub device_overrides: Vec<(usize, DeviceSpec)>,
     pub link: LinkSpec,
     /// Host↔device link bandwidth, bytes/s (PCIe x16 per root port).
     pub h2d_bandwidth: f64,
@@ -56,12 +63,37 @@ pub struct MachineSpec {
 }
 
 impl MachineSpec {
+    /// The spec of device `d`: the override when one exists, else the
+    /// shared `device` spec.
+    pub fn device_spec(&self, d: usize) -> &DeviceSpec {
+        self.device_overrides
+            .iter()
+            .find(|(i, _)| *i == d)
+            .map(|(_, s)| s)
+            .unwrap_or(&self.device)
+    }
+
+    /// Is every device identical?
+    pub fn is_homogeneous(&self) -> bool {
+        self.device_overrides.is_empty()
+    }
+
+    /// Replace the spec of device `d` (builder style), making the
+    /// machine heterogeneous.
+    pub fn with_device_override(mut self, d: usize, spec: DeviceSpec) -> MachineSpec {
+        assert!(d < self.n_devices, "device {d} out of range");
+        self.device_overrides.retain(|(i, _)| *i != d);
+        self.device_overrides.push((d, spec));
+        self
+    }
+
     /// A Kepler-class system patterned on the paper's testbed: `n` logical
     /// GPUs (K80 dies: ~4.37 SP TFLOP/s, 240 GB/s HBM... GDDR5), PCIe 3.0
     /// interconnect with host-staged peer copies.
     pub fn kepler_system(n_devices: usize) -> MachineSpec {
         MachineSpec {
             n_devices,
+            device_overrides: Vec::new(),
             device: DeviceSpec {
                 name: "K80-die".into(),
                 // Effective (not peak) single-precision rate: real kernels
@@ -123,5 +155,25 @@ mod tests {
         assert!(m.device.mem_bw > 1e11);
         assert!(m.link.bandwidth < m.device.mem_bw);
         assert!(m.link.host_staged);
+    }
+
+    #[test]
+    fn device_overrides_make_machines_heterogeneous() {
+        let base = MachineSpec::kepler_system(3);
+        assert!(base.is_homogeneous());
+        let fast = DeviceSpec {
+            flops: base.device.flops * 2.0,
+            mem_bw: base.device.mem_bw * 2.0,
+            ..base.device.clone()
+        };
+        let m = base.with_device_override(1, fast);
+        assert!(!m.is_homogeneous());
+        assert_eq!(m.device_spec(0).flops, m.device_spec(2).flops);
+        assert_eq!(m.device_spec(1).flops, m.device_spec(0).flops * 2.0);
+        // Overriding the same device twice keeps the last spec.
+        let base_device = m.device.clone();
+        let m = m.with_device_override(1, base_device);
+        assert!(m.device_overrides.len() == 1);
+        assert_eq!(m.device_spec(1).flops, m.device_spec(0).flops);
     }
 }

@@ -60,27 +60,87 @@ impl Partition {
     }
 }
 
+/// Allocate `extent` blocks to `shares.len()` partitions proportionally
+/// to the (non-negative, not-all-zero) share weights.
+///
+/// Each partition gets `floor(extent · wᵢ / Σw)` blocks; the leftover
+/// blocks — at most one per partition — are spread one each across the
+/// *leading* partitions with a non-zero share, never dumped on the last
+/// one. The lengths sum to `extent` exactly.
+pub fn allocate_blocks(extent: i64, shares: &[f64]) -> Vec<i64> {
+    assert!(!shares.is_empty(), "need at least one share");
+    assert!(
+        shares.iter().all(|&w| w >= 0.0 && w.is_finite()),
+        "shares must be finite and non-negative"
+    );
+    let total: f64 = shares.iter().sum();
+    assert!(total > 0.0, "shares must not all be zero");
+    let mut lens: Vec<i64> = shares
+        .iter()
+        .map(|&w| ((extent as f64) * w / total).floor() as i64)
+        .collect();
+    let mut leftover = extent - lens.iter().sum::<i64>();
+    debug_assert!(leftover >= 0);
+    // Floors undershoot by < 1 block per partition, so one pass over the
+    // leading non-zero-share partitions absorbs everything.
+    let mut i = 0;
+    while leftover > 0 {
+        if shares[i % shares.len()] > 0.0 {
+            lens[i % shares.len()] += 1;
+            leftover -= 1;
+        }
+        i += 1;
+    }
+    lens
+}
+
+/// Split a grid into contiguous partitions along `axis` with block counts
+/// proportional to `shares` (see [`allocate_blocks`]). Empty partitions —
+/// a zero share, or more shares than blocks — are **dropped**: the result
+/// holds only non-empty partitions, ascending along the split axis.
+///
+/// This is the general form of [`partition_grid`]; uneven shares let the
+/// tuner give a faster device a larger slice of the grid.
+pub fn partition_grid_weighted(grid_dim: Dim3, axis: SplitAxis, shares: &[f64]) -> Vec<Partition> {
+    let whole = Partition::whole(grid_dim);
+    let d = axis.zyx_index();
+    let lens = allocate_blocks(whole.hi[d], shares);
+    let mut out = Vec::with_capacity(lens.len());
+    let mut start = 0i64;
+    for len in lens {
+        if len > 0 {
+            let mut p = whole;
+            p.lo[d] = start;
+            p.hi[d] = start + len;
+            out.push(p);
+        }
+        start += len;
+    }
+    debug_assert_eq!(start, whole.hi[d]);
+    out
+}
+
 /// Split a grid into `n` contiguous partitions along `axis`, balanced to
-/// within one block. Partitions beyond the block count come out empty
+/// within one block (equal shares; leftover blocks go to the leading
+/// partitions). Partitions beyond the block count come out empty
 /// (callers skip them); order is ascending along the split axis.
+///
+/// Kept as the fixed-arity strategy (one partition per device, even
+/// split); [`partition_grid_weighted`] is the share-vector general form.
 pub fn partition_grid(grid_dim: Dim3, n: usize, axis: SplitAxis) -> Vec<Partition> {
     assert!(n >= 1);
     let whole = Partition::whole(grid_dim);
     let d = axis.zyx_index();
-    let extent = whole.hi[d];
-    let base = extent / n as i64;
-    let rem = extent % n as i64;
+    let lens = allocate_blocks(whole.hi[d], &vec![1.0; n]);
     let mut out = Vec::with_capacity(n);
     let mut start = 0i64;
-    for i in 0..n as i64 {
-        let len = base + if i < rem { 1 } else { 0 };
+    for len in lens {
         let mut p = whole;
         p.lo[d] = start;
         p.hi[d] = start + len;
         out.push(p);
         start += len;
     }
-    debug_assert_eq!(start, extent);
     out
 }
 
@@ -126,6 +186,66 @@ mod tests {
         assert_eq!(nonempty.len(), 3);
         let total: u64 = parts.iter().map(|p| p.block_count()).sum();
         assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn allocate_spreads_remainder_over_leading_partitions() {
+        // 10 blocks over 4 equal shares: 3,3,2,2 — leftover on the
+        // leading partitions, not dumped on the last.
+        assert_eq!(allocate_blocks(10, &[1.0; 4]), vec![3, 3, 2, 2]);
+        assert_eq!(allocate_blocks(7, &[1.0; 3]), vec![3, 2, 2]);
+        // Exact division leaves nothing to spread.
+        assert_eq!(allocate_blocks(8, &[1.0; 4]), vec![2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn allocate_respects_proportional_shares() {
+        // 2:1 shares over 9 blocks: 6 and 3.
+        assert_eq!(allocate_blocks(9, &[2.0, 1.0]), vec![6, 3]);
+        // Zero shares get zero blocks, leftovers skip them.
+        assert_eq!(allocate_blocks(5, &[1.0, 0.0, 1.0]), vec![3, 0, 2]);
+        // Sum is exact even with awkward ratios.
+        for extent in [1i64, 3, 17, 100] {
+            let lens = allocate_blocks(extent, &[0.3, 0.21, 0.49]);
+            assert_eq!(lens.iter().sum::<i64>(), extent);
+            assert!(lens.iter().all(|&l| l >= 0));
+        }
+    }
+
+    #[test]
+    fn weighted_split_covers_grid_and_drops_empties() {
+        let g = Dim3::new2(8, 100);
+        let parts = partition_grid_weighted(g, SplitAxis::Y, &[3.0, 1.0]);
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].hi[1] - parts[0].lo[1], 75);
+        assert_eq!(parts[1].hi[1] - parts[1].lo[1], 25);
+        assert_eq!(
+            parts.iter().map(|p| p.block_count()).sum::<u64>(),
+            g.count()
+        );
+        // More shares than blocks: empties are dropped, coverage stays.
+        let small = Dim3::new1(3);
+        let parts = partition_grid_weighted(small, SplitAxis::X, &[1.0; 5]);
+        assert_eq!(parts.len(), 3);
+        assert!(parts.iter().all(|p| !p.is_empty()));
+        assert_eq!(parts.iter().map(|p| p.block_count()).sum::<u64>(), 3);
+        // A zero share in the middle is dropped without a gap.
+        let parts = partition_grid_weighted(Dim3::new1(6), SplitAxis::X, &[1.0, 0.0, 1.0]);
+        assert_eq!(parts.len(), 2);
+        for w in parts.windows(2) {
+            assert_eq!(w[0].hi[2], w[1].lo[2]);
+        }
+    }
+
+    #[test]
+    fn even_split_matches_weighted_equal_shares() {
+        let g = Dim3::new2(64, 37);
+        for n in [1usize, 2, 3, 5, 8] {
+            let even = partition_grid(g, n, SplitAxis::Y);
+            let weighted = partition_grid_weighted(g, SplitAxis::Y, &vec![1.0; n]);
+            let nonempty: Vec<_> = even.into_iter().filter(|p| !p.is_empty()).collect();
+            assert_eq!(nonempty, weighted);
+        }
     }
 
     #[test]

@@ -31,9 +31,10 @@ pub mod vbuf;
 
 pub use compiled::CompiledKernel;
 pub use launch::LaunchArg;
+pub use mekong_tuner::{decode_strategy, Autotuner, Candidate, PartitionStrategy};
 pub use plan::{ArgKey, LaunchPlan, PlanKey};
 pub use tracker::{Owner, Tracker};
-pub use vbuf::{MgpuRuntime, RuntimeConfig, VBufId};
+pub use vbuf::{MgpuRuntime, RuntimeConfig, TunerReport, VBufId};
 
 /// Errors from the runtime.
 #[derive(Debug)]

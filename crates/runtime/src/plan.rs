@@ -50,7 +50,10 @@ impl ArgKey {
 /// Kernels are keyed by *name* (same convention as the simulator's
 /// roofline memo): two distinct kernels sharing a name would alias. The
 /// split axis is included so a recompiled kernel whose partitioning
-/// strategy changed cannot replay a stale plan.
+/// strategy changed cannot replay a stale plan, and the concrete
+/// partition bounds pin the autotuner's decision: when online refinement
+/// switches strategies, the next launch misses and re-captures instead
+/// of replaying a plan built for the old grid slicing.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct PlanKey {
     pub kernel: String,
@@ -58,6 +61,8 @@ pub struct PlanKey {
     pub axis: u8,
     pub grid: Dim3,
     pub block: Dim3,
+    /// Flattened `lo`/`hi` bounds of every partition the launch runs.
+    pub bounds: Vec<i64>,
     pub args: Vec<ArgKey>,
 }
 

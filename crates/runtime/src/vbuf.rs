@@ -4,6 +4,9 @@ use crate::plan::{LaunchPlan, PlanKey};
 use crate::tracker::{Owner, Tracker};
 use crate::{Result, RuntimeError};
 use mekong_gpusim::{DevBuf, Machine, TimeCat};
+use mekong_kernel::Dim3;
+use mekong_tuner::{Autotuner, PartitionStrategy};
+use serde::Serialize;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -20,6 +23,15 @@ pub(crate) struct VirtualBuffer {
     pub instances: Vec<DevBuf>,
     pub tracker: Tracker,
     pub freed: bool,
+    /// Provenance for the tuner's cost model: `true` once a kernel
+    /// launch has written any part of the buffer, reset by H2D (the
+    /// whole buffer is then host data again). A kernel-written buffer
+    /// read by a kernel writing an identically shaped array is treated
+    /// as the ping-pong partner of that array (steady-state
+    /// `SelfWrites` ownership); a host-provenance buffer keeps its
+    /// tracker layout — the runtime refetches its remote bytes every
+    /// launch, and the model must charge for that.
+    pub kernel_written: bool,
 }
 
 /// α/β/γ measurement configuration (paper §9.2).
@@ -41,6 +53,13 @@ pub struct RuntimeConfig {
     /// the flat `host_per_replay` cost instead of walking trackers. Off
     /// in α (which measures the full overhead), on in β/γ.
     pub capture_plans: bool,
+    /// Consult the partitioning autotuner ([`mekong_tuner`]) instead of
+    /// the compiler's fixed split: at the first launch of each
+    /// (kernel, geometry, scalars) combination, enumerate candidate
+    /// strategies, rank them with the static cost model, and cache the
+    /// decision. Measured transfer traffic feeds back for online
+    /// refinement. Off by default — the paper's fixed heuristic.
+    pub autotune: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -50,6 +69,7 @@ impl Default for RuntimeConfig {
             pattern_timing: true,
             coalesce_transfers: true,
             capture_plans: false,
+            autotune: false,
         }
     }
 }
@@ -78,6 +98,35 @@ impl RuntimeConfig {
             ..Self::default()
         }
     }
+
+    /// Full measurement (α) plus the cost-model autotuner and plan
+    /// capture — the "tuned" configuration of the A7 ablation.
+    pub fn tuned() -> Self {
+        RuntimeConfig {
+            autotune: true,
+            capture_plans: true,
+            ..Self::default()
+        }
+    }
+}
+
+/// One autotuner decision in reportable form (see
+/// [`MgpuRuntime::tuner_report`]).
+#[derive(Debug, Clone, Serialize)]
+pub struct TunerReport {
+    pub kernel: String,
+    pub grid: Dim3,
+    pub block: Dim3,
+    /// [`PartitionStrategy::describe`] of the current choice.
+    pub strategy: String,
+    /// Static prediction: peer-transfer bytes per steady-state launch.
+    pub predicted_bytes: u64,
+    /// Measured window average, once one completed.
+    pub measured_bytes: Option<u64>,
+    /// Launches recorded against this decision.
+    pub launches: u64,
+    /// Online-refinement strategy switches.
+    pub switches: u32,
 }
 
 /// The multi-GPU runtime: owns the machine and all virtual buffers, and
@@ -93,6 +142,12 @@ pub struct MgpuRuntime {
     /// (see [`crate::plan`]). `Arc` so a hit clones a handle, not the
     /// command lists.
     pub(crate) plan_cache: HashMap<PlanKey, Arc<LaunchPlan>>,
+    /// Partitioning autotuner state: one decision per
+    /// (kernel, geometry, scalars), fed back with measured traffic.
+    pub(crate) tuner: Autotuner,
+    /// Per-kernel strategy overrides (benchmarks pin a candidate to
+    /// measure it); these bypass both the heuristic and the tuner.
+    pub(crate) forced: HashMap<String, PartitionStrategy>,
 }
 
 impl MgpuRuntime {
@@ -104,6 +159,8 @@ impl MgpuRuntime {
             config: RuntimeConfig::default(),
             resolve_dependencies: true,
             plan_cache: HashMap::new(),
+            tuner: Autotuner::new(),
+            forced: HashMap::new(),
         }
     }
 
@@ -124,6 +181,47 @@ impl MgpuRuntime {
     /// Launch-plan cache size (captured plans currently held).
     pub fn plan_cache_len(&self) -> usize {
         self.plan_cache.len()
+    }
+
+    /// Pin the partitioning strategy of one kernel, bypassing both the
+    /// compiler heuristic and the autotuner (the A7 ablation measures
+    /// every candidate this way). Flushes captured plans — they encode
+    /// the old partition bounds.
+    pub fn force_strategy(&mut self, kernel: &str, strategy: PartitionStrategy) {
+        self.forced.insert(kernel.to_string(), strategy);
+        self.plan_cache.clear();
+    }
+
+    /// Remove a [`MgpuRuntime::force_strategy`] override.
+    pub fn clear_forced_strategy(&mut self, kernel: &str) {
+        self.forced.remove(kernel);
+        self.plan_cache.clear();
+    }
+
+    /// The autotuner state (decisions, measurements, switches).
+    pub fn tuner(&self) -> &Autotuner {
+        &self.tuner
+    }
+
+    /// Every autotuner decision in reportable form, sorted by kernel
+    /// name for deterministic output.
+    pub fn tuner_report(&self) -> Vec<TunerReport> {
+        let mut out: Vec<TunerReport> = self
+            .tuner
+            .entries()
+            .map(|(k, e)| TunerReport {
+                kernel: k.kernel.clone(),
+                grid: k.grid,
+                block: k.block,
+                strategy: e.strategy().describe(),
+                predicted_bytes: e.predicted().transfer_bytes,
+                measured_bytes: e.measured_bytes(),
+                launches: e.launches,
+                switches: e.switches,
+            })
+            .collect();
+        out.sort_by(|a, b| a.kernel.cmp(&b.kernel));
+        out
     }
 
     /// The wrapped machine.
@@ -161,6 +259,7 @@ impl MgpuRuntime {
             instances,
             tracker: Tracker::new(bytes as u64),
             freed: false,
+            kernel_written: false,
         });
         Ok(VBufId(self.buffers.len() - 1))
     }
@@ -226,6 +325,7 @@ impl MgpuRuntime {
             let seg_cost = self.machine.spec().host_per_segment;
             self.machine.charge_host(seg_cost, TimeCat::Pattern);
         }
+        self.buffers[dst.0].kernel_written = false;
         debug_assert!(self.buffers[dst.0].tracker.check_invariants());
         Ok(())
     }
@@ -288,6 +388,7 @@ impl MgpuRuntime {
             let seg_cost = self.machine.spec().host_per_segment;
             self.machine.charge_host(seg_cost, TimeCat::Pattern);
         }
+        self.buffers[dst.0].kernel_written = false;
         Ok(())
     }
 
@@ -354,6 +455,7 @@ impl MgpuRuntime {
             let seg_cost = self.machine.spec().host_per_segment;
             self.machine.charge_host(seg_cost, TimeCat::Pattern);
         }
+        self.buffers[dst.0].kernel_written = false;
         Ok(())
     }
 

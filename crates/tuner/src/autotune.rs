@@ -1,0 +1,314 @@
+//! Stateful autotuner: static decision at first launch, online
+//! refinement from measured transfer traffic.
+//!
+//! The static model can be wrong about arrays whose layout is governed
+//! by history the model does not see (e.g. a read-only array that was
+//! uploaded under a different distribution). The runtime therefore
+//! reports the *measured* peer-transfer bytes of each launch back here.
+//! Measurements are averaged over a small window (skipping a settle
+//! launch right after any decision, where one-time redistribution
+//! traffic dominates); when the window average exceeds the prediction by
+//! more than a tolerance factor, candidates are re-ranked with measured
+//! bytes as the authoritative transfer term and the choice may switch.
+//! Each candidate's measurement is remembered, and a switch requires a
+//! strict improvement, so refinement visits at most every candidate once
+//! and then stays put — no oscillation.
+
+use crate::cost::Candidate;
+use crate::strategy::PartitionStrategy;
+use mekong_kernel::Dim3;
+use std::collections::HashMap;
+
+/// Identity of one tuning decision: kernel × launch geometry × scalar
+/// arguments (scalars size the arrays, so different sizes are different
+/// problems).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TuneKey {
+    pub kernel: String,
+    pub grid: Dim3,
+    pub block: Dim3,
+    pub scalars: Vec<i64>,
+}
+
+/// What [`Autotuner::record`] did with a measurement.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RecordOutcome {
+    /// A measurement window completed with this per-launch average.
+    pub window_avg: Option<u64>,
+    /// The entry switched to a different candidate; the caller must stop
+    /// using cached launch plans built for the old strategy.
+    pub switched: bool,
+}
+
+/// Per-key tuning state.
+#[derive(Debug, Clone)]
+pub struct TuneEntry {
+    /// Candidates ranked by predicted time at decision.
+    pub candidates: Vec<Candidate>,
+    /// Index of the current choice in `candidates`.
+    pub chosen: usize,
+    /// Measured average per-launch transfer bytes per candidate.
+    pub measured: Vec<Option<f64>>,
+    /// Launches recorded (including settle launches).
+    pub launches: u64,
+    /// How many times refinement switched strategies.
+    pub switches: u32,
+    settle_left: u32,
+    window_bytes: u64,
+    window_n: u32,
+    link_bandwidth: f64,
+    link_latency: f64,
+}
+
+impl TuneEntry {
+    /// The current strategy.
+    pub fn strategy(&self) -> &PartitionStrategy {
+        &self.candidates[self.chosen].strategy
+    }
+
+    /// The current candidate's static prediction.
+    pub fn predicted(&self) -> &crate::cost::CostEstimate {
+        &self.candidates[self.chosen].predict
+    }
+
+    /// Measured per-launch transfer bytes of the current candidate, once
+    /// a window has completed.
+    pub fn measured_bytes(&self) -> Option<u64> {
+        self.measured[self.chosen].map(|m| m.round() as u64)
+    }
+
+    /// Candidate `i`'s time with measured transfer bytes substituted for
+    /// the prediction when available — the refinement objective.
+    fn effective_time(&self, i: usize) -> f64 {
+        let c = &self.candidates[i];
+        match self.measured[i] {
+            Some(m) => {
+                c.predict.compute_time
+                    + c.predict.pattern_time
+                    + c.predict.n_copies as f64 * self.link_latency
+                    + m / self.link_bandwidth
+            }
+            None => c.predict.total_time(),
+        }
+    }
+}
+
+/// The tuner: one [`TuneEntry`] per (kernel, geometry), plus the
+/// refinement knobs.
+#[derive(Debug, Clone)]
+pub struct Autotuner {
+    entries: HashMap<TuneKey, TuneEntry>,
+    /// Launches ignored right after a decision (redistribution noise).
+    pub settle: u32,
+    /// Launches averaged per measurement window.
+    pub window: u32,
+    /// Refine when `measured > tolerance × predicted + slack_bytes`.
+    pub tolerance: f64,
+    /// Absolute slack so tiny kernels don't thrash over a few bytes.
+    pub slack_bytes: u64,
+}
+
+impl Default for Autotuner {
+    fn default() -> Self {
+        Autotuner {
+            entries: HashMap::new(),
+            settle: 1,
+            window: 4,
+            tolerance: 1.5,
+            slack_bytes: 4096,
+        }
+    }
+}
+
+impl Autotuner {
+    pub fn new() -> Autotuner {
+        Autotuner::default()
+    }
+
+    /// The strategy currently chosen for `key`, if decided.
+    pub fn strategy(&self, key: &TuneKey) -> Option<&PartitionStrategy> {
+        self.entries.get(key).map(|e| e.strategy())
+    }
+
+    /// Full tuning state for `key`.
+    pub fn entry(&self, key: &TuneKey) -> Option<&TuneEntry> {
+        self.entries.get(key)
+    }
+
+    /// All decisions, for reporting.
+    pub fn entries(&self) -> impl Iterator<Item = (&TuneKey, &TuneEntry)> {
+        self.entries.iter()
+    }
+
+    /// Record a decision for `key` from ranked candidates (index 0 is
+    /// chosen). Idempotent: an existing entry is kept, so a decision
+    /// survives repeated launches. `link_bandwidth`/`link_latency`
+    /// parameterize the refinement objective.
+    pub fn decide(
+        &mut self,
+        key: TuneKey,
+        candidates: Vec<Candidate>,
+        link_bandwidth: f64,
+        link_latency: f64,
+    ) -> &TuneEntry {
+        assert!(!candidates.is_empty(), "no candidates to choose from");
+        let settle = self.settle;
+        self.entries.entry(key).or_insert_with(|| TuneEntry {
+            measured: vec![None; candidates.len()],
+            candidates,
+            chosen: 0,
+            launches: 0,
+            switches: 0,
+            settle_left: settle,
+            window_bytes: 0,
+            window_n: 0,
+            link_bandwidth,
+            link_latency,
+        })
+    }
+
+    /// Feed one launch's measured peer-transfer bytes back. Completes a
+    /// window every `window` non-settle launches and refines the choice
+    /// when the prediction was badly off.
+    pub fn record(&mut self, key: &TuneKey, transfer_bytes: u64) -> RecordOutcome {
+        let Some(entry) = self.entries.get_mut(key) else {
+            return RecordOutcome::default();
+        };
+        entry.launches += 1;
+        if entry.settle_left > 0 {
+            entry.settle_left -= 1;
+            return RecordOutcome::default();
+        }
+        entry.window_bytes += transfer_bytes;
+        entry.window_n += 1;
+        if entry.window_n < self.window {
+            return RecordOutcome::default();
+        }
+        let avg = entry.window_bytes as f64 / entry.window_n as f64;
+        entry.window_bytes = 0;
+        entry.window_n = 0;
+        // Measured bytes are authoritative; blend to damp run-to-run
+        // noise without forgetting.
+        let slot = &mut entry.measured[entry.chosen];
+        *slot = Some(match *slot {
+            Some(prev) => 0.5 * prev + 0.5 * avg,
+            None => avg,
+        });
+        let mut outcome = RecordOutcome {
+            window_avg: Some(avg.round() as u64),
+            switched: false,
+        };
+        let predicted = entry.candidates[entry.chosen].predict.transfer_bytes as f64;
+        if avg <= self.tolerance * predicted + self.slack_bytes as f64 {
+            return outcome; // prediction holds; stay.
+        }
+        // Re-rank with measurements substituted; switch only on strict
+        // improvement (10% hysteresis) to rule out oscillation.
+        let best = (0..entry.candidates.len())
+            .min_by(|&a, &b| entry.effective_time(a).total_cmp(&entry.effective_time(b)))
+            .unwrap();
+        if best != entry.chosen
+            && entry.effective_time(best) < 0.9 * entry.effective_time(entry.chosen)
+        {
+            entry.chosen = best;
+            entry.switches += 1;
+            entry.settle_left = self.settle;
+            outcome.switched = true;
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostEstimate;
+    use mekong_analysis::SplitAxis;
+
+    fn key() -> TuneKey {
+        TuneKey {
+            kernel: "k".into(),
+            grid: Dim3::new1(8),
+            block: Dim3::new1(32),
+            scalars: vec![256],
+        }
+    }
+
+    fn candidate(axis: SplitAxis, parts: usize, transfer_bytes: u64, compute: f64) -> Candidate {
+        Candidate {
+            strategy: PartitionStrategy::even(axis, parts),
+            predict: CostEstimate {
+                transfer_bytes,
+                n_copies: u64::from(transfer_bytes > 0),
+                compute_time: compute,
+                // 1 GB/s link below → transfer_time = bytes in ns.
+                transfer_time: transfer_bytes as f64 / 1e9,
+                ..CostEstimate::default()
+            },
+        }
+    }
+
+    #[test]
+    fn decide_is_idempotent_and_records_measure() {
+        let mut t = Autotuner::new();
+        let cands = vec![
+            candidate(SplitAxis::X, 2, 100, 1e-3),
+            candidate(SplitAxis::Y, 2, 5_000_000, 1e-3),
+        ];
+        t.decide(key(), cands.clone(), 1e9, 0.0);
+        t.decide(key(), vec![candidate(SplitAxis::Y, 4, 0, 0.0)], 1e9, 0.0);
+        // Second decide is a no-op: the original choice stands.
+        assert_eq!(t.strategy(&key()).unwrap().describe(), "x:2");
+        // Settle launch is discarded, then a window of 4 completes.
+        assert_eq!(t.record(&key(), 999_999_999), RecordOutcome::default());
+        for _ in 0..3 {
+            assert_eq!(t.record(&key(), 100), RecordOutcome::default());
+        }
+        let out = t.record(&key(), 100);
+        assert_eq!(out.window_avg, Some(100));
+        assert!(!out.switched);
+        assert_eq!(t.entry(&key()).unwrap().measured_bytes(), Some(100));
+    }
+
+    #[test]
+    fn bad_prediction_switches_to_measured_best() {
+        let mut t = Autotuner::new();
+        // Chosen candidate claims ~0 transfer; the alternative predicts a
+        // modest 1 MB. Reality: the chosen one actually moves 100 MB.
+        let cands = vec![
+            candidate(SplitAxis::X, 2, 0, 1e-3),
+            candidate(SplitAxis::Y, 2, 1_000_000, 1e-3),
+        ];
+        t.decide(key(), cands, 1e9, 0.0);
+        let mut switched = false;
+        for _ in 0..=t.settle as usize + t.window as usize {
+            switched |= t.record(&key(), 100_000_000).switched;
+        }
+        assert!(switched, "tuner must abandon a badly mispredicted choice");
+        let e = t.entry(&key()).unwrap();
+        assert_eq!(e.strategy().describe(), "y:2");
+        assert_eq!(e.switches, 1);
+        // The alternative now measures fine: no further switch, and the
+        // measured value for it is retained.
+        let mut flapped = false;
+        for _ in 0..12 {
+            flapped |= t.record(&key(), 1_000_000).switched;
+        }
+        assert!(!flapped, "refinement must not oscillate");
+        assert_eq!(t.entry(&key()).unwrap().strategy().describe(), "y:2");
+    }
+
+    #[test]
+    fn accurate_predictions_never_switch() {
+        let mut t = Autotuner::new();
+        let cands = vec![
+            candidate(SplitAxis::Y, 4, 1_000_000, 1e-3),
+            candidate(SplitAxis::X, 4, 2_000_000, 1e-3),
+        ];
+        t.decide(key(), cands, 1e9, 0.0);
+        for _ in 0..20 {
+            assert!(!t.record(&key(), 1_050_000).switched);
+        }
+        assert_eq!(t.entry(&key()).unwrap().switches, 0);
+    }
+}

@@ -1,0 +1,546 @@
+//! The static cost model and candidate enumeration.
+//!
+//! For a candidate strategy the model predicts, per launch:
+//!
+//! ```text
+//! time = max_p [ overhead(d_p) + roofline(threads_p, profile, d_p) ]   (compute)
+//!      + transfer(remote read bytes, copies)                           (transfer)
+//!      + host_per_launch·k + host_per_range·ranges + host_per_segment·copies
+//! ```
+//!
+//! The transfer term is the exact polyhedral footprint arithmetic of the
+//! paper's runtime, evaluated symbolically: partition `p`'s read ranges
+//! (from the access enumerators) minus the byte intervals partition `p`
+//! already owns. Ownership comes in two flavours:
+//!
+//! * [`Ownership::SelfWrites`] — steady state for arrays the kernel
+//!   itself (re)writes: partition `p` owns exactly what it writes, so
+//!   remote bytes are reads that land in *another* partition's write
+//!   footprint. This models iterated stencils/ping-pong chains where the
+//!   previous launch distributed the array along the same partitioning.
+//! * [`Ownership::Segments`] — concrete `(start, end, device)` byte
+//!   intervals from the runtime's segment tracker, for arrays the kernel
+//!   only reads (their layout is whatever history left behind).
+//!
+//! Bytes owned by no device (host or uninitialized) cost nothing here:
+//! the simulator charges those flows to H2D, not the peer interconnect,
+//! and they are identical across candidates.
+
+use crate::strategy::PartitionStrategy;
+use mekong_analysis::SplitAxis;
+use mekong_enumgen::AccessEnumerator;
+use mekong_gpusim::{DeviceSpec, MachineSpec, ThreadProfile};
+use mekong_kernel::Dim3;
+use serde::{Deserialize, Serialize};
+
+/// A byte interval owned by `device` (`None` = host/uninitialized: reads
+/// of it are not peer traffic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OwnedSegment {
+    pub start: u64,
+    pub end: u64,
+    pub device: Option<usize>,
+}
+
+/// Where the bytes of a read array live when the kernel launches.
+#[derive(Debug, Clone)]
+pub enum Ownership {
+    /// Partition `p` owns the bytes written by write model `w` (index
+    /// into [`TunerInput::writes`]) on partition `p`.
+    SelfWrites(usize),
+    /// Concrete ownership intervals (sorted, non-overlapping), e.g. from
+    /// the runtime's tracker.
+    Segments(Vec<OwnedSegment>),
+}
+
+impl Ownership {
+    /// The linear host-to-device distribution the runtime's `memcpy_h2d`
+    /// produces: elements split evenly over `n` devices, remainder on
+    /// the leading devices. This is what a freshly uploaded buffer's
+    /// tracker holds.
+    pub fn linear(total_elems: u64, elem_size: u64, n_devices: usize) -> Ownership {
+        let n = n_devices as u64;
+        let base = total_elems / n;
+        let rem = total_elems % n;
+        let mut segs = Vec::with_capacity(n_devices);
+        let mut off = 0u64;
+        for d in 0..n {
+            let len = base + u64::from(d < rem);
+            if len > 0 {
+                segs.push(OwnedSegment {
+                    start: off * elem_size,
+                    end: (off + len) * elem_size,
+                    device: Some(d as usize),
+                });
+            }
+            off += len;
+        }
+        Ownership::Segments(segs)
+    }
+}
+
+/// A read array as the cost model sees it.
+pub struct ReadModel<'a> {
+    pub enumerator: &'a AccessEnumerator,
+    pub elem_size: u64,
+    pub ownership: Ownership,
+}
+
+/// A written array as the cost model sees it.
+pub struct WriteModel<'a> {
+    pub enumerator: &'a AccessEnumerator,
+    pub elem_size: u64,
+}
+
+/// Everything [`evaluate`] needs about one kernel launch site.
+pub struct TunerInput<'a> {
+    pub spec: &'a MachineSpec,
+    pub grid: Dim3,
+    pub block: Dim3,
+    pub scalar_names: &'a [String],
+    pub scalars: &'a [i64],
+    pub reads: Vec<ReadModel<'a>>,
+    pub writes: Vec<WriteModel<'a>>,
+    /// Per-thread instruction/traffic counts sampled in counting mode.
+    pub profile: ThreadProfile,
+}
+
+/// Predicted per-launch cost of one candidate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CostEstimate {
+    /// Peer-transfer volume: read bytes owned by another device.
+    pub transfer_bytes: u64,
+    /// Number of distinct peer copies those bytes arrive in.
+    pub n_copies: u64,
+    /// Enumerated element ranges (reads + writes over all partitions) —
+    /// the driver of the host-side "Patterns" overhead.
+    pub n_ranges: u64,
+    /// Slowest partition's roofline kernel time + launch overhead, s.
+    pub compute_time: f64,
+    /// Peer-transfer time (serialized when the link is host-staged), s.
+    pub transfer_time: f64,
+    /// Host-side orchestration time (launch + range + segment costs), s.
+    pub pattern_time: f64,
+}
+
+impl CostEstimate {
+    /// The scalar objective candidates are ranked by.
+    pub fn total_time(&self) -> f64 {
+        self.compute_time + self.transfer_time + self.pattern_time
+    }
+}
+
+/// One enumerated strategy with its predicted cost.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    pub strategy: PartitionStrategy,
+    pub predict: CostEstimate,
+}
+
+/// Roofline time of `threads` threads of `profile` on device `spec`.
+fn roofline(threads: f64, profile: ThreadProfile, spec: &DeviceSpec) -> f64 {
+    let t_flop = threads * profile.flops_per_thread / spec.flops;
+    let t_int = threads * profile.intops_per_thread / spec.int_ops;
+    let t_mem = threads * profile.bytes_per_thread / spec.mem_bw;
+    t_flop.max(t_int).max(t_mem)
+}
+
+/// Per-thread time on a device — the basis of proportional shares.
+pub fn thread_time(profile: ThreadProfile, spec: &DeviceSpec) -> f64 {
+    roofline(1.0, profile, spec)
+}
+
+/// Element ranges → sorted byte intervals. Enumerator output is already
+/// sorted and merged.
+fn to_byte_intervals(
+    enumerator: &AccessEnumerator,
+    elem_size: u64,
+    part: &mekong_partition::Partition,
+    input: &TunerInput<'_>,
+) -> Vec<(u64, u64)> {
+    enumerator
+        .ranges_merged(
+            part,
+            input.block,
+            input.grid,
+            input.scalar_names,
+            input.scalars,
+        )
+        .into_iter()
+        .map(|r| (r.start * elem_size, r.end * elem_size))
+        .collect()
+}
+
+/// Intersect two sorted, non-overlapping interval lists; returns
+/// `(bytes, runs)` where `runs` counts maximal overlap intervals (each
+/// becomes one peer copy).
+fn intersect(a: &[(u64, u64)], b: &[(u64, u64)]) -> (u64, u64) {
+    let (mut i, mut j) = (0usize, 0usize);
+    let (mut bytes, mut runs) = (0u64, 0u64);
+    let mut last_end: Option<u64> = None;
+    while i < a.len() && j < b.len() {
+        let lo = a[i].0.max(b[j].0);
+        let hi = a[i].1.min(b[j].1);
+        if lo < hi {
+            bytes += hi - lo;
+            // Adjacent pieces coalesce into one copy, as the runtime's
+            // transfer coalescer would merge them.
+            if last_end != Some(lo) {
+                runs += 1;
+            }
+            last_end = Some(hi);
+        }
+        if a[i].1 <= b[j].1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    (bytes, runs)
+}
+
+/// Predict the per-launch cost of `strategy` on `input`.
+pub fn evaluate(input: &TunerInput<'_>, strategy: &PartitionStrategy) -> CostEstimate {
+    let parts = strategy.partitions(input.grid);
+    let k = parts.len();
+    let spec = input.spec;
+
+    // Write footprints per (write model, partition), needed both for
+    // SelfWrites ownership and the range count.
+    let writes_by_part: Vec<Vec<Vec<(u64, u64)>>> = input
+        .writes
+        .iter()
+        .map(|w| {
+            parts
+                .iter()
+                .map(|p| to_byte_intervals(w.enumerator, w.elem_size, p, input))
+                .collect()
+        })
+        .collect();
+
+    let mut est = CostEstimate::default();
+    for per_part in &writes_by_part {
+        for intervals in per_part {
+            est.n_ranges += intervals.len() as u64;
+        }
+    }
+
+    // Remote read bytes per destination device (partition p runs on
+    // device p).
+    let mut incoming_bytes = vec![0u64; k];
+    let mut incoming_copies = vec![0u64; k];
+    for read in &input.reads {
+        // Concrete ownership grouped per owning device, once per read.
+        let by_owner: Vec<Vec<(u64, u64)>> = match &read.ownership {
+            Ownership::SelfWrites(_) => Vec::new(),
+            Ownership::Segments(segs) => {
+                let mut per = vec![Vec::new(); spec.n_devices];
+                for s in segs {
+                    if let Some(d) = s.device {
+                        if d < spec.n_devices && s.start < s.end {
+                            per[d].push((s.start, s.end));
+                        }
+                    }
+                }
+                per
+            }
+        };
+        for (p, part) in parts.iter().enumerate() {
+            let ranges = to_byte_intervals(read.enumerator, read.elem_size, part, input);
+            est.n_ranges += ranges.len() as u64;
+            match &read.ownership {
+                Ownership::SelfWrites(w) => {
+                    for (q, owned) in writes_by_part[*w].iter().enumerate() {
+                        if q == p {
+                            continue;
+                        }
+                        let (bytes, runs) = intersect(&ranges, owned);
+                        incoming_bytes[p] += bytes;
+                        incoming_copies[p] += runs;
+                    }
+                }
+                Ownership::Segments(_) => {
+                    for (owner, owned) in by_owner.iter().enumerate() {
+                        if owner == p || owned.is_empty() {
+                            continue;
+                        }
+                        let (bytes, runs) = intersect(&ranges, owned);
+                        incoming_bytes[p] += bytes;
+                        incoming_copies[p] += runs;
+                    }
+                }
+            }
+        }
+    }
+    est.transfer_bytes = incoming_bytes.iter().sum();
+    est.n_copies = incoming_copies.iter().sum();
+
+    // Compute: slowest partition under the per-device roofline.
+    for (p, part) in parts.iter().enumerate() {
+        let dspec = spec.device_spec(p);
+        let threads = (part.block_count() * input.block.count()) as f64;
+        let t = dspec.launch_overhead + roofline(threads, input.profile, dspec);
+        est.compute_time = est.compute_time.max(t);
+    }
+
+    // Transfer: host-staged links serialize all peer copies; direct
+    // links overlap pairwise, so the slowest destination bounds.
+    let per_dest = |d: usize| {
+        incoming_copies[d] as f64 * spec.link.latency
+            + incoming_bytes[d] as f64 / spec.link.bandwidth
+    };
+    est.transfer_time = if spec.link.host_staged {
+        (0..k).map(per_dest).sum()
+    } else {
+        (0..k).map(per_dest).fold(0.0, f64::max)
+    };
+
+    // Host-side pattern costs, mirroring what the runtime charges per
+    // partitioned launch.
+    est.pattern_time = k as f64 * spec.host_per_launch
+        + est.n_ranges as f64 * spec.host_per_range
+        + est.n_copies as f64 * spec.host_per_segment;
+    est
+}
+
+/// Throughput-proportional share weights for the first `k` devices:
+/// `w_d ∝ 1 / thread_time(d)`. Equal when the machine is homogeneous or
+/// the profile is empty.
+pub fn proportional_shares(spec: &MachineSpec, profile: ThreadProfile, k: usize) -> Vec<f64> {
+    let times: Vec<f64> = (0..k)
+        .map(|d| thread_time(profile, spec.device_spec(d)))
+        .collect();
+    if times.iter().any(|&t| t <= 0.0) {
+        return vec![1.0; k];
+    }
+    let total: f64 = times.iter().map(|t| 1.0 / t).sum();
+    times.iter().map(|t| (1.0 / t) / total).collect()
+}
+
+/// Enumerate the candidate strategies for a machine and grid: every axis
+/// with more than one block × every device count × even and (on
+/// heterogeneous machines) proportional shares. The single-device
+/// candidate appears once — axis is meaningless for one slice.
+pub fn enumerate_strategies(
+    spec: &MachineSpec,
+    grid: Dim3,
+    profile: ThreadProfile,
+) -> Vec<PartitionStrategy> {
+    let gz = grid.zyx();
+    let mut axes: Vec<SplitAxis> = [SplitAxis::Z, SplitAxis::Y, SplitAxis::X]
+        .into_iter()
+        .filter(|a| gz[a.zyx_index()] > 1)
+        .collect();
+    if axes.is_empty() {
+        axes.push(SplitAxis::X);
+    }
+    let mut out = Vec::new();
+    out.push(PartitionStrategy::even(axes[0], 1));
+    for &axis in &axes {
+        for k in 2..=spec.n_devices {
+            out.push(PartitionStrategy::even(axis, k));
+            if !spec.is_homogeneous() {
+                let shares = proportional_shares(spec, profile, k);
+                let prop = PartitionStrategy::weighted(axis, shares);
+                if prop.is_weighted() {
+                    out.push(prop);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Evaluate every enumerated strategy and rank by predicted time
+/// (deterministic tie-breaks: fewer transfer bytes, fewer copies, then
+/// encoding order).
+pub fn rank_candidates(input: &TunerInput<'_>) -> Vec<Candidate> {
+    let mut out: Vec<Candidate> = enumerate_strategies(input.spec, input.grid, input.profile)
+        .into_iter()
+        .map(|strategy| Candidate {
+            predict: evaluate(input, &strategy),
+            strategy,
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        a.predict
+            .total_time()
+            .total_cmp(&b.predict.total_time())
+            .then(a.predict.transfer_bytes.cmp(&b.predict.transfer_bytes))
+            .then(a.predict.n_copies.cmp(&b.predict.n_copies))
+            .then(a.strategy.encode().cmp(&b.strategy.encode()))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mekong_kernel::Extent;
+    use mekong_poly::Map;
+
+    /// A 1-D access enumerator over an `n`-element array covering
+    /// `[blockOff.x - lo_halo, blockOff.x + blockDim.x + hi_halo)` per
+    /// block (clipped to the array).
+    fn enum_1d(lo_halo: i64, hi_halo: i64) -> AccessEnumerator {
+        let text = format!(
+            "[bdz, bdy, bdx, gdz, gdy, gdx, n] -> \
+             {{ [boz, boy, box, biz, biy, bix] -> [e] : \
+                box - {lo_halo} <= e and e < box + bdx + {hi_halo} }}"
+        );
+        AccessEnumerator::build(&Map::parse(&text).unwrap(), &[Extent::Param("n".into())]).unwrap()
+    }
+
+    fn names() -> Vec<String> {
+        vec!["n".into()]
+    }
+
+    #[test]
+    fn self_writes_halo_costs_exactly_the_halo() {
+        let spec = MachineSpec::kepler_system(2);
+        let write = enum_1d(0, 0);
+        let read = enum_1d(2, 2);
+        let scalar_names = names();
+        let input = TunerInput {
+            spec: &spec,
+            grid: Dim3::new1(8),
+            block: Dim3::new1(8),
+            scalar_names: &scalar_names,
+            scalars: &[64],
+            reads: vec![ReadModel {
+                enumerator: &read,
+                elem_size: 4,
+                ownership: Ownership::SelfWrites(0),
+            }],
+            writes: vec![WriteModel {
+                enumerator: &write,
+                elem_size: 4,
+            }],
+            profile: ThreadProfile::default(),
+        };
+        let est = evaluate(&input, &PartitionStrategy::even(SplitAxis::X, 2));
+        // Each of the two partitions reads a 2-element halo owned by the
+        // other: 4 elements × 4 bytes, one copy per direction.
+        assert_eq!(est.transfer_bytes, 16);
+        assert_eq!(est.n_copies, 2);
+        // One device keeps everything: no transfers at all.
+        let est1 = evaluate(&input, &PartitionStrategy::even(SplitAxis::X, 1));
+        assert_eq!(est1.transfer_bytes, 0);
+        assert_eq!(est1.n_copies, 0);
+    }
+
+    #[test]
+    fn segment_ownership_counts_only_remote_bytes() {
+        let spec = MachineSpec::kepler_system(2);
+        let read = enum_1d(0, 0);
+        let scalar_names = names();
+        // 64 elements × 4 B, linearly distributed: device 0 owns bytes
+        // [0, 128), device 1 owns [128, 256). An even X split reads the
+        // same halves, so nothing is remote.
+        let input = TunerInput {
+            spec: &spec,
+            grid: Dim3::new1(8),
+            block: Dim3::new1(8),
+            scalar_names: &scalar_names,
+            scalars: &[64],
+            reads: vec![ReadModel {
+                enumerator: &read,
+                elem_size: 4,
+                ownership: Ownership::linear(64, 4, 2),
+            }],
+            writes: vec![],
+            profile: ThreadProfile::default(),
+        };
+        let est = evaluate(&input, &PartitionStrategy::even(SplitAxis::X, 2));
+        assert_eq!(est.transfer_bytes, 0);
+        // Flip ownership: everything lives on device 1, so partition 0
+        // must fetch its whole half.
+        let input_flipped = TunerInput {
+            reads: vec![ReadModel {
+                enumerator: &read,
+                elem_size: 4,
+                ownership: Ownership::Segments(vec![OwnedSegment {
+                    start: 0,
+                    end: 256,
+                    device: Some(1),
+                }]),
+            }],
+            ..input
+        };
+        let est = evaluate(&input_flipped, &PartitionStrategy::even(SplitAxis::X, 2));
+        assert_eq!(est.transfer_bytes, 128);
+        assert_eq!(est.n_copies, 1);
+    }
+
+    #[test]
+    fn heterogeneous_machines_prefer_weighted_shares() {
+        let base = MachineSpec::kepler_system(2);
+        let slow = DeviceSpec {
+            flops: base.device.flops / 2.0,
+            int_ops: base.device.int_ops / 2.0,
+            mem_bw: base.device.mem_bw / 2.0,
+            ..base.device.clone()
+        };
+        let spec = base.with_device_override(1, slow);
+        // A compute-heavy, transfer-free kernel: identity read+write.
+        let write = enum_1d(0, 0);
+        let read = enum_1d(0, 0);
+        let scalar_names = names();
+        let input = TunerInput {
+            spec: &spec,
+            grid: Dim3::new1(1024),
+            block: Dim3::new1(256),
+            scalar_names: &scalar_names,
+            scalars: &[1024 * 256],
+            reads: vec![ReadModel {
+                enumerator: &read,
+                elem_size: 4,
+                ownership: Ownership::SelfWrites(0),
+            }],
+            writes: vec![WriteModel {
+                enumerator: &write,
+                elem_size: 4,
+            }],
+            profile: ThreadProfile {
+                flops_per_thread: 5e4,
+                intops_per_thread: 10.0,
+                bytes_per_thread: 8.0,
+            },
+        };
+        let shares = proportional_shares(&spec, input.profile, 2);
+        assert!(
+            shares[0] > shares[1],
+            "fast device must get more: {shares:?}"
+        );
+        let ranked = rank_candidates(&input);
+        let best = &ranked[0];
+        assert_eq!(best.strategy.n_parts(), 2);
+        assert!(
+            best.strategy.is_weighted(),
+            "expected the weighted split to win, got {} (ranking: {:?})",
+            best.strategy.describe(),
+            ranked
+                .iter()
+                .map(|c| (c.strategy.describe(), c.predict.total_time()))
+                .collect::<Vec<_>>()
+        );
+        // And it must beat the even split by construction of the spec.
+        let even = ranked
+            .iter()
+            .find(|c| c.strategy.n_parts() == 2 && !c.strategy.is_weighted())
+            .unwrap();
+        assert!(best.predict.total_time() < even.predict.total_time());
+    }
+
+    #[test]
+    fn enumeration_skips_degenerate_axes() {
+        let spec = MachineSpec::kepler_system(4);
+        let strategies = enumerate_strategies(&spec, Dim3::new1(32), ThreadProfile::default());
+        // 1-D grid: only x splits, one k=1 candidate.
+        assert!(strategies.iter().all(|s| s.axis == SplitAxis::X));
+        assert_eq!(strategies.len(), 4); // k = 1, 2, 3, 4
+        let strategies = enumerate_strategies(&spec, Dim3::new2(32, 32), ThreadProfile::default());
+        // 2-D: y and x, k = 2..4 each, plus the single k=1.
+        assert_eq!(strategies.len(), 1 + 2 * 3);
+    }
+}

@@ -1,0 +1,139 @@
+//! Partitioning strategies: which axis to split, into how many pieces,
+//! and with what share of the grid per piece.
+
+use mekong_analysis::SplitAxis;
+use mekong_kernel::Dim3;
+use mekong_partition::{partition_grid_weighted, Partition};
+use serde::{Deserialize, Serialize};
+
+/// One point of the tuner's search space: split `axis` into
+/// `shares.len()` contiguous slices with block counts proportional to
+/// the share weights (partition `i` runs on device `i`).
+///
+/// `shares == [1.0; n]` is the paper's even split; uneven shares give a
+/// faster device a proportionally larger slice of the grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartitionStrategy {
+    pub axis: SplitAxis,
+    pub shares: Vec<f64>,
+}
+
+impl PartitionStrategy {
+    /// The even split of the grid over `n` devices (the fixed strategy
+    /// the paper's runtime hardcodes).
+    pub fn even(axis: SplitAxis, n: usize) -> PartitionStrategy {
+        assert!(n >= 1);
+        PartitionStrategy {
+            axis,
+            shares: vec![1.0; n],
+        }
+    }
+
+    /// A proportionally weighted split.
+    pub fn weighted(axis: SplitAxis, shares: Vec<f64>) -> PartitionStrategy {
+        assert!(!shares.is_empty());
+        PartitionStrategy { axis, shares }
+    }
+
+    /// Number of partitions (devices used).
+    pub fn n_parts(&self) -> usize {
+        self.shares.len()
+    }
+
+    /// Do the shares differ from an even split?
+    pub fn is_weighted(&self) -> bool {
+        let first = self.shares[0];
+        self.shares
+            .iter()
+            .any(|&s| (s - first).abs() > 1e-9 * first.abs().max(1.0))
+    }
+
+    /// The concrete partitions for a grid (empty slices dropped; see
+    /// [`partition_grid_weighted`]).
+    pub fn partitions(&self, grid_dim: Dim3) -> Vec<Partition> {
+        partition_grid_weighted(grid_dim, self.axis, &self.shares)
+    }
+
+    /// Pack the strategy's shape into a `u32` for `OpCounters`:
+    /// `(zyx_axis + 1) | n_parts << 8 | weighted << 16`. Zero means "no
+    /// tuner decision recorded".
+    pub fn encode(&self) -> u32 {
+        let axis = (self.axis.zyx_index() as u32) + 1; // z=1, y=2, x=3
+        let parts = (self.n_parts() as u32).min(0xff) << 8;
+        let weighted = u32::from(self.is_weighted()) << 16;
+        axis | parts | weighted
+    }
+
+    /// Human-readable shape, e.g. `"y:4"` (even 4-way y split) or
+    /// `"x:2:w"` (weighted 2-way x split).
+    pub fn describe(&self) -> String {
+        let axis = match self.axis {
+            SplitAxis::Z => 'z',
+            SplitAxis::Y => 'y',
+            SplitAxis::X => 'x',
+        };
+        if self.is_weighted() {
+            format!("{axis}:{}:w", self.n_parts())
+        } else {
+            format!("{axis}:{}", self.n_parts())
+        }
+    }
+}
+
+/// Decode a [`PartitionStrategy::encode`] value back to the
+/// [`PartitionStrategy::describe`] string. `0` (no decision) gives
+/// `None`.
+pub fn decode_strategy(code: u32) -> Option<String> {
+    if code == 0 {
+        return None;
+    }
+    let axis = match code & 0xff {
+        1 => 'z',
+        2 => 'y',
+        3 => 'x',
+        _ => '?',
+    };
+    let parts = (code >> 8) & 0xff;
+    let weighted = (code >> 16) & 1 == 1;
+    Some(if weighted {
+        format!("{axis}:{parts}:w")
+    } else {
+        format!("{axis}:{parts}")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_roundtrips_through_decode() {
+        for (strategy, text) in [
+            (PartitionStrategy::even(SplitAxis::X, 1), "x:1"),
+            (PartitionStrategy::even(SplitAxis::Y, 4), "y:4"),
+            (
+                PartitionStrategy::weighted(SplitAxis::Z, vec![2.0, 1.0]),
+                "z:2:w",
+            ),
+        ] {
+            assert_eq!(strategy.describe(), text);
+            assert_eq!(decode_strategy(strategy.encode()).as_deref(), Some(text));
+        }
+        assert_eq!(decode_strategy(0), None);
+    }
+
+    #[test]
+    fn equal_shares_are_not_weighted() {
+        assert!(!PartitionStrategy::even(SplitAxis::Y, 8).is_weighted());
+        assert!(PartitionStrategy::weighted(SplitAxis::Y, vec![1.0, 1.0 + 1e-3]).is_weighted());
+    }
+
+    #[test]
+    fn partitions_follow_shares() {
+        let s = PartitionStrategy::weighted(SplitAxis::Y, vec![3.0, 1.0]);
+        let parts = s.partitions(Dim3::new2(8, 16));
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].hi[1] - parts[0].lo[1], 12);
+        assert_eq!(parts[1].hi[1] - parts[1].lo[1], 4);
+    }
+}

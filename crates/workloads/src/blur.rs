@@ -222,11 +222,7 @@ impl Benchmark for Blur {
         }
         rt.synchronize();
         rt.memcpy_d2h_sim(a).unwrap();
-        RunOutcome {
-            elapsed: rt.elapsed(),
-            breakdown: rt.machine().breakdown(),
-            counters: rt.machine().counters(),
-        }
+        RunOutcome::from_runtime(&rt)
     }
 
     fn verify(&self, gpus: usize) -> bool {

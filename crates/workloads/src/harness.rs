@@ -1,7 +1,7 @@
 //! Shared benchmark harness types.
 
 use mekong_gpusim::{OpCounters, TimeBreakdown};
-use mekong_runtime::RuntimeConfig;
+use mekong_runtime::{decode_strategy, MgpuRuntime, RuntimeConfig};
 
 /// Problem-size class (Table 1 columns).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,7 +35,7 @@ impl SizeClass {
 }
 
 /// Outcome of one simulated run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct RunOutcome {
     /// Simulated wall-clock (host clock after final synchronize).
     pub elapsed: f64,
@@ -43,9 +43,48 @@ pub struct RunOutcome {
     pub breakdown: TimeBreakdown,
     /// Operation counters.
     pub counters: OpCounters,
+    /// Partitioning strategy the autotuner chose (e.g. `"y:4"`), if one
+    /// was consulted during the run.
+    pub strategy_chosen: Option<String>,
+    /// The tuner's predicted steady-state peer-transfer bytes per launch.
+    pub tuner_predict_bytes: u64,
+    /// The measured window-average peer-transfer bytes per launch.
+    pub tuner_measured_bytes: u64,
 }
 
 impl RunOutcome {
+    /// Snapshot a finished runtime, including the tuner observability
+    /// counters.
+    pub fn from_runtime(rt: &MgpuRuntime) -> RunOutcome {
+        let counters = rt.machine().counters();
+        RunOutcome {
+            elapsed: rt.elapsed(),
+            breakdown: rt.machine().breakdown(),
+            counters,
+            strategy_chosen: decode_strategy(counters.strategy_chosen),
+            tuner_predict_bytes: counters.tuner_predict_bytes,
+            tuner_measured_bytes: counters.tuner_measured_bytes,
+        }
+    }
+
+    /// One-line human-readable summary of the run, including the tuner's
+    /// decision when one was recorded.
+    pub fn summary(&self) -> String {
+        let mut s = format!(
+            "elapsed {:.3} ms | {} launches | {:.2} MiB d2d | plan hit rate {:.0}%",
+            self.elapsed * 1e3,
+            self.counters.launches,
+            self.counters.d2d_bytes as f64 / (1024.0 * 1024.0),
+            self.plan_hit_rate() * 100.0,
+        );
+        if let Some(strategy) = &self.strategy_chosen {
+            s.push_str(&format!(
+                " | strategy {} (predict {} B/launch, measured {} B/launch)",
+                strategy, self.tuner_predict_bytes, self.tuner_measured_bytes
+            ));
+        }
+        s
+    }
     /// Launch-plan cache hit rate of the run: `hits / (hits + misses)`,
     /// or 0.0 when no partitioned launch resolved dependencies. With
     /// `capture_plans` off every resolving launch counts as a miss, so

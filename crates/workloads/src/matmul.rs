@@ -135,11 +135,7 @@ impl Benchmark for Matmul {
         .expect("matmul launch");
         rt.synchronize();
         rt.memcpy_d2h_sim(c).unwrap();
-        RunOutcome {
-            elapsed: rt.elapsed(),
-            breakdown: rt.machine().breakdown(),
-            counters: rt.machine().counters(),
-        }
+        RunOutcome::from_runtime(&rt)
     }
 
     fn verify(&self, gpus: usize) -> bool {

@@ -193,11 +193,7 @@ impl Benchmark for NBody {
         }
         rt.synchronize();
         rt.memcpy_d2h_sim(src).unwrap();
-        RunOutcome {
-            elapsed: rt.elapsed(),
-            breakdown: rt.machine().breakdown(),
-            counters: rt.machine().counters(),
-        }
+        RunOutcome::from_runtime(&rt)
     }
 
     fn verify(&self, gpus: usize) -> bool {

@@ -1,0 +1,23 @@
+//! Dump the §4 application-model records of every workload to disk so
+//! `mekong-check` can verify them offline — the CI partition-safety gate
+//! runs `mekong-check --json` over these files.
+//!
+//! Usage: `dump_models [out_dir]` (default `target/models`).
+
+use mekong_workloads::{benchmarks, extra_benchmarks};
+use std::path::PathBuf;
+
+fn main() {
+    let out_dir: PathBuf = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "target/models".into())
+        .into();
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+    for b in benchmarks().iter().chain(extra_benchmarks().iter()) {
+        let prog = mekong_core::compile_source(b.source())
+            .unwrap_or_else(|e| panic!("{}: compile failed: {e:?}", b.name()));
+        let path = out_dir.join(format!("{}.model.json", b.name()));
+        std::fs::write(&path, &prog.model_json).expect("write model file");
+        println!("{}", path.display());
+    }
+}

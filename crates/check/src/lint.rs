@@ -1,0 +1,251 @@
+//! Model linter checks that are not race detection: static
+//! out-of-bounds escapes and enumerator-coverage gaps.
+
+use crate::diag::Witness;
+use crate::race::{bounded_point, extent_value, trial_params, witness_from_point};
+use crate::Result;
+use mekong_analysis::{AnalysisSpace, SplitAxis, N_MAP_IN};
+use mekong_enumgen::AccessEnumerator;
+use mekong_kernel::{Dim3, Extent};
+use mekong_partition::partition_grid;
+use mekong_poly::{Constraint, LinExpr, Map};
+
+/// A proven (or unexcluded) escape of an access image past the declared
+/// extents.
+#[derive(Debug, Clone)]
+pub struct OobFinding {
+    /// Which output dimension escapes.
+    pub dim: usize,
+    /// `true` for an underflow (`y < 0`), `false` for `y ≥ extent`.
+    pub low_side: bool,
+    /// Concrete offending point, when one exists under the trial
+    /// parameter bindings.
+    pub witness: Option<Witness>,
+}
+
+/// Check whether the access image provably stays inside `extents`.
+///
+/// For each output dimension the negation (`y_j < 0`, resp.
+/// `y_j ≥ E_j`) is intersected with every piece of the map and proven
+/// empty under the launch context (`blockDim, gridDim ≥ 1`, extents
+/// ≥ 1). A system that cannot be proven empty is reported; a concrete
+/// witness is attached when the trial bindings expose one.
+pub fn oob_finding(
+    map: &Map,
+    extents: &[Extent],
+    space: &AnalysisSpace,
+) -> Result<Option<OobFinding>> {
+    let d = map.n_out();
+    let np = map.n_params();
+    assert_eq!(extents.len(), d);
+    let mut ctx = space.param_context();
+    let one = LinExpr::constant(np, 1);
+    for ext in extents {
+        if let Extent::Param(name) = ext {
+            if let Some(i) = space.scalar_param_index(name) {
+                ctx.add_constraint(Constraint::ge(&LinExpr::var(np, i), &one)?);
+            }
+        }
+    }
+    for (j, ext) in extents.iter().enumerate() {
+        for low_side in [true, false] {
+            for piece in map.relation().pieces() {
+                let mut sys = piece.clone();
+                let w = sys.n_dims() + np;
+                let y = LinExpr::var(w, N_MAP_IN + j);
+                let violation = if low_side {
+                    Constraint::lt(&y, &LinExpr::constant(w, 0))?
+                } else {
+                    let e = match ext {
+                        Extent::Const(k) => LinExpr::constant(w, *k),
+                        Extent::Param(name) => {
+                            let Some(i) = space.scalar_param_index(name) else {
+                                continue;
+                            };
+                            LinExpr::var(w, sys.n_dims() + i)
+                        }
+                    };
+                    Constraint::ge(&y, &e)?
+                };
+                sys.add_constraint(violation);
+                if sys.is_marked_empty() || sys.is_empty_symbolic(&ctx)? {
+                    continue;
+                }
+                let mut witness = None;
+                for params in trial_params(space) {
+                    if let Some(pt) = bounded_point(&sys, 1, d, &params, extents, space)? {
+                        witness = Some(witness_from_point(&pt, &params, space, 1, d));
+                        break;
+                    }
+                }
+                return Ok(Some(OobFinding {
+                    dim: j,
+                    low_side,
+                    witness,
+                }));
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// An element of the true access image that the compiled enumerator's
+/// row ranges miss.
+#[derive(Debug, Clone)]
+pub struct CoverageGap {
+    /// The missed element (row-major index vector).
+    pub element: Vec<i64>,
+    /// Its linearized element offset.
+    pub linear: u64,
+    /// Index of the partition whose enumeration missed it.
+    pub partition: usize,
+}
+
+/// Cross-validate the compiled [`AccessEnumerator`] against the true
+/// access image on a small concrete geometry (2×2 grid of 2×2 blocks,
+/// scalars = 4, two partitions along `axis`).
+///
+/// The enumerator drives buffer coherence at run time, so *every*
+/// in-bounds element a partition touches must land inside its merged
+/// row ranges; the first missing element is returned. (The enumerator
+/// may legally over-approximate — only under-coverage is a finding.)
+pub fn coverage_gap(
+    map: &Map,
+    extents: &[Extent],
+    space: &AnalysisSpace,
+    axis: SplitAxis,
+    scalar_names: &[String],
+) -> Result<Option<CoverageGap>> {
+    let en = AccessEnumerator::build(map, extents)?;
+    let d = map.n_out();
+    let block = Dim3::new3(2, 2, 1);
+    let grid = Dim3::new3(2, 2, 1);
+    let scalars = vec![4i64; scalar_names.len()];
+    let mut params: Vec<i64> = Vec::new();
+    params.extend_from_slice(&block.zyx());
+    params.extend_from_slice(&grid.zyx());
+    params.extend_from_slice(&scalars);
+    let exts: Vec<i64> = extents
+        .iter()
+        .map(|e| extent_value(e, space, &params).max(1))
+        .collect();
+    for (pi, part) in partition_grid(grid, 2, axis).iter().enumerate() {
+        if part.is_empty() {
+            continue;
+        }
+        let covered = en.ranges_merged(part, block, grid, scalar_names, &scalars);
+        for piece in map.relation().pieces() {
+            let mut p = piece.bind_params(&params)?;
+            if p.is_marked_empty() {
+                continue;
+            }
+            let w = p.n_dims();
+            #[allow(clippy::needless_range_loop)]
+            for k in 0..3 {
+                // bo_k = bd_k * bi_k, blockIdx inside this partition.
+                let mut e = LinExpr::constant(w, 0);
+                e.coeffs[k] = 1;
+                e.coeffs[3 + k] = -params[k];
+                p.add_constraint(Constraint::eq(e));
+                let bi = LinExpr::var(w, 3 + k);
+                p.add_constraint(Constraint::ge(&bi, &LinExpr::constant(w, part.lo[k]))?);
+                p.add_constraint(Constraint::lt(&bi, &LinExpr::constant(w, part.hi[k]))?);
+            }
+            for (j, &e) in exts.iter().enumerate() {
+                let y = LinExpr::var(w, N_MAP_IN + j);
+                p.add_constraint(Constraint::ge0(y.clone()));
+                p.add_constraint(Constraint::lt(&y, &LinExpr::constant(w, e))?);
+            }
+            if p.is_marked_empty() {
+                continue;
+            }
+            let mut gap: Option<(Vec<i64>, u64)> = None;
+            p.for_each_point(&[], &mut |pt| {
+                if gap.is_some() {
+                    return;
+                }
+                let y = &pt[N_MAP_IN..N_MAP_IN + d];
+                let mut lin = 0i64;
+                for (i, &v) in y.iter().enumerate() {
+                    lin = lin * exts[i] + v;
+                }
+                let lin = lin as u64;
+                if !covered.iter().any(|r| r.start <= lin && lin < r.end) {
+                    gap = Some((y.to_vec(), lin));
+                }
+            })?;
+            if let Some((element, linear)) = gap {
+                return Ok(Some(CoverageGap {
+                    element,
+                    linear,
+                    partition: pi,
+                }));
+            }
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mekong_kernel::builder::*;
+    use mekong_kernel::Kernel;
+    use mekong_poly::Map;
+
+    fn space1() -> AnalysisSpace {
+        AnalysisSpace::for_kernel(&Kernel {
+            name: "k".into(),
+            params: vec![scalar("n")],
+            body: vec![],
+        })
+    }
+
+    #[test]
+    fn guarded_identity_is_in_bounds() {
+        let m = Map::parse(
+            "[bdz, bdy, bdx, gdz, gdy, gdx, n] -> \
+             { [boz, boy, box, biz, biy, bix] -> [e] : \
+               box <= e and e < box + bdx and 0 <= e and e < n and \
+               box >= 0 and 0 <= bix and bix < gdx }",
+        )
+        .unwrap();
+        let exts = vec![Extent::Param("n".into())];
+        assert!(oob_finding(&m, &exts, &space1()).unwrap().is_none());
+    }
+
+    #[test]
+    fn unguarded_overshoot_is_flagged_with_witness() {
+        // Writes e in [box, box + bdx) with e <= n: index n escapes.
+        let m = Map::parse(
+            "[bdz, bdy, bdx, gdz, gdy, gdx, n] -> \
+             { [boz, boy, box, biz, biy, bix] -> [e] : \
+               box <= e and e < box + bdx and 0 <= e and e <= n and \
+               box >= 0 and 0 <= bix and bix < gdx }",
+        )
+        .unwrap();
+        let exts = vec![Extent::Param("n".into())];
+        let f = oob_finding(&m, &exts, &space1()).unwrap().expect("oob");
+        assert_eq!(f.dim, 0);
+        assert!(!f.low_side);
+        let w = f.witness.expect("concrete witness");
+        // The witness element equals the bound value of n.
+        let n = w.params.iter().find(|(k, _)| k == "n").unwrap().1;
+        assert_eq!(w.element, vec![n]);
+    }
+
+    #[test]
+    fn identity_enumerator_has_no_coverage_gap() {
+        let m = Map::parse(
+            "[bdz, bdy, bdx, gdz, gdy, gdx, n] -> \
+             { [boz, boy, box, biz, biy, bix] -> [e] : \
+               box <= e and e < box + bdx and 0 <= e and e < n and \
+               box >= 0 and 0 <= bix and bix < gdx }",
+        )
+        .unwrap();
+        let exts = vec![Extent::Param("n".into())];
+        let names = vec!["n".to_string()];
+        let gap = coverage_gap(&m, &exts, &space1(), SplitAxis::X, &names).unwrap();
+        assert!(gap.is_none(), "unexpected gap: {gap:?}");
+    }
+}

@@ -83,6 +83,13 @@ pub struct OpCounters {
     /// observation window) for the most recently refined decision;
     /// 0 until a window completes.
     pub tuner_measured_bytes: u64,
+    /// Partitioned launches whose split axis carried a static
+    /// write-disjointness proof (see mekong-check).
+    pub checked_safe: u64,
+    /// Partitioned launches whose split axis had no proof: refused, or
+    /// merely counted when `RuntimeConfig::enforce_partition_safety` is
+    /// off.
+    pub checked_rejected: u64,
 }
 
 /// A kernel launch argument at the machine level.
@@ -291,6 +298,18 @@ impl Machine {
     /// bytes per launch for the current strategy.
     pub fn note_tuner_measured(&mut self, bytes_per_launch: u64) {
         self.counters.tuner_measured_bytes = bytes_per_launch;
+    }
+
+    /// Record a partitioned launch whose split axis carried a static
+    /// write-disjointness proof.
+    pub fn note_check_safe(&mut self) {
+        self.counters.checked_safe += 1;
+    }
+
+    /// Record a partitioned launch whose split axis had no proof
+    /// (refused, or executed anyway with enforcement off).
+    pub fn note_check_rejected(&mut self) {
+        self.counters.checked_rejected += 1;
     }
 
     /// Reset clocks, breakdown and counters (memory contents stay).

@@ -3,6 +3,7 @@
 
 use crate::{Result, RuntimeError};
 use mekong_analysis::{analyze_kernel, KernelModel};
+use mekong_check::AxisMask;
 use mekong_enumgen::KernelEnumerators;
 use mekong_kernel::Kernel;
 use mekong_partition::partition_kernel;
@@ -20,6 +21,11 @@ pub struct CompiledKernel {
     pub model: KernelModel,
     /// Compiled read/write enumerators per array argument.
     pub enums: KernelEnumerators,
+    /// Split axes with a static write-disjointness proof (mekong-check).
+    /// The launch path refuses — or, with enforcement off, warns and
+    /// counts — partitionings along a cleared axis, and the autotuner
+    /// never enumerates candidates along one.
+    pub safe_axes: AxisMask,
 }
 
 impl CompiledKernel {
@@ -42,11 +48,15 @@ impl CompiledKernel {
     pub fn from_model(kernel: &Kernel, model: KernelModel) -> Result<CompiledKernel> {
         debug_assert_eq!(model.kernel_name, kernel.name);
         let enums = KernelEnumerators::build(&model)?;
+        let safe_axes = mekong_check::safe_axes(&model).map_err(|e| {
+            RuntimeError::BadArgument(format!("partition-safety check failed: {e}"))
+        })?;
         Ok(CompiledKernel {
             original: kernel.clone(),
             partitioned: partition_kernel(kernel),
             model,
             enums,
+            safe_axes,
         })
     }
 
@@ -115,6 +125,8 @@ mod tests {
         };
         let ck = CompiledKernel::compile(&k).unwrap();
         assert!(ck.is_partitionable());
+        // The identity write is proven disjoint along its suggested axis.
+        assert!(ck.safe_axes.allows(ck.model.partitioning));
         assert_eq!(ck.partitioned.params.len(), k.params.len() + 6);
         assert!(ck.enums.read_of(1).is_some());
         assert!(ck.enums.write_of(2).is_some());
@@ -161,5 +173,6 @@ mod tests {
         };
         let ck = CompiledKernel::compile(&k).unwrap();
         assert!(!ck.is_partitionable());
+        assert_eq!(ck.safe_axes, AxisMask::none());
     }
 }

@@ -17,8 +17,8 @@ use mekong_gpusim::{sample_kernel_profile, TimeCat};
 use mekong_kernel::{Dim3, Extent, KernelArg, Value};
 use mekong_partition::{partition_grid, Partition};
 use mekong_tuner::{
-    rank_candidates, Candidate, OwnedSegment, Ownership, PartitionStrategy, ReadModel, TuneKey,
-    TunerInput, WriteModel,
+    rank_candidates_masked, Candidate, OwnedSegment, Ownership, PartitionStrategy, ReadModel,
+    TuneKey, TunerInput, WriteModel,
 };
 use rayon::prelude::*;
 use std::sync::Arc;
@@ -233,6 +233,29 @@ impl MgpuRuntime {
             Some(s) => s.partitions(grid),
             None => partition_grid(grid, self.n_devices(), ck.model.partitioning),
         };
+        // Partition-safety gate: a launch that actually splits the grid
+        // must run along an axis the static checker proved write-disjoint
+        // (mekong-check). With enforcement off the launch proceeds but is
+        // counted, so experiments can quantify how often they ran
+        // unproven.
+        if parts.iter().filter(|p| !p.is_empty()).count() > 1 {
+            let axis = strategy
+                .as_ref()
+                .map(|s| s.axis)
+                .unwrap_or(ck.model.partitioning);
+            if ck.safe_axes.allows(axis) {
+                self.machine.note_check_safe();
+            } else {
+                self.machine.note_check_rejected();
+                if self.config.enforce_partition_safety {
+                    return Err(RuntimeError::NotPartitionable(format!(
+                        "{}: split along axis {} has no static write-disjointness proof \
+                         (proven axes {})",
+                        ck.model.kernel_name, axis, ck.safe_axes
+                    )));
+                }
+            }
+        }
         // Peer-traffic delta around the launch feeds online refinement.
         let d2d_before = self
             .config
@@ -423,7 +446,9 @@ impl MgpuRuntime {
             writes,
             profile,
         };
-        Ok(rank_candidates(&input))
+        // Candidates along axes without a disjointness proof are never
+        // enumerated — the tuner cannot pick an unsound strategy.
+        Ok(rank_candidates_masked(&input, ck.safe_axes))
     }
 
     /// Rank the tuner's candidate strategies for a launch site without
@@ -1021,6 +1046,57 @@ mod tests {
             assert_eq!(*v, 3.0 * i as f32, "element {i}");
         }
         assert!(rt.elapsed() > 0.0);
+    }
+
+    /// A 2-D kernel writing a 1-D array by column: every block row
+    /// writes the same elements, so only the x axis carries a
+    /// write-disjointness proof.
+    fn colwrite_kernel() -> Kernel {
+        Kernel {
+            name: "colwrite".into(),
+            params: vec![scalar("n"), array_f32("out", &[ext("n")])],
+            body: vec![
+                let_("x", global_x()),
+                let_("y", global_y()),
+                guard_return(v("x").ge(v("n")).or(v("y").ge(v("n")))),
+                store("out", vec![v("x")], f(1.0)),
+            ],
+        }
+    }
+
+    #[test]
+    fn launch_gate_refuses_unproven_forced_axis() {
+        use mekong_analysis::SplitAxis;
+        let ck = CompiledKernel::compile(&colwrite_kernel()).unwrap();
+        assert!(ck.is_partitionable(), "verdict: {:?}", ck.model.verdict);
+        assert!(ck.safe_axes.allows(SplitAxis::X));
+        assert!(!ck.safe_axes.allows(SplitAxis::Y));
+        let mut rt = runtime(2);
+        let n = 16usize;
+        let out = rt.malloc(n * 4, 4).unwrap();
+        let args = [LaunchArg::Scalar(Value::I64(n as i64)), LaunchArg::Buf(out)];
+        let (grid, block) = (Dim3::new2(4, 4), Dim3::new2(4, 4));
+        // The suggested (proven) x split launches and is counted safe.
+        rt.launch(&ck, grid, block, &args).unwrap();
+        assert_eq!(rt.machine().counters().checked_safe, 1);
+        assert_eq!(rt.machine().counters().checked_rejected, 0);
+        // Forcing the unproven y split is refused by default...
+        rt.force_strategy("colwrite", PartitionStrategy::even(SplitAxis::Y, 2));
+        let err = rt.launch(&ck, grid, block, &args).unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::NotPartitionable(_)),
+            "unexpected error: {err:?}"
+        );
+        assert_eq!(rt.machine().counters().checked_rejected, 1);
+        // ...and merely counted when enforcement is off.
+        rt.set_config(RuntimeConfig {
+            enforce_partition_safety: false,
+            ..RuntimeConfig::default()
+        });
+        rt.launch(&ck, grid, block, &args).unwrap();
+        rt.synchronize();
+        assert_eq!(rt.machine().counters().checked_rejected, 2);
+        assert_eq!(rt.machine().counters().checked_safe, 1);
     }
 
     fn stencil_kernel() -> Kernel {

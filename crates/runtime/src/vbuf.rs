@@ -60,6 +60,12 @@ pub struct RuntimeConfig {
     /// decision. Measured transfer traffic feeds back for online
     /// refinement. Off by default — the paper's fixed heuristic.
     pub autotune: bool,
+    /// Refuse multi-partition launches whose effective split axis lacks
+    /// a static write-disjointness proof (mekong-check). On by default —
+    /// the sound behaviour. Off downgrades the refusal to a counted
+    /// warning (`OpCounters::checked_rejected`), for experiments that
+    /// knowingly run unproven partitionings.
+    pub enforce_partition_safety: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -70,6 +76,7 @@ impl Default for RuntimeConfig {
             coalesce_transfers: true,
             capture_plans: false,
             autotune: false,
+            enforce_partition_safety: true,
         }
     }
 }

@@ -28,6 +28,7 @@
 
 use crate::strategy::PartitionStrategy;
 use mekong_analysis::SplitAxis;
+use mekong_check::AxisMask;
 use mekong_enumgen::AccessEnumerator;
 use mekong_gpusim::{DeviceSpec, MachineSpec, ThreadProfile};
 use mekong_kernel::Dim3;
@@ -326,6 +327,19 @@ pub fn enumerate_strategies(
     grid: Dim3,
     profile: ThreadProfile,
 ) -> Vec<PartitionStrategy> {
+    enumerate_strategies_masked(spec, grid, profile, AxisMask::all())
+}
+
+/// [`enumerate_strategies`] restricted to split axes the static checker
+/// proved write-disjoint: a strategy along a rejected axis is never even
+/// a candidate. The single-device strategy survives any mask — one
+/// slice runs unpartitioned, so its axis is meaningless.
+pub fn enumerate_strategies_masked(
+    spec: &MachineSpec,
+    grid: Dim3,
+    profile: ThreadProfile,
+    allowed: AxisMask,
+) -> Vec<PartitionStrategy> {
     let gz = grid.zyx();
     let mut axes: Vec<SplitAxis> = [SplitAxis::Z, SplitAxis::Y, SplitAxis::X]
         .into_iter()
@@ -336,6 +350,7 @@ pub fn enumerate_strategies(
     }
     let mut out = Vec::new();
     out.push(PartitionStrategy::even(axes[0], 1));
+    axes.retain(|a| allowed.allows(*a));
     for &axis in &axes {
         for k in 2..=spec.n_devices {
             out.push(PartitionStrategy::even(axis, k));
@@ -355,13 +370,21 @@ pub fn enumerate_strategies(
 /// (deterministic tie-breaks: fewer transfer bytes, fewer copies, then
 /// encoding order).
 pub fn rank_candidates(input: &TunerInput<'_>) -> Vec<Candidate> {
-    let mut out: Vec<Candidate> = enumerate_strategies(input.spec, input.grid, input.profile)
-        .into_iter()
-        .map(|strategy| Candidate {
-            predict: evaluate(input, &strategy),
-            strategy,
-        })
-        .collect();
+    rank_candidates_masked(input, AxisMask::all())
+}
+
+/// [`rank_candidates`] over the checker-restricted candidate set: only
+/// strategies along axes in `allowed` (plus the single-device fallback)
+/// are evaluated and ranked.
+pub fn rank_candidates_masked(input: &TunerInput<'_>, allowed: AxisMask) -> Vec<Candidate> {
+    let mut out: Vec<Candidate> =
+        enumerate_strategies_masked(input.spec, input.grid, input.profile, allowed)
+            .into_iter()
+            .map(|strategy| Candidate {
+                predict: evaluate(input, &strategy),
+                strategy,
+            })
+            .collect();
     out.sort_by(|a, b| {
         a.predict
             .total_time()
@@ -542,5 +565,32 @@ mod tests {
         let strategies = enumerate_strategies(&spec, Dim3::new2(32, 32), ThreadProfile::default());
         // 2-D: y and x, k = 2..4 each, plus the single k=1.
         assert_eq!(strategies.len(), 1 + 2 * 3);
+    }
+
+    #[test]
+    fn checker_mask_filters_candidate_axes() {
+        let spec = MachineSpec::kepler_system(4);
+        let grid = Dim3::new2(32, 32);
+        // Only x proven safe: no y-axis strategy may be enumerated.
+        let mask = AxisMask {
+            zyx: [false, false, true],
+        };
+        let strategies = enumerate_strategies_masked(&spec, grid, ThreadProfile::default(), mask);
+        assert!(strategies
+            .iter()
+            .all(|s| s.n_parts() == 1 || s.axis == SplitAxis::X));
+        assert_eq!(strategies.len(), 1 + 3); // k=1 plus x × k=2..4
+                                             // Nothing proven: only the single-device fallback remains.
+        let strategies =
+            enumerate_strategies_masked(&spec, grid, ThreadProfile::default(), AxisMask::none());
+        assert_eq!(strategies.len(), 1);
+        assert_eq!(strategies[0].n_parts(), 1);
+        // The unrestricted mask reproduces the legacy enumeration.
+        let all =
+            enumerate_strategies_masked(&spec, grid, ThreadProfile::default(), AxisMask::all());
+        assert_eq!(
+            all,
+            enumerate_strategies(&spec, grid, ThreadProfile::default())
+        );
     }
 }

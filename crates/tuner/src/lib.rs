@@ -39,7 +39,9 @@ pub mod strategy;
 
 pub use autotune::{Autotuner, RecordOutcome, TuneEntry, TuneKey};
 pub use cost::{
-    enumerate_strategies, evaluate, proportional_shares, rank_candidates, thread_time, Candidate,
-    CostEstimate, OwnedSegment, Ownership, ReadModel, TunerInput, WriteModel,
+    enumerate_strategies, enumerate_strategies_masked, evaluate, proportional_shares,
+    rank_candidates, rank_candidates_masked, thread_time, Candidate, CostEstimate, OwnedSegment,
+    Ownership, ReadModel, TunerInput, WriteModel,
 };
+pub use mekong_check::AxisMask;
 pub use strategy::{decode_strategy, PartitionStrategy};

@@ -83,6 +83,13 @@ impl RunOutcome {
                 strategy, self.tuner_predict_bytes, self.tuner_measured_bytes
             ));
         }
+        let checked = self.counters.checked_safe + self.counters.checked_rejected;
+        if checked > 0 {
+            s.push_str(&format!(
+                " | safety checks {}/{} proven",
+                self.counters.checked_safe, checked
+            ));
+        }
         s
     }
     /// Launch-plan cache hit rate of the run: `hits / (hits + misses)`,

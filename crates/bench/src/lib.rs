@@ -17,6 +17,7 @@
 //! | `ablation_streams`     | A5 — execution engine, transfer coalescing|
 //! | `ablation_replay`      | A6 — launch-plan capture & replay         |
 //! | `ablation_tuner`       | A7 — cost-model-driven autotuner          |
+//! | `ablation_replica`     | A8 — replica-aware coherence              |
 //!
 //! All binaries accept `--quick` to scale down iteration counts for a fast
 //! smoke run; without it, the Table 1 configurations are used.

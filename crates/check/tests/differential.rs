@@ -248,6 +248,129 @@ proptest! {
         }
     }
 
+    /// Replica-aware coherence soundness: a partitioned run through the
+    /// multi-GPU runtime — where read synchronization may *skip* copies
+    /// the destination already holds, pull halos from nearest replica
+    /// holders instead of the freshest owner, and gather D2H output
+    /// through holders — must stay byte-identical to the gpusim
+    /// shadow-memory oracle executing the original kernel, after every
+    /// iteration. A holder serving stale bytes anywhere would diverge.
+    #[test]
+    fn replica_served_reads_match_shadow_memory(
+        gpus in 2usize..5,
+        gx in 2u32..7,
+        bx in 2u32..6,
+        n_seed in 4i64..200,
+        iters in 1usize..5,
+    ) {
+        use mekong_gpusim::shadow::run_grid_parallel;
+        use mekong_gpusim::{Machine, MachineSpec};
+        use mekong_runtime::{CompiledKernel, LaunchArg, MgpuRuntime};
+
+        // Ping-pong stencil scaled by a read-only coefficient array: `c`
+        // becomes fully replicated after the first launch (the replica
+        // fast path), while in/out writes invalidate replicas each
+        // iteration (the eviction path).
+        let kernel = Kernel {
+            name: "coeff_stencil".into(),
+            params: vec![
+                scalar("n"),
+                array_f32("c", &[ext("n")]),
+                array_f32("input", &[ext("n")]),
+                array_f32("output", &[ext("n")]),
+            ],
+            body: vec![
+                let_("i", global_x()),
+                guard_return(v("i").ge(v("n"))),
+                if_(
+                    v("i").eq_(i(0)).or(v("i").eq_(v("n") - i(1))),
+                    vec![store("output", vec![v("i")], load("input", vec![v("i")]))],
+                    vec![store(
+                        "output",
+                        vec![v("i")],
+                        load("c", vec![v("i")])
+                            * (load("input", vec![v("i") - i(1)])
+                                + load("input", vec![v("i")])
+                                + load("input", vec![v("i") + i(1)])),
+                    )],
+                ),
+            ],
+        };
+        let n = n_seed.min((gx * bx) as i64);
+        let grid = Dim3::new1(gx);
+        let block = Dim3::new1(bx);
+        let ck = CompiledKernel::compile(&kernel).unwrap();
+        prop_assert!(ck.is_partitionable(), "verdict: {:?}", ck.model.verdict);
+
+        let c_host: Vec<u8> = (0..n)
+            .flat_map(|j| (((j % 5) as f32) * 0.25 + 0.5).to_le_bytes())
+            .collect();
+        let a_host: Vec<u8> = (0..n)
+            .flat_map(|j| (((j * 37) % 101) as f32).to_le_bytes())
+            .collect();
+
+        // Partitioned run on a functional machine; the default runtime
+        // config has replica coherence on.
+        let mut rt = MgpuRuntime::new(Machine::new(MachineSpec::kepler_system(gpus), true));
+        let c = rt.malloc(n as usize * 4, 4).unwrap();
+        let a = rt.malloc(n as usize * 4, 4).unwrap();
+        let b = rt.malloc(n as usize * 4, 4).unwrap();
+        rt.memcpy_h2d(c, &c_host).unwrap();
+        rt.memcpy_h2d(a, &a_host).unwrap();
+        rt.memcpy_h2d(b, &a_host).unwrap();
+
+        // Shadow oracle: the original, unpartitioned kernel.
+        let mut mem = BufStore::new();
+        let sc = mem.alloc(n as usize * 4);
+        let sa = mem.alloc(n as usize * 4);
+        let sb = mem.alloc(n as usize * 4);
+        mem.bytes_mut(sc).copy_from_slice(&c_host);
+        mem.bytes_mut(sa).copy_from_slice(&a_host);
+        mem.bytes_mut(sb).copy_from_slice(&a_host);
+
+        let (mut src, mut dst) = (a, b);
+        let (mut ssrc, mut sdst) = (sa, sb);
+        for iter in 0..iters {
+            rt.launch(
+                &ck,
+                grid,
+                block,
+                &[
+                    LaunchArg::Scalar(Value::I64(n)),
+                    LaunchArg::Buf(c),
+                    LaunchArg::Buf(src),
+                    LaunchArg::Buf(dst),
+                ],
+            )
+            .unwrap();
+            run_grid_parallel(
+                &kernel,
+                &[
+                    KernelArg::Scalar(Value::I64(n)),
+                    KernelArg::Array(sc),
+                    KernelArg::Array(ssrc),
+                    KernelArg::Array(sdst),
+                ],
+                grid,
+                block,
+                &mut mem,
+            )
+            .unwrap();
+            rt.synchronize();
+            let mut got = vec![0u8; n as usize * 4];
+            rt.memcpy_d2h(dst, &mut got).unwrap();
+            prop_assert_eq!(
+                &got[..],
+                mem.bytes(sdst),
+                "iteration {} diverged from shadow memory \
+                 (gpus {}, grid {}, block {}, n {})",
+                iter, gpus, gx, bx, n
+            );
+            std::mem::swap(&mut src, &mut dst);
+            std::mem::swap(&mut ssrc, &mut sdst);
+        }
+    }
+
     /// The racy shape actually races dynamically whenever a split crosses
     /// the spill boundary — and the checker never calls it safe.
     #[test]

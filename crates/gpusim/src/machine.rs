@@ -90,6 +90,15 @@ pub struct OpCounters {
     /// merely counted when `RuntimeConfig::enforce_partition_safety` is
     /// off.
     pub checked_rejected: u64,
+    /// Read-sync segment runs served by a *local replica* of remote-fresh
+    /// bytes (replica-aware coherence, see mekong-runtime): under
+    /// single-owner tracking each would have been a D2D copy.
+    pub replica_hits: u64,
+    /// Replica copies evicted by writes and H2D uploads (per overlapped
+    /// segment, the holder devices other than the writer).
+    pub replica_invalidations: u64,
+    /// Peer-transfer bytes the replica hits avoided re-fetching.
+    pub refetch_bytes_saved: u64,
 }
 
 /// A kernel launch argument at the machine level.
@@ -310,6 +319,18 @@ impl Machine {
     /// (refused, or executed anyway with enforcement off).
     pub fn note_check_rejected(&mut self) {
         self.counters.checked_rejected += 1;
+    }
+
+    /// Record read-sync segment runs served by a local replica instead of
+    /// a D2D re-fetch, and the bytes that saved.
+    pub fn note_replica_hits(&mut self, runs: u64, bytes_saved: u64) {
+        self.counters.replica_hits += runs;
+        self.counters.refetch_bytes_saved += bytes_saved;
+    }
+
+    /// Record replica copies evicted by a write or H2D upload.
+    pub fn note_replica_invalidations(&mut self, n: u64) {
+        self.counters.replica_invalidations += n;
     }
 
     /// Reset clocks, breakdown and counters (memory contents stay).

@@ -78,6 +78,22 @@ impl MachineSpec {
         self.device_overrides.is_empty()
     }
 
+    /// Peer-link proximity rank between two devices, used to pick the
+    /// *source* of a copy when several replica holders are equally valid:
+    /// 0 for the device itself, 1 for its board partner (K80-style
+    /// dual-GPU boards pair devices `2k`/`2k+1`), 2 for everything else.
+    /// A ranking only — the simulator charges the same uniform
+    /// [`MachineSpec::link`] cost regardless of the pair.
+    pub fn link_hops(a: usize, b: usize) -> u32 {
+        if a == b {
+            0
+        } else if a / 2 == b / 2 {
+            1
+        } else {
+            2
+        }
+    }
+
     /// Replace the spec of device `d` (builder style), making the
     /// machine heterogeneous.
     pub fn with_device_override(mut self, d: usize, spec: DeviceSpec) -> MachineSpec {

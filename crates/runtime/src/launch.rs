@@ -7,7 +7,7 @@
 
 use crate::compiled::CompiledKernel;
 use crate::plan::{ArgKey, LaunchPlan, PlanCopy, PlanKey, PlanLaunch, PlanUpdate};
-use crate::tracker::Owner;
+use crate::tracker::{Owner, Validity};
 use crate::vbuf::{MgpuRuntime, VBufId, VirtualBuffer};
 use crate::{Result, RuntimeError};
 use mekong_analysis::{ArgModel, SplitAxis};
@@ -30,8 +30,9 @@ pub enum LaunchArg {
     Buf(VBufId),
 }
 
-/// A tracker-walk accumulator that turns remote-owned segments into a
-/// minimal list of D2D copies (§8.3's transfer-coalescing pass).
+/// A tracker-walk accumulator that turns remote-fresh segments into a
+/// minimal list of D2D copies (§8.3's transfer-coalescing pass, extended
+/// with replica awareness).
 ///
 /// With a non-zero `max_gap`, a segment from the same source device
 /// extends the previous planned copy when every byte in between is
@@ -40,9 +41,18 @@ pub enum LaunchArg {
 /// second transfer latency. Fragmented trackers (e.g. from instrumented
 /// strided writes) collapse from one copy per element run into one copy
 /// per device this way.
+///
+/// With `replica` set, the destination's own validity is consulted:
+/// segments the destination already holds are *skipped* (the replica
+/// serves the read — counted as a hit when the freshest copy is remote),
+/// and the source of each needed copy is picked among all valid holders,
+/// preferring the previous copy's source (coalescing) and then the
+/// nearest link ([`mekong_gpusim::MachineSpec::link_hops`]). Without it,
+/// only the freshest owner is eligible, as in the paper.
 struct TransferPlan {
     gpu: usize,
     max_gap: u64,
+    replica: bool,
     copies: Vec<(usize, u64, u64)>,
     /// End of the last visited segment; a jump means the walk moved to a
     /// disjoint query range, which must not be bridged.
@@ -50,16 +60,23 @@ struct TransferPlan {
     /// True while every byte since the last planned copy's end is known
     /// to be Uninit and contiguous with it.
     bridge: bool,
+    /// Remote-fresh segment runs a local replica served (no copy needed).
+    replica_hits: u64,
+    /// Bytes those skips saved versus single-owner tracking.
+    saved_bytes: u64,
 }
 
 impl TransferPlan {
-    fn new(gpu: usize, max_gap: u64) -> TransferPlan {
+    fn new(gpu: usize, max_gap: u64, replica: bool) -> TransferPlan {
         TransferPlan {
             gpu,
             max_gap,
+            replica,
             copies: Vec::new(),
             cursor: 0,
             bridge: false,
+            replica_hits: 0,
+            saved_bytes: 0,
         }
     }
 
@@ -69,26 +86,66 @@ impl TransferPlan {
         (machine.spec().link.latency * machine.spec().link.bandwidth) as u64
     }
 
-    fn visit(&mut self, s: u64, e: u64, o: Owner) {
+    fn visit(&mut self, s: u64, e: u64, v: Validity) {
         if s != self.cursor {
             self.bridge = false;
         }
         self.cursor = e;
-        match o {
-            Owner::Device(d) if d != self.gpu => {
-                match self.copies.last_mut() {
-                    Some((ld, _, le)) if *ld == d && self.bridge && s - *le <= self.max_gap => {
-                        *le = e;
-                    }
-                    _ => self.copies.push((d, s, e)),
-                }
-                self.bridge = true;
-            }
+        let d = match v.freshest {
+            Owner::Device(d) => d,
             // Undefined bytes: a bridged copy may overwrite them.
-            Owner::Uninit => {}
-            // Local or host-owned bytes must survive: stop bridging.
-            _ => self.bridge = false,
+            Owner::Uninit => return,
+            // Host-fresh bytes a device replica serves need no copy; with
+            // no local replica they must survive untouched either way.
+            Owner::Host => {
+                self.bridge = false;
+                return;
+            }
+        };
+        if self.replica && v.holders.contains(self.gpu) {
+            // The destination already holds these bytes. Single-owner
+            // tracking would have re-fetched them whenever the freshest
+            // copy is remote — count that saved transfer.
+            if d != self.gpu {
+                self.replica_hits += 1;
+                self.saved_bytes += e - s;
+            }
+            self.bridge = false;
+            return;
         }
+        if d == self.gpu {
+            // Local bytes must survive: stop bridging.
+            self.bridge = false;
+            return;
+        }
+        // A copy is needed. Among the valid holders (the freshest owner
+        // is always one), prefer extending the previous planned copy,
+        // then the nearest link, then the lowest index — a deterministic
+        // function of tracker state, so captured plans stay replayable.
+        let src = if self.replica {
+            match self.copies.last() {
+                Some(&(ld, _, le))
+                    if self.bridge && s - le <= self.max_gap && v.holders.contains(ld) =>
+                {
+                    ld
+                }
+                _ => v
+                    .holders
+                    .iter()
+                    .filter(|&h| h != self.gpu)
+                    .min_by_key(|&h| (mekong_gpusim::MachineSpec::link_hops(h, self.gpu), h))
+                    .unwrap_or(d),
+            }
+        } else {
+            d
+        };
+        match self.copies.last_mut() {
+            Some((ld, _, le)) if *ld == src && self.bridge && s - *le <= self.max_gap => {
+                *le = e;
+            }
+            _ => self.copies.push((src, s, e)),
+        }
+        self.bridge = true;
     }
 }
 
@@ -105,6 +162,10 @@ struct SyncPlan {
     n_segments: usize,
     /// `(source device, start, end)` in bytes.
     copies: Vec<(usize, u64, u64)>,
+    /// Remote-fresh segment runs served by a local replica (no copy).
+    replica_hits: u64,
+    /// Bytes those replica hits avoided re-fetching.
+    saved_bytes: u64,
 }
 
 /// Plan the synchronization of `vb` for one partition (§8.3): enumerate
@@ -123,6 +184,7 @@ fn plan_sync(
     gpu: usize,
     max_gap: u64,
     coalesce: bool,
+    replica: bool,
 ) -> SyncPlan {
     let elem = vb.elem_size as u64;
     let mut ranges: Vec<(u64, u64)> = Vec::new();
@@ -130,21 +192,21 @@ fn plan_sync(
         ranges.push((r.start * elem, r.end * elem));
     });
     let n_ranges = ranges.len();
-    let mut plan = TransferPlan::new(gpu, max_gap);
+    let mut plan = TransferPlan::new(gpu, max_gap, replica);
     let n_segments = if coalesce {
         // Merge adjacent/overlapping read ranges (e.g. consecutive rows
-        // of a 2-D halo) so each owner run costs one segment — and one
+        // of a 2-D halo) so each validity run costs one segment — and one
         // D2D copy — instead of one per row.
         let (_, emitted) = vb
             .tracker
-            .query_coalesced(&ranges, &mut |s, e, o| plan.visit(s, e, o));
+            .query_coalesced(&ranges, &mut |s, e, v| plan.visit(s, e, v));
         emitted
     } else {
         let mut emitted = 0usize;
         for &(s, e) in &ranges {
-            vb.tracker.query(s, e, &mut |s, e, o| {
+            vb.tracker.query(s, e, &mut |s, e, v| {
                 emitted += 1;
-                plan.visit(s, e, o);
+                plan.visit(s, e, v);
             });
         }
         emitted
@@ -155,6 +217,8 @@ fn plan_sync(
         n_ranges,
         n_segments,
         copies: plan.copies,
+        replica_hits: plan.replica_hits,
+        saved_bytes: plan.saved_bytes,
     }
 }
 
@@ -415,18 +479,31 @@ impl MgpuRuntime {
                 });
             let ownership = match self_write {
                 Some(w) => Ownership::SelfWrites(w),
+                // With replica coherence every read leaves a valid copy on
+                // the reading device, so an array that *cannot* be a
+                // ping-pong partner — no same-shaped write arg exists —
+                // pays peer traffic only on its first touch: zero in
+                // steady state. Same-shaped arrays may be written by the
+                // alternate launch of this chain (invalidating replicas
+                // every iteration), so they keep concrete tracker
+                // segments; their holder masks still zero out whatever
+                // truly is replicated.
+                None if self.config.replica_coherence
+                    && !write_shapes.iter().any(|w| w.is_some() && *w == shape) =>
+                {
+                    Ownership::Replicated
+                }
                 None => {
                     let mut segs = Vec::new();
-                    vbuf.tracker.query(0, vbuf.len as u64, &mut |s, e, o| {
-                        segs.push(OwnedSegment {
-                            start: s,
-                            end: e,
-                            device: match o {
-                                Owner::Device(d) => Some(d),
-                                _ => None,
-                            },
+                    vbuf.tracker
+                        .query(0, vbuf.len as u64, &mut |s, e, v: Validity| {
+                            segs.push(OwnedSegment {
+                                start: s,
+                                end: e,
+                                device: v.freshest.device(),
+                                holders: v.holders.bits(),
+                            });
                         });
-                    });
                     Ownership::Segments(segs)
                 }
             };
@@ -513,8 +590,15 @@ impl MgpuRuntime {
     /// flat `host_per_replay` instead of the per-range/per-segment walk.
     fn replay_plan(&mut self, ck: &CompiledKernel, block: Dim3, plan: &LaunchPlan) -> Result<()> {
         self.machine.note_plan_hit();
+        if plan.replica_hits > 0 {
+            // Replay skips the planning walk that detects replica-served
+            // reads; re-note what the capture observed.
+            self.machine
+                .note_replica_hits(plan.replica_hits, plan.replica_saved_bytes);
+        }
         let cost = self.machine.spec().host_per_replay;
         self.machine.charge_host(cost, TimeCat::Pattern);
+        let replica = self.config.replica_coherence;
         for c in &plan.copies {
             let src = self.buffers[c.vb.0].instances[c.src_dev];
             let dst = self.buffers[c.vb.0].instances[c.dst_gpu];
@@ -525,6 +609,14 @@ impl MgpuRuntime {
                 c.start as usize,
                 (c.end - c.start) as usize,
             )?;
+            self.buffers[c.vb.0].d2d_in_bytes += c.end - c.start;
+            if replica {
+                // Re-derive the holder additions the captured run made, so
+                // the tracker reaches the same state as the capture did.
+                self.buffers[c.vb.0]
+                    .tracker
+                    .add_holder(c.start, c.end, c.dst_gpu);
+            }
         }
         // Figure 4, line 8 — same barrier as the captured run.
         self.machine.sync_all();
@@ -538,13 +630,16 @@ impl MgpuRuntime {
                 Some(l.traffic),
             )?;
         }
+        let mut invalidated = 0usize;
         for u in &plan.updates {
             self.buffers[u.vb.0].kernel_written = true;
-            self.buffers[u.vb.0]
+            invalidated += self.buffers[u.vb.0]
                 .tracker
-                .update(u.start, u.end, Owner::Device(u.gpu));
+                .update(u.start, u.end, Owner::Device(u.gpu))
+                .invalidated;
             debug_assert!(self.buffers[u.vb.0].tracker.check_invariants());
         }
+        self.machine.note_replica_invalidations(invalidated as u64);
         Ok(())
     }
 
@@ -577,6 +672,7 @@ impl MgpuRuntime {
                 }
             }
             let coalesce = self.config.coalesce_transfers;
+            let replica = self.config.replica_coherence;
             let max_gap = if coalesce {
                 TransferPlan::break_even_gap(&self.machine)
             } else {
@@ -607,6 +703,7 @@ impl MgpuRuntime {
                     gpu,
                     max_gap,
                     coalesce,
+                    replica,
                 )
             };
             // Parallel planning pays off exactly when the result will be
@@ -623,11 +720,26 @@ impl MgpuRuntime {
                 let cost = self.machine.spec().host_per_range * p.n_ranges as f64
                     + self.machine.spec().host_per_segment * p.n_segments as f64;
                 self.machine.charge_host(cost, TimeCat::Pattern);
+                if p.replica_hits > 0 {
+                    self.machine
+                        .note_replica_hits(p.replica_hits, p.saved_bytes);
+                }
+                if let Some(cap) = &mut captured {
+                    cap.replica_hits += p.replica_hits;
+                    cap.replica_saved_bytes += p.saved_bytes;
+                }
                 for &(d, s, e) in &p.copies {
                     let src = self.buffers[p.vb.0].instances[d];
                     let dst = self.buffers[p.vb.0].instances[p.gpu];
                     self.machine
                         .copy_d2d(src, s as usize, dst, s as usize, (e - s) as usize)?;
+                    self.buffers[p.vb.0].d2d_in_bytes += e - s;
+                    if replica {
+                        // The destination now holds a valid copy of the
+                        // freshest bytes in the copied range (Uninit
+                        // bridge gaps are skipped inside).
+                        self.buffers[p.vb.0].tracker.add_holder(s, e, p.gpu);
+                    }
                     if let Some(cap) = &mut captured {
                         cap.copies.push(PlanCopy {
                             vb: p.vb,
@@ -712,10 +824,13 @@ impl MgpuRuntime {
                     // walked, same accounting as the read path's query —
                     // not one flat segment per range.
                     let mut touched = 0usize;
+                    let mut invalidated = 0usize;
                     for &(s, e) in &updates {
-                        touched += self.buffers[vb_id.0]
+                        let stats = self.buffers[vb_id.0]
                             .tracker
                             .update(s, e, Owner::Device(gpu));
+                        touched += stats.touched;
+                        invalidated += stats.invalidated;
                         if let Some(cap) = &mut captured {
                             cap.updates.push(PlanUpdate {
                                 vb: vb_id,
@@ -725,6 +840,7 @@ impl MgpuRuntime {
                             });
                         }
                     }
+                    self.machine.note_replica_invalidations(invalidated as u64);
                     let cost = self.machine.spec().host_per_range * n_ranges as f64
                         + self.machine.spec().host_per_segment * touched as f64;
                     self.machine.charge_host(cost, TimeCat::Pattern);
@@ -782,9 +898,11 @@ impl MgpuRuntime {
                 if let LaunchArg::Buf(b) = args[idx] {
                     let len = self.buffers[b.0].len as u64;
                     self.buffers[b.0].kernel_written = true;
-                    self.buffers[b.0]
+                    let stats = self.buffers[b.0]
                         .tracker
                         .update(0, len, Owner::Device(device));
+                    self.machine
+                        .note_replica_invalidations(stats.invalidated as u64);
                 }
             }
         }
@@ -885,9 +1003,14 @@ impl MgpuRuntime {
             if !claims.is_empty() {
                 self.buffers[b.0].kernel_written = true;
             }
+            let mut invalidated = 0usize;
             for (gpu, s, e) in claims {
-                self.buffers[b.0].tracker.update(s, e, Owner::Device(gpu));
+                invalidated += self.buffers[b.0]
+                    .tracker
+                    .update(s, e, Owner::Device(gpu))
+                    .invalidated;
             }
+            self.machine.note_replica_invalidations(invalidated as u64);
             let cost = (self.machine.spec().host_per_range + self.machine.spec().host_per_segment)
                 * n_claims;
             self.machine.charge_host(cost, TimeCat::Pattern);
@@ -907,14 +1030,19 @@ impl MgpuRuntime {
         } else {
             0
         };
-        let mut plan = TransferPlan::new(gpu, max_gap);
+        let replica = self.config.replica_coherence;
+        let mut plan = TransferPlan::new(gpu, max_gap, replica);
         let mut n_segments = 0u64;
-        vb.tracker.query(0, vb.len as u64, &mut |s, e, o| {
+        vb.tracker.query(0, vb.len as u64, &mut |s, e, v| {
             n_segments += 1;
-            plan.visit(s, e, o);
+            plan.visit(s, e, v);
         });
         let cost = self.machine.spec().host_per_segment * n_segments as f64;
         self.machine.charge_host(cost, TimeCat::Pattern);
+        if plan.replica_hits > 0 {
+            self.machine
+                .note_replica_hits(plan.replica_hits, plan.saved_bytes);
+        }
         for (d, s, e) in plan.copies {
             self.machine.copy_d2d(
                 instances[d],
@@ -923,6 +1051,10 @@ impl MgpuRuntime {
                 s as usize,
                 (e - s) as usize,
             )?;
+            self.buffers[b.0].d2d_in_bytes += e - s;
+            if replica {
+                self.buffers[b.0].tracker.add_holder(s, e, gpu);
+            }
         }
         Ok(())
     }
@@ -1415,17 +1547,105 @@ mod tests {
         };
         // Generous gap budget: [0,10) and [20,30) bridge across the
         // Uninit hole, but never across the locally-owned [30,40).
-        let mut plan = TransferPlan::new(0, 100);
+        let mut plan = TransferPlan::new(0, 100, true);
         walk(&mut plan);
         assert_eq!(plan.copies, vec![(1, 0, 30), (1, 40, 50)]);
         // Gap budget smaller than the hole: no bridging.
-        let mut plan = TransferPlan::new(0, 5);
+        let mut plan = TransferPlan::new(0, 5, true);
         walk(&mut plan);
         assert_eq!(plan.copies, vec![(1, 0, 10), (1, 20, 30), (1, 40, 50)]);
         // From device 1's perspective only [30,40) is remote.
-        let mut plan = TransferPlan::new(1, 100);
+        let mut plan = TransferPlan::new(1, 100, true);
         walk(&mut plan);
         assert_eq!(plan.copies, vec![(0, 30, 40)]);
+    }
+
+    /// Replica-aware planning: segments the destination already holds are
+    /// skipped (and counted as hits when the freshest copy is remote),
+    /// and needed copies pull from the nearest valid holder rather than
+    /// necessarily the freshest owner.
+    #[test]
+    fn transfer_plan_prefers_local_replica_and_nearest_holder() {
+        use crate::tracker::Tracker;
+        let mut t = Tracker::new(100);
+        t.update(0, 40, Owner::Device(2));
+        t.update(40, 80, Owner::Device(3));
+        // Device 0 replicated the first half; devices 1 and 3 hold the
+        // second half alongside its owner.
+        t.add_holder(0, 40, 0);
+        t.add_holder(40, 80, 1);
+        let mut plan = TransferPlan::new(0, 0, true);
+        t.query(0, 100, &mut |s, e, v| plan.visit(s, e, v));
+        // [0,40) is served by device 0's replica — one hit, 40 bytes
+        // saved. [40,80) needs a copy; holders {1,3} rank by link_hops
+        // from 0: device 1 is the board partner (hops 1) and wins over
+        // the freshest owner 3 (hops 2).
+        assert_eq!(plan.replica_hits, 1);
+        assert_eq!(plan.saved_bytes, 40);
+        assert_eq!(plan.copies, vec![(1, 40, 80)]);
+        // Replica mode off: the freshest owners are the only sources and
+        // device 0's replica of [0,40) is invisible.
+        let mut legacy = TransferPlan::new(0, 0, false);
+        t.query(0, 100, &mut |s, e, v| legacy.visit(s, e, v));
+        assert_eq!(legacy.replica_hits, 0);
+        assert_eq!(legacy.copies, vec![(2, 0, 40), (3, 40, 80)]);
+    }
+
+    /// The headline effect of replica-aware coherence: a host-uploaded
+    /// array a kernel only ever *reads* is fetched across the peer link
+    /// exactly once per device. Single-owner tracking re-fetched the
+    /// remote part of every read set on every launch.
+    #[test]
+    fn replicas_eliminate_steady_state_refetch_for_read_only_arrays() {
+        let ck = CompiledKernel::compile(&stencil_kernel()).unwrap();
+        let n = 512usize;
+        // 4 blocks over 3 devices: partition boundaries (block-granular)
+        // misalign with the linear 3-way H2D distribution, so every
+        // device reads bytes another device received from the host.
+        let grid = Dim3::new1(4);
+        let block = Dim3::new1(128);
+        let iters = 5;
+        let run = |replica: bool| -> (Vec<u64>, u64, u64) {
+            let mut rt = MgpuRuntime::new(Machine::new(MachineSpec::kepler_system(3), false));
+            rt.set_config(RuntimeConfig {
+                replica_coherence: replica,
+                ..RuntimeConfig::alpha()
+            });
+            let a = rt.malloc(n * 4, 4).unwrap();
+            let b = rt.malloc(n * 4, 4).unwrap();
+            rt.memcpy_h2d_sim(a).unwrap();
+            let args = [
+                LaunchArg::Scalar(Value::I64(n as i64)),
+                LaunchArg::Buf(a),
+                LaunchArg::Buf(b),
+            ];
+            let mut into_a = Vec::new();
+            for _ in 0..iters {
+                rt.launch(&ck, grid, block, &args).unwrap();
+                into_a.push(rt.d2d_bytes_into(a));
+            }
+            let c = rt.machine().counters();
+            (into_a, c.replica_hits, c.refetch_bytes_saved)
+        };
+        let (with, hits, saved) = run(true);
+        let (without, legacy_hits, legacy_saved) = run(false);
+        assert!(with[0] > 0, "first launch must distribute the halo reads");
+        assert_eq!(
+            with[iters - 1],
+            with[0],
+            "replicas must freeze remote refetch after the first launch: {with:?}"
+        );
+        assert!(hits > 0, "steady-state reads must be replica-served");
+        assert!(saved > 0);
+        assert_eq!(legacy_hits, 0, "no replicas without the config flag");
+        assert_eq!(legacy_saved, 0);
+        for w in without.windows(2) {
+            assert!(
+                w[1] - w[0] == without[0],
+                "single-owner tracking re-fetches the same bytes every launch: {without:?}"
+            );
+        }
+        assert_eq!(with[0], without[0], "first-launch traffic is identical");
     }
 
     /// Fragmented-tracker coalescing end to end: instrumented strided

@@ -2,9 +2,11 @@
 //!
 //! The static runtime every partitioned application links against:
 //!
-//! * [`Tracker`] — the per-buffer segment list mapping byte ranges to the
-//!   device holding the most recently written copy (§8.1). Backed by a
-//!   B-tree keyed on segment start, exactly as in the paper.
+//! * [`Tracker`] — the per-buffer segment list mapping byte ranges to
+//!   their coherence state (§8.1), extended from the paper's single-owner
+//!   scheme to a compact validity set per segment: the device (or host)
+//!   holding the most recently written copy *plus* the set of devices
+//!   holding valid replicas. Backed by a B-tree keyed on segment start.
 //! * virtual buffers — one device-local instance per device plus a
 //!   tracker, replacing the single CUDA allocation (§8.1).
 //! * [`MgpuRuntime`] — the CUDA Runtime API replacement (§8.4):
@@ -33,7 +35,7 @@ pub use compiled::CompiledKernel;
 pub use launch::LaunchArg;
 pub use mekong_tuner::{decode_strategy, Autotuner, Candidate, PartitionStrategy};
 pub use plan::{ArgKey, LaunchPlan, PlanKey};
-pub use tracker::{Owner, Tracker};
+pub use tracker::{DeviceSet, Owner, Tracker, UpdateStats, Validity};
 pub use vbuf::{MgpuRuntime, RuntimeConfig, TunerReport, VBufId};
 
 /// Errors from the runtime.

@@ -104,11 +104,23 @@ pub struct PlanUpdate {
 /// updates. Replay applies them directly and charges a single flat
 /// `host_per_replay` cost instead of the per-range/per-segment pattern
 /// costs the capture paid.
+///
+/// The validity-set state the plan was captured against is pinned by the
+/// key's tracker signatures (holder sets are hashed), so a replayed plan
+/// never serves a copy the replica state makes redundant, nor skips one
+/// it makes necessary. Replay re-derives holder additions from `copies`
+/// and re-notes the replica observability stats below.
 #[derive(Debug, Clone, Default)]
 pub struct LaunchPlan {
     pub copies: Vec<PlanCopy>,
     pub launches: Vec<PlanLaunch>,
     pub updates: Vec<PlanUpdate>,
+    /// Read-sync segment runs a local replica served at capture time
+    /// (re-noted into `OpCounters::replica_hits` on every replay, since
+    /// replays skip the planning walk that detects them).
+    pub replica_hits: u64,
+    /// Peer-transfer bytes those replica hits avoided re-fetching.
+    pub replica_saved_bytes: u64,
 }
 
 #[cfg(test)]

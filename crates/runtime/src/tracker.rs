@@ -1,9 +1,21 @@
 //! The buffer tracker: a sorted list of non-overlapping segments, each
-//! naming the owner of the most recently written copy (paper §8.1).
+//! carrying an MSI-style *validity set* — which devices hold a usable
+//! copy of the bytes — alongside the owner of the freshest copy
+//! (paper §8.1, extended with replica tracking).
 //!
 //! "The segment list is based on a B-Tree map using the start of each
 //! segment as the key and the 'owner' of the most recent version as the
 //! value."
+//!
+//! The paper's tracker records only the freshest owner, so a read-sync
+//! copy leaves no trace and the same remote bytes are re-fetched on
+//! every launch. Here each segment carries a [`Validity`]: the freshest
+//! [`Owner`] plus a [`DeviceSet`] of devices holding an identical copy.
+//! Reads *add* the destination to the holder set ([`Tracker::add_holder`]);
+//! writes and H2D uploads *invalidate* every other copy
+//! ([`Tracker::update`]). Steady-state reads of host-uploaded read-only
+//! arrays then cost nothing after the first launch: every reader is
+//! already a valid holder.
 
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
@@ -20,14 +32,171 @@ pub enum Owner {
     Device(usize),
 }
 
+impl Owner {
+    /// The device index, if the freshest copy lives on a device.
+    pub fn device(self) -> Option<usize> {
+        match self {
+            Owner::Device(d) => Some(d),
+            _ => None,
+        }
+    }
+}
+
+/// A set of device indices, packed as a 64-bit mask.
+///
+/// The runtime never simulates more than a handful of devices, so one
+/// machine word per segment keeps the validity set `Copy` and the
+/// B-Tree value small.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct DeviceSet(u64);
+
+impl DeviceSet {
+    /// The empty set.
+    pub const EMPTY: DeviceSet = DeviceSet(0);
+
+    /// Maximum representable device index + 1.
+    pub const CAPACITY: usize = 64;
+
+    /// The singleton `{d}`.
+    pub fn single(d: usize) -> DeviceSet {
+        assert!(
+            d < Self::CAPACITY,
+            "device index {d} out of DeviceSet range"
+        );
+        DeviceSet(1u64 << d)
+    }
+
+    /// Is `d` in the set?
+    pub fn contains(self, d: usize) -> bool {
+        d < Self::CAPACITY && self.0 & (1u64 << d) != 0
+    }
+
+    /// Add `d` to the set.
+    pub fn insert(&mut self, d: usize) {
+        assert!(
+            d < Self::CAPACITY,
+            "device index {d} out of DeviceSet range"
+        );
+        self.0 |= 1u64 << d;
+    }
+
+    /// Remove `d` from the set (no-op if absent).
+    pub fn remove(&mut self, d: usize) {
+        if d < Self::CAPACITY {
+            self.0 &= !(1u64 << d);
+        }
+    }
+
+    /// True if no device holds a copy.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of devices in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// The raw bit mask (bit `d` set ⇔ device `d` is a holder). Stable
+    /// encoding used by structural signatures and by the tuner's cost
+    /// model, which cannot depend on this crate.
+    pub fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuild from a raw mask produced by [`DeviceSet::bits`].
+    pub fn from_bits(bits: u64) -> DeviceSet {
+        DeviceSet(bits)
+    }
+
+    /// Iterate the member device indices in ascending order.
+    pub fn iter(self) -> impl Iterator<Item = usize> {
+        let bits = self.0;
+        (0..Self::CAPACITY).filter(move |&d| bits & (1u64 << d) != 0)
+    }
+}
+
+impl std::fmt::Debug for DeviceSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        for (i, d) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Per-segment coherence state: the freshest copy's owner plus every
+/// device holding an identical replica.
+///
+/// Invariants (checked by [`Tracker::check_invariants`]):
+/// * `freshest == Owner::Device(d)` ⇒ `holders.contains(d)`;
+/// * `freshest == Owner::Uninit` ⇒ `holders` is empty.
+///
+/// `freshest == Owner::Host` with non-empty `holders` is the replica
+/// steady state for host-uploaded read-only data: the host wrote the
+/// bytes last, and one or more devices fetched copies since.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Validity {
+    /// Owner of the most recently written copy.
+    pub freshest: Owner,
+    /// Devices holding a valid (identical) copy.
+    pub holders: DeviceSet,
+}
+
+impl Validity {
+    /// The state of never-written bytes.
+    pub fn uninit() -> Validity {
+        Validity {
+            freshest: Owner::Uninit,
+            holders: DeviceSet::EMPTY,
+        }
+    }
+
+    /// The state right after `owner` wrote the bytes: every other copy
+    /// is invalidated, so the writer (if a device) is the sole holder.
+    pub fn written(owner: Owner) -> Validity {
+        let holders = match owner {
+            Owner::Device(d) => DeviceSet::single(d),
+            _ => DeviceSet::EMPTY,
+        };
+        Validity {
+            freshest: owner,
+            holders,
+        }
+    }
+
+    /// Does `device` hold a valid copy of these bytes?
+    pub fn valid_on(self, device: usize) -> bool {
+        self.holders.contains(device)
+    }
+}
+
+/// Metadata-work accounting returned by [`Tracker::update`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct UpdateStats {
+    /// Pre-update segments the written range overlapped (what a `query`
+    /// over the same range would have visited) — the tracker-maintenance
+    /// work the runtime charges as host time.
+    pub touched: usize,
+    /// Replica copies evicted by the write: for each overlapped segment,
+    /// the holder devices other than the writer itself. Feeds the
+    /// `replica_invalidations` observability counter.
+    pub invalidated: usize,
+}
+
 /// Non-overlapping, fully covering segment list over `[0, len)`.
 pub struct Tracker {
     len: u64,
-    /// start → (end, owner); segments tile `[0, len)`.
-    segments: BTreeMap<u64, (u64, Owner)>,
+    /// start → (end, validity); segments tile `[0, len)`.
+    segments: BTreeMap<u64, (u64, Validity)>,
     /// Mutation counter: bumped by every [`Tracker::update`] that covers
-    /// at least one byte. Lets callers detect "nothing changed since I
-    /// last looked" without walking the segment list.
+    /// at least one byte and by every [`Tracker::add_holder`] that
+    /// changes at least one segment. Lets callers detect "nothing
+    /// changed since I last looked" without walking the segment list.
     epoch: u64,
     /// Memoized `(epoch, structural hash)` pair backing
     /// [`Tracker::signature`]; interior mutability so read-only consumers
@@ -61,7 +230,7 @@ impl Tracker {
     pub fn new(len: u64) -> Tracker {
         let mut segments = BTreeMap::new();
         if len > 0 {
-            segments.insert(0, (len, Owner::Uninit));
+            segments.insert(0, (len, Validity::uninit()));
         }
         Tracker {
             len,
@@ -71,18 +240,23 @@ impl Tracker {
         }
     }
 
-    /// Mutation epoch: increases on every update that covers ≥ 1 byte.
+    /// Mutation epoch: increases on every effective mutation (a write
+    /// update covering ≥ 1 byte, or a holder addition that changed at
+    /// least one segment).
     pub fn epoch(&self) -> u64 {
         self.epoch
     }
 
     /// Structural hash of the segment list (FNV-1a over `(start, end,
-    /// owner)` triples plus the length). Two trackers with identical
-    /// segment lists hash equal regardless of the update history that
-    /// produced them, so steady-state iterative workloads (ping-pong
-    /// stencils) reach a periodic fixed point of signatures. Memoized per
-    /// [`Tracker::epoch`]: the hot launch path pays one hash-map-sized
-    /// walk only after an actual mutation.
+    /// freshest, holders)` tuples plus the length). Two trackers with
+    /// identical segment lists hash equal regardless of the update
+    /// history that produced them, so steady-state iterative workloads
+    /// (ping-pong stencils) reach a periodic fixed point of signatures.
+    /// Holder sets are part of the hash: a replayed plan must never
+    /// serve a copy the validity state says is redundant, or skip one
+    /// it says is needed. Memoized per [`Tracker::epoch`]: the hot
+    /// launch path pays one hash-map-sized walk only after an actual
+    /// mutation.
     pub fn signature(&self) -> u64 {
         let mut memo = self.sig_memo.lock();
         if let Some((epoch, hash)) = *memo {
@@ -98,14 +272,15 @@ impl Tracker {
             h = h.wrapping_mul(FNV_PRIME);
         };
         mix(self.len);
-        for (&s, &(e, o)) in &self.segments {
+        for (&s, &(e, v)) in &self.segments {
             mix(s);
             mix(e);
-            mix(match o {
+            mix(match v.freshest {
                 Owner::Uninit => u64::MAX,
                 Owner::Host => u64::MAX - 1,
                 Owner::Device(d) => d as u64,
             });
+            mix(v.holders.bits());
         }
         *memo = Some((self.epoch, h));
         h
@@ -127,18 +302,71 @@ impl Tracker {
         self.segments.len()
     }
 
-    /// Record that `owner` wrote `[start, end)`.
+    /// Record that `owner` wrote `[start, end)`: the writer becomes the
+    /// freshest copy and every other holder is invalidated.
     ///
-    /// Returns the number of pre-update segments the range touched (what a
-    /// `query` over the same range would have visited) — the metadata work
-    /// the update actually performed, which the runtime charges as
-    /// host-side tracker-maintenance time.
-    pub fn update(&mut self, start: u64, end: u64, owner: Owner) -> usize {
+    /// Returns [`UpdateStats`]: the pre-update segments touched (charged
+    /// as host-side tracker-maintenance time) and the replica copies the
+    /// write evicted.
+    pub fn update(&mut self, start: u64, end: u64, owner: Owner) -> UpdateStats {
+        let end = end.min(self.len);
+        if start >= end {
+            return UpdateStats::default();
+        }
+        self.epoch += 1;
+        let mut stats = UpdateStats::default();
+        let writer = owner.device();
+        self.query(start, end, &mut |_, _, v| {
+            stats.touched += 1;
+            let mut others = v.holders;
+            if let Some(d) = writer {
+                others.remove(d);
+            }
+            stats.invalidated += others.len();
+        });
+        self.set_range(start, end, Validity::written(owner));
+        stats
+    }
+
+    /// Record that `device` fetched a valid copy of the freshest bytes
+    /// in `[start, end)` (a read-sync replica fetch): `device` joins the
+    /// holder set, and the freshest owner is unchanged.
+    ///
+    /// [`Owner::Uninit`] segments are skipped — a bridged-gap copy over
+    /// never-written bytes carries no meaning, and marking it would
+    /// fragment the tracker. Returns the number of bytes newly made
+    /// valid on `device`; `0` means nothing changed, in which case the
+    /// epoch is *not* bumped (steady-state signature stability depends
+    /// on repeat reads being structural no-ops).
+    pub fn add_holder(&mut self, start: u64, end: u64, device: usize) -> u64 {
         let end = end.min(self.len);
         if start >= end {
             return 0;
         }
+        let mut changes: Vec<(u64, u64, Validity)> = Vec::new();
+        self.query(start, end, &mut |s, e, v| {
+            if v.freshest != Owner::Uninit && !v.holders.contains(device) {
+                let mut nv = v;
+                nv.holders.insert(device);
+                changes.push((s, e, nv));
+            }
+        });
+        if changes.is_empty() {
+            return 0;
+        }
         self.epoch += 1;
+        let mut bytes = 0;
+        for (s, e, nv) in changes {
+            bytes += e - s;
+            self.set_range(s, e, nv);
+        }
+        bytes
+    }
+
+    /// Replace the validity of `[start, end)` with `v`, splitting the
+    /// boundary segments and re-merging neighbours. Callers own the
+    /// epoch bump and any clipping.
+    fn set_range(&mut self, start: u64, end: u64, v: Validity) {
         // Split the segment containing `start` if it begins earlier.
         if let Some((&s, &(e, o))) = self.segments.range(..=start).next_back() {
             if s < start && start < e {
@@ -153,42 +381,37 @@ impl Tracker {
                 self.segments.insert(end, (e, o));
             }
         }
-        // Remove all segments now fully inside [start, end). After the
-        // boundary splits, each pre-update segment overlapping the range
-        // maps to exactly one entry here, so the count is the touched
-        // segment count.
+        // Remove all segments now fully inside [start, end).
         let inside: Vec<u64> = self.segments.range(start..end).map(|(&s, _)| s).collect();
-        let touched = inside.len();
         for s in inside {
             self.segments.remove(&s);
         }
-        self.segments.insert(start, (end, owner));
-        // Merge with neighbors of the same owner.
+        self.segments.insert(start, (end, v));
+        // Merge with neighbors of identical validity.
         self.merge_around(start);
-        touched
     }
 
     fn merge_around(&mut self, start: u64) {
-        let (end, owner) = self.segments[&start];
+        let (end, v) = self.segments[&start];
         // Merge right.
-        if let Some((&rs, &(re, ro))) = self.segments.range(end..).next() {
-            if rs == end && ro == owner {
+        if let Some((&rs, &(re, rv))) = self.segments.range(end..).next() {
+            if rs == end && rv == v {
                 self.segments.remove(&rs);
-                self.segments.insert(start, (re, owner));
+                self.segments.insert(start, (re, v));
             }
         }
         // Merge left.
-        let (end, owner) = self.segments[&start];
-        if let Some((&ls, &(le, lo))) = self.segments.range(..start).next_back() {
-            if le == start && lo == owner {
+        let (end, v) = self.segments[&start];
+        if let Some((&ls, &(le, lv))) = self.segments.range(..start).next_back() {
+            if le == start && lv == v {
                 self.segments.remove(&start);
-                self.segments.insert(ls, (end, owner));
+                self.segments.insert(ls, (end, v));
             }
         }
     }
 
     /// Visit the segments overlapping `[start, end)`, clipped to it.
-    pub fn query(&self, start: u64, end: u64, f: &mut dyn FnMut(u64, u64, Owner)) {
+    pub fn query(&self, start: u64, end: u64, f: &mut dyn FnMut(u64, u64, Validity)) {
         let end = end.min(self.len);
         if start >= end {
             return;
@@ -200,11 +423,11 @@ impl Tracker {
             .next_back()
             .map(|(&s, _)| s)
             .unwrap_or(start);
-        for (&s, &(e, o)) in self.segments.range(first..end) {
+        for (&s, &(e, v)) in self.segments.range(first..end) {
             let cs = s.max(start);
             let ce = e.min(end);
             if cs < ce {
-                f(cs, ce, o);
+                f(cs, ce, v);
             }
         }
     }
@@ -215,7 +438,7 @@ impl Tracker {
     /// Access patterns from 2-D/3-D enumerators arrive as one range per
     /// row; in row-major layout neighbouring rows are byte-adjacent, so
     /// merging first means one tracker walk (and one emitted segment per
-    /// owner run) instead of one per row. Overlapping halo ranges are
+    /// validity run) instead of one per row. Overlapping halo ranges are
     /// deduplicated for free. The tracker tiles `[0, len)` with maximal
     /// segments, so segments inside one merged range never need a second
     /// merge pass.
@@ -224,7 +447,7 @@ impl Tracker {
     pub fn query_coalesced(
         &self,
         ranges: &[(u64, u64)],
-        f: &mut dyn FnMut(u64, u64, Owner),
+        f: &mut dyn FnMut(u64, u64, Validity),
     ) -> (usize, usize) {
         let mut sorted: Vec<(u64, u64)> = ranges
             .iter()
@@ -243,39 +466,45 @@ impl Tracker {
         }
         let mut emitted = 0;
         for &(s, e) in &merged {
-            self.query(s, e, &mut |cs, ce, o| {
+            self.query(s, e, &mut |cs, ce, v| {
                 emitted += 1;
-                f(cs, ce, o);
+                f(cs, ce, v);
             });
         }
         (merged.len(), emitted)
     }
 
     /// Collected segments over a range (convenience for tests).
-    pub fn segments_in(&self, start: u64, end: u64) -> Vec<(u64, u64, Owner)> {
+    pub fn segments_in(&self, start: u64, end: u64) -> Vec<(u64, u64, Validity)> {
         let mut out = Vec::new();
-        self.query(start, end, &mut |s, e, o| out.push((s, e, o)));
+        self.query(start, end, &mut |s, e, v| out.push((s, e, v)));
         out
     }
 
     /// Check internal invariants (used by tests and debug assertions):
-    /// segments tile `[0, len)` without gaps or overlaps, and no two
-    /// adjacent segments share an owner.
+    /// segments tile `[0, len)` without gaps or overlaps, no two
+    /// adjacent segments share a validity, a device-fresh segment's
+    /// writer is always a holder, and uninit segments have no holders.
     pub fn check_invariants(&self) -> bool {
         if self.len == 0 {
             return self.segments.is_empty();
         }
         let mut expect = 0u64;
-        let mut prev_owner: Option<Owner> = None;
-        for (&s, &(e, o)) in &self.segments {
+        let mut prev: Option<Validity> = None;
+        for (&s, &(e, v)) in &self.segments {
             if s != expect || e <= s {
                 return false;
             }
-            if prev_owner == Some(o) {
+            if prev == Some(v) {
                 return false; // unmerged neighbors
             }
+            match v.freshest {
+                Owner::Device(d) if !v.holders.contains(d) => return false,
+                Owner::Uninit if !v.holders.is_empty() => return false,
+                _ => {}
+            }
             expect = e;
-            prev_owner = Some(o);
+            prev = Some(v);
         }
         expect == self.len
     }
@@ -285,11 +514,16 @@ impl Tracker {
 mod tests {
     use super::*;
 
+    /// Shorthand: the validity right after `o` wrote the bytes.
+    fn w(o: Owner) -> Validity {
+        Validity::written(o)
+    }
+
     #[test]
     fn fresh_tracker_is_one_uninit_segment() {
         let t = Tracker::new(100);
         assert_eq!(t.segment_count(), 1);
-        assert_eq!(t.segments_in(0, 100), vec![(0, 100, Owner::Uninit)]);
+        assert_eq!(t.segments_in(0, 100), vec![(0, 100, Validity::uninit())]);
         assert!(t.check_invariants());
     }
 
@@ -301,16 +535,16 @@ mod tests {
         assert_eq!(
             t.segments_in(0, 100),
             vec![
-                (0, 10, Owner::Uninit),
-                (10, 20, Owner::Device(0)),
-                (20, 100, Owner::Uninit),
+                (0, 10, Validity::uninit()),
+                (10, 20, w(Owner::Device(0))),
+                (20, 100, Validity::uninit()),
             ]
         );
-        // Adjacent same-owner updates merge.
+        // Adjacent same-validity updates merge.
         t.update(20, 30, Owner::Device(0));
         assert!(t.check_invariants());
         assert_eq!(t.segments_in(5, 35).len(), 3);
-        assert_eq!(t.segments_in(10, 30), vec![(10, 30, Owner::Device(0))]);
+        assert_eq!(t.segments_in(10, 30), vec![(10, 30, w(Owner::Device(0)))]);
     }
 
     #[test]
@@ -323,9 +557,9 @@ mod tests {
         assert_eq!(
             t.segments_in(0, 64),
             vec![
-                (0, 16, Owner::Device(0)),
-                (16, 48, Owner::Device(2)),
-                (48, 64, Owner::Device(1)),
+                (0, 16, w(Owner::Device(0))),
+                (16, 48, w(Owner::Device(2))),
+                (48, 64, w(Owner::Device(1))),
             ]
         );
     }
@@ -348,7 +582,7 @@ mod tests {
         t.update(50, 100, Owner::Device(1));
         assert_eq!(
             t.segments_in(40, 60),
-            vec![(40, 50, Owner::Device(0)), (50, 60, Owner::Device(1))]
+            vec![(40, 50, w(Owner::Device(0))), (50, 60, w(Owner::Device(1)))]
         );
     }
 
@@ -359,7 +593,7 @@ mod tests {
         assert!(t.check_invariants());
         assert_eq!(
             t.segments_in(0, 10),
-            vec![(0, 5, Owner::Uninit), (5, 10, Owner::Device(0))]
+            vec![(0, 5, Validity::uninit()), (5, 10, w(Owner::Device(0)))]
         );
     }
 
@@ -376,15 +610,15 @@ mod tests {
     fn update_reports_touched_segment_count() {
         let mut t = Tracker::new(100);
         // Fresh tracker: one Uninit segment touched.
-        assert_eq!(t.update(10, 20, Owner::Device(0)), 1);
+        assert_eq!(t.update(10, 20, Owner::Device(0)).touched, 1);
         // [0,10) Uninit | [10,20) D0 | [20,100) Uninit.
         // Overwriting [5, 25) touches all three.
-        assert_eq!(t.update(5, 25, Owner::Device(1)), 3);
+        assert_eq!(t.update(5, 25, Owner::Device(1)).touched, 3);
         // Rewriting exactly the same range touches only its own segment.
-        assert_eq!(t.update(5, 25, Owner::Device(1)), 1);
+        assert_eq!(t.update(5, 25, Owner::Device(1)).touched, 1);
         // Clipped/empty ranges touch nothing.
-        assert_eq!(t.update(200, 300, Owner::Device(0)), 0);
-        assert_eq!(t.update(7, 7, Owner::Device(0)), 0);
+        assert_eq!(t.update(200, 300, Owner::Device(0)).touched, 0);
+        assert_eq!(t.update(7, 7, Owner::Device(0)).touched, 0);
         assert!(t.check_invariants());
     }
 
@@ -396,21 +630,21 @@ mod tests {
         // Four adjacent "rows" + one overlapping halo → one merged range.
         let ranges = [(30, 40), (40, 50), (50, 60), (60, 70), (35, 55)];
         let mut got = Vec::new();
-        let (n_ranges, n_segments) = t.query_coalesced(&ranges, &mut |s, e, o| got.push((s, e, o)));
+        let (n_ranges, n_segments) = t.query_coalesced(&ranges, &mut |s, e, v| got.push((s, e, v)));
         assert_eq!(n_ranges, 1);
         assert_eq!(n_segments, 2);
         assert_eq!(
             got,
-            vec![(30, 50, Owner::Device(0)), (50, 70, Owner::Device(1))]
+            vec![(30, 50, w(Owner::Device(0))), (50, 70, w(Owner::Device(1)))]
         );
         // Disjoint ranges stay separate and keep sorted order.
         let mut got = Vec::new();
         let (n_ranges, n_segments) =
-            t.query_coalesced(&[(80, 90), (0, 10)], &mut |s, e, o| got.push((s, e, o)));
+            t.query_coalesced(&[(80, 90), (0, 10)], &mut |s, e, v| got.push((s, e, v)));
         assert_eq!((n_ranges, n_segments), (2, 2));
         assert_eq!(
             got,
-            vec![(0, 10, Owner::Device(0)), (80, 90, Owner::Device(1))]
+            vec![(0, 10, w(Owner::Device(0))), (80, 90, w(Owner::Device(1)))]
         );
     }
 
@@ -477,5 +711,128 @@ mod tests {
             t.update(g * 100, (g + 1) * 100, Owner::Device(g as usize));
         }
         assert_eq!(t.segment_count(), 16);
+    }
+
+    #[test]
+    fn add_holder_replicates_without_moving_ownership() {
+        let mut t = Tracker::new(100);
+        t.update(0, 100, Owner::Device(0));
+        assert_eq!(t.add_holder(20, 60, 1), 40);
+        assert!(t.check_invariants());
+        let mut d0_plus_1 = w(Owner::Device(0));
+        d0_plus_1.holders.insert(1);
+        assert_eq!(
+            t.segments_in(0, 100),
+            vec![
+                (0, 20, w(Owner::Device(0))),
+                (20, 60, d0_plus_1),
+                (60, 100, w(Owner::Device(0))),
+            ]
+        );
+        // The freshest owner is unchanged everywhere.
+        for (_, _, v) in t.segments_in(0, 100) {
+            assert_eq!(v.freshest, Owner::Device(0));
+        }
+    }
+
+    #[test]
+    fn add_holder_skips_uninit_bytes() {
+        let mut t = Tracker::new(100);
+        t.update(40, 60, Owner::Device(0));
+        // The copy bridged an Uninit gap: only the written bytes are
+        // marked, the Uninit neighbourhood stays pristine (and the
+        // tracker does not fragment).
+        assert_eq!(t.add_holder(0, 100, 1), 20);
+        assert!(t.check_invariants());
+        assert_eq!(t.segment_count(), 3);
+        assert_eq!(t.segments_in(0, 40), vec![(0, 40, Validity::uninit())]);
+        assert_eq!(t.segments_in(60, 100), vec![(60, 100, Validity::uninit())]);
+        // Fully-Uninit tracker: nothing to hold, no epoch bump.
+        let mut u = Tracker::new(50);
+        let epoch = u.epoch();
+        assert_eq!(u.add_holder(0, 50, 2), 0);
+        assert_eq!(u.epoch(), epoch);
+    }
+
+    #[test]
+    fn repeat_add_holder_is_a_structural_noop() {
+        let mut t = Tracker::new(100);
+        t.update(0, 100, Owner::Host);
+        assert_eq!(t.add_holder(0, 100, 3), 100);
+        let epoch = t.epoch();
+        let sig = t.signature();
+        // Steady state: the reader already holds the bytes — no epoch
+        // bump, so plan-cache signatures stay stable across launches.
+        assert_eq!(t.add_holder(0, 100, 3), 0);
+        assert_eq!(t.epoch(), epoch);
+        assert_eq!(t.signature(), sig);
+        assert!(t.check_invariants());
+    }
+
+    #[test]
+    fn writes_invalidate_other_holders() {
+        let mut t = Tracker::new(100);
+        t.update(0, 100, Owner::Device(0));
+        t.add_holder(0, 100, 1);
+        t.add_holder(0, 100, 2);
+        // D1 writes the middle: D0 and D2 copies there are evicted.
+        let stats = t.update(25, 75, Owner::Device(1));
+        assert_eq!(stats.touched, 1);
+        assert_eq!(stats.invalidated, 2);
+        assert!(t.check_invariants());
+        assert_eq!(t.segments_in(25, 75), vec![(25, 75, w(Owner::Device(1)))]);
+        // The flanks still carry the replica set.
+        let flank = t.segments_in(0, 25)[0].2;
+        assert_eq!(flank.freshest, Owner::Device(0));
+        assert!(
+            flank.holders.contains(0) && flank.holders.contains(1) && flank.holders.contains(2)
+        );
+        // A host upload evicts every device copy.
+        let stats = t.update(0, 100, Owner::Host);
+        assert_eq!(stats.invalidated, 3 + 1 + 3); // flanks hold {0,1,2}, middle holds {1}
+        assert_eq!(t.segments_in(0, 100), vec![(0, 100, w(Owner::Host))]);
+    }
+
+    #[test]
+    fn signature_tracks_holder_changes() {
+        let mut t = Tracker::new(64);
+        t.update(0, 64, Owner::Device(0));
+        let before = t.signature();
+        t.add_holder(0, 64, 1);
+        let with_replica = t.signature();
+        assert_ne!(before, with_replica, "holder sets must be part of the hash");
+        // Invalidation restores the original structure and hash.
+        t.update(0, 64, Owner::Device(0));
+        assert_eq!(t.signature(), before);
+    }
+
+    #[test]
+    fn merges_require_equal_holder_sets() {
+        let mut t = Tracker::new(100);
+        t.update(0, 100, Owner::Device(0));
+        t.add_holder(0, 50, 1);
+        // Same freshest owner on both sides, different holder sets: the
+        // boundary must survive.
+        assert_eq!(t.segment_count(), 2);
+        // Equalizing the holder sets re-merges into one segment.
+        t.add_holder(50, 100, 1);
+        assert_eq!(t.segment_count(), 1);
+        assert!(t.check_invariants());
+    }
+
+    #[test]
+    fn device_set_basics() {
+        let mut s = DeviceSet::EMPTY;
+        assert!(s.is_empty());
+        s.insert(3);
+        s.insert(0);
+        s.insert(3);
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(0) && s.contains(3) && !s.contains(1));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 3]);
+        s.remove(0);
+        assert_eq!(s, DeviceSet::single(3));
+        assert_eq!(DeviceSet::from_bits(s.bits()), s);
+        assert_eq!(format!("{:?}", s), "{3}");
     }
 }

@@ -1,7 +1,7 @@
 //! Virtual buffers and the CUDA-replacement runtime object.
 
 use crate::plan::{LaunchPlan, PlanKey};
-use crate::tracker::{Owner, Tracker};
+use crate::tracker::{Owner, Tracker, Validity};
 use crate::{Result, RuntimeError};
 use mekong_gpusim::{DevBuf, Machine, TimeCat};
 use mekong_kernel::Dim3;
@@ -32,6 +32,12 @@ pub(crate) struct VirtualBuffer {
     /// tracker layout — the runtime refetches its remote bytes every
     /// launch, and the model must charge for that.
     pub kernel_written: bool,
+    /// Total peer-copy bytes this buffer *received* over its lifetime
+    /// (read-sync and whole-buffer sync copies into any instance).
+    /// Observability for the A8 replica ablation: a host-uploaded
+    /// read-only array's incoming bytes stop growing once every reader
+    /// is a valid holder.
+    pub d2d_in_bytes: u64,
 }
 
 /// α/β/γ measurement configuration (paper §9.2).
@@ -66,6 +72,14 @@ pub struct RuntimeConfig {
     /// warning (`OpCounters::checked_rejected`), for experiments that
     /// knowingly run unproven partitionings.
     pub enforce_partition_safety: bool,
+    /// Replica-aware coherence (MSI-style validity sets, see
+    /// [`crate::tracker`]): read-sync copies record the destination as a
+    /// valid holder, later reads served by a local replica skip the
+    /// transfer, and gathers/syncs pick the cheapest-link source among
+    /// all holders. On in every measurement configuration; off restores
+    /// the paper's single-owner behaviour (every launch re-fetches
+    /// remote read bytes) for the A8 ablation.
+    pub replica_coherence: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -77,6 +91,7 @@ impl Default for RuntimeConfig {
             capture_plans: false,
             autotune: false,
             enforce_partition_safety: true,
+            replica_coherence: true,
         }
     }
 }
@@ -267,6 +282,7 @@ impl MgpuRuntime {
             tracker: Tracker::new(bytes as u64),
             freed: false,
             kernel_written: false,
+            d2d_in_bytes: 0,
         });
         Ok(VBufId(self.buffers.len() - 1))
     }
@@ -326,9 +342,11 @@ impl MgpuRuntime {
                 continue;
             }
             self.machine.copy_h2d(&src[s..e], inst, s, false)?;
-            self.buffers[dst.0]
+            let stats = self.buffers[dst.0]
                 .tracker
                 .update(s as u64, e as u64, Owner::Device(d));
+            self.machine
+                .note_replica_invalidations(stats.invalidated as u64);
             let seg_cost = self.machine.spec().host_per_segment;
             self.machine.charge_host(seg_cost, TimeCat::Pattern);
         }
@@ -348,12 +366,7 @@ impl MgpuRuntime {
                 got: dst.len(),
             });
         }
-        let mut plan: Vec<(usize, u64, u64)> = Vec::new();
-        vb.tracker.query(0, vb.len as u64, &mut |s, e, o| {
-            if let Owner::Device(d) = o {
-                plan.push((d, s, e));
-            }
-        });
+        let plan = Self::d2h_gather_plan(vb, self.config.replica_coherence);
         let instances = vb.instances.clone();
         let seg_cost = self.machine.spec().host_per_segment * plan.len() as f64;
         self.machine.charge_host(seg_cost, TimeCat::Pattern);
@@ -366,6 +379,33 @@ impl MgpuRuntime {
             )?;
         }
         Ok(())
+    }
+
+    /// Tracker-driven D2H gather plan: one `(device, start, end)` copy
+    /// per emitted run. With replica coherence on, the source of each
+    /// segment is picked among its *valid holders*, preferring the
+    /// device of the previous run so adjacent segments with different
+    /// freshest owners but a shared holder collapse into one copy (and
+    /// one `host_per_segment` charge); without it, the freshest owner is
+    /// the only choice, as in the paper.
+    fn d2h_gather_plan(vb: &VirtualBuffer, replica: bool) -> Vec<(usize, u64, u64)> {
+        let mut plan: Vec<(usize, u64, u64)> = Vec::new();
+        vb.tracker
+            .query(0, vb.len as u64, &mut |s, e, v: Validity| {
+                let Owner::Device(freshest) = v.freshest else {
+                    // Host-fresh and Uninit bytes need no device gather.
+                    return;
+                };
+                let src = match plan.last() {
+                    Some(&(pd, _, pe)) if replica && pe == s && v.holders.contains(pd) => pd,
+                    _ => freshest,
+                };
+                match plan.last_mut() {
+                    Some(last) if last.0 == src && last.2 == s => last.2 = e,
+                    _ => plan.push((src, s, e)),
+                }
+            });
+        plan
     }
 
     /// Performance-mode H2D: same linear distribution, tracker updates and
@@ -389,9 +429,11 @@ impl MgpuRuntime {
                 continue;
             }
             self.machine.copy_h2d_timed(inst, s, e - s, false)?;
-            self.buffers[dst.0]
+            let stats = self.buffers[dst.0]
                 .tracker
                 .update(s as u64, e as u64, Owner::Device(d));
+            self.machine
+                .note_replica_invalidations(stats.invalidated as u64);
             let seg_cost = self.machine.spec().host_per_segment;
             self.machine.charge_host(seg_cost, TimeCat::Pattern);
         }
@@ -404,12 +446,7 @@ impl MgpuRuntime {
     pub fn memcpy_d2h_sim(&mut self, src: VBufId) -> Result<()> {
         self.check_live(src)?;
         let vb = &self.buffers[src.0];
-        let mut plan: Vec<(usize, u64, u64)> = Vec::new();
-        vb.tracker.query(0, vb.len as u64, &mut |s, e, o| {
-            if let Owner::Device(d) = o {
-                plan.push((d, s, e));
-            }
-        });
+        let plan = Self::d2h_gather_plan(vb, self.config.replica_coherence);
         let instances = vb.instances.clone();
         let seg_cost = self.machine.spec().host_per_segment * plan.len() as f64;
         self.machine.charge_host(seg_cost, TimeCat::Pattern);
@@ -456,9 +493,11 @@ impl MgpuRuntime {
                 continue;
             }
             self.machine.copy_h2d(&src[s..e], inst, s, true)?;
-            self.buffers[dst.0]
+            let stats = self.buffers[dst.0]
                 .tracker
                 .update(s as u64, e as u64, Owner::Device(d));
+            self.machine
+                .note_replica_invalidations(stats.invalidated as u64);
             let seg_cost = self.machine.spec().host_per_segment;
             self.machine.charge_host(seg_cost, TimeCat::Pattern);
         }
@@ -475,6 +514,15 @@ impl MgpuRuntime {
     /// Tracker segment count of a buffer (fragmentation metric).
     pub fn segment_count(&self, b: VBufId) -> usize {
         self.buffers[b.0].tracker.segment_count()
+    }
+
+    /// Total peer-copy bytes ever received by a buffer's device
+    /// instances (read-sync and whole-buffer sync copies). The A8
+    /// replica ablation samples this per launch: for a host-uploaded
+    /// read-only array it stops growing after the first launch once
+    /// replica coherence marks every reader a valid holder.
+    pub fn d2d_bytes_into(&self, b: VBufId) -> u64 {
+        self.buffers[b.0].d2d_in_bytes
     }
 
     /// Byte length of a buffer.
@@ -523,6 +571,35 @@ mod tests {
         assert_eq!(out, data);
         // 4 + 3 + 3 elements.
         assert_eq!(rt.segment_count(b), 3);
+    }
+
+    /// D2H gathering consults replica holders: adjacent segments with
+    /// different freshest owners but a shared holder collapse into one
+    /// copy from that holder — and the gathered bytes are still correct,
+    /// because a holder's instance is identical to the freshest copy.
+    #[test]
+    fn d2h_gather_coalesces_through_replica_holders() {
+        let mut rt = runtime(2);
+        let n = 100usize;
+        let b = rt.malloc(n * 4, 4).unwrap();
+        let data: Vec<u8> = (0..n).flat_map(|i| (i as f32).to_le_bytes()).collect();
+        rt.memcpy_h2d(b, &data).unwrap();
+        // Linear split: device 0 received [0,200), device 1 [200,400).
+        // Replicate device 1's half onto device 0 (a real copy on the
+        // functional machine, then the tracker records the holder).
+        let (i0, i1) = (rt.buffers[b.0].instances[0], rt.buffers[b.0].instances[1]);
+        rt.machine.copy_d2d(i1, 200, i0, 200, 200).unwrap();
+        rt.machine.sync_all();
+        rt.buffers[b.0].tracker.add_holder(200, 400, 0);
+        // Replica-aware gather: one copy, sourced entirely from device 0.
+        let plan = MgpuRuntime::d2h_gather_plan(&rt.buffers[b.0], true);
+        assert_eq!(plan, vec![(0, 0, 400)]);
+        // Legacy gather: one copy per freshest owner.
+        let legacy = MgpuRuntime::d2h_gather_plan(&rt.buffers[b.0], false);
+        assert_eq!(legacy, vec![(0, 0, 200), (1, 200, 400)]);
+        let mut out = vec![0u8; n * 4];
+        rt.memcpy_d2h(b, &mut out).unwrap();
+        assert_eq!(out, data);
     }
 
     #[test]

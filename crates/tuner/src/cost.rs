@@ -18,9 +18,14 @@
 //!   remote bytes are reads that land in *another* partition's write
 //!   footprint. This models iterated stencils/ping-pong chains where the
 //!   previous launch distributed the array along the same partitioning.
-//! * [`Ownership::Segments`] — concrete `(start, end, device)` byte
-//!   intervals from the runtime's segment tracker, for arrays the kernel
-//!   only reads (their layout is whatever history left behind).
+//! * [`Ownership::Segments`] — concrete `(start, end, device, holders)`
+//!   byte intervals from the runtime's segment tracker, for arrays the
+//!   kernel only reads (their layout is whatever history left behind).
+//!   Bytes the reading device already *holds* a valid replica of are
+//!   free: the runtime's replica-aware read synchronization skips them.
+//! * [`Ownership::Replicated`] — steady state for read-only arrays under
+//!   replica coherence: after the first launch every reading device keeps
+//!   a valid copy of what it read, so repeated launches move nothing.
 //!
 //! Bytes owned by no device (host or uninitialized) cost nothing here:
 //! the simulator charges those flows to H2D, not the peer interconnect,
@@ -35,12 +40,15 @@ use mekong_kernel::Dim3;
 use serde::{Deserialize, Serialize};
 
 /// A byte interval owned by `device` (`None` = host/uninitialized: reads
-/// of it are not peer traffic).
+/// of it are not peer traffic). `holders` is the raw bitmask of devices
+/// additionally holding a valid replica (bit `d` = device `d`, mirroring
+/// the runtime tracker's validity set): a read by any holder is free.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OwnedSegment {
     pub start: u64,
     pub end: u64,
     pub device: Option<usize>,
+    pub holders: u64,
 }
 
 /// Where the bytes of a read array live when the kernel launches.
@@ -52,6 +60,12 @@ pub enum Ownership {
     /// Concrete ownership intervals (sorted, non-overlapping), e.g. from
     /// the runtime's tracker.
     Segments(Vec<OwnedSegment>),
+    /// Replica-coherent steady state: every reading device retains a
+    /// valid copy after the first launch, so repeated launches incur no
+    /// peer traffic for this array. Warm-up transfers are a one-off the
+    /// per-launch model deliberately ignores (the tuner's measurement
+    /// window skips the settle launches for the same reason).
+    Replicated,
 }
 
 impl Ownership {
@@ -72,6 +86,7 @@ impl Ownership {
                     start: off * elem_size,
                     end: (off + len) * elem_size,
                     device: Some(d as usize),
+                    holders: 1u64 << d.min(63),
                 });
             }
             off += len;
@@ -231,21 +246,6 @@ pub fn evaluate(input: &TunerInput<'_>, strategy: &PartitionStrategy) -> CostEst
     let mut incoming_bytes = vec![0u64; k];
     let mut incoming_copies = vec![0u64; k];
     for read in &input.reads {
-        // Concrete ownership grouped per owning device, once per read.
-        let by_owner: Vec<Vec<(u64, u64)>> = match &read.ownership {
-            Ownership::SelfWrites(_) => Vec::new(),
-            Ownership::Segments(segs) => {
-                let mut per = vec![Vec::new(); spec.n_devices];
-                for s in segs {
-                    if let Some(d) = s.device {
-                        if d < spec.n_devices && s.start < s.end {
-                            per[d].push((s.start, s.end));
-                        }
-                    }
-                }
-                per
-            }
-        };
         for (p, part) in parts.iter().enumerate() {
             let ranges = to_byte_intervals(read.enumerator, read.elem_size, part, input);
             est.n_ranges += ranges.len() as u64;
@@ -260,8 +260,19 @@ pub fn evaluate(input: &TunerInput<'_>, strategy: &PartitionStrategy) -> CostEst
                         incoming_copies[p] += runs;
                     }
                 }
-                Ownership::Segments(_) => {
-                    for (owner, owned) in by_owner.iter().enumerate() {
+                Ownership::Segments(segs) => {
+                    // Intervals remote *to p*: owned by another device and
+                    // not already held by p as a valid replica.
+                    let mut per = vec![Vec::new(); spec.n_devices];
+                    for s in segs {
+                        let held = p < 64 && (s.holders >> p) & 1 == 1;
+                        if let Some(d) = s.device {
+                            if d < spec.n_devices && s.start < s.end && !held {
+                                per[d].push((s.start, s.end));
+                            }
+                        }
+                    }
+                    for (owner, owned) in per.iter().enumerate() {
                         if owner == p || owned.is_empty() {
                             continue;
                         }
@@ -270,6 +281,8 @@ pub fn evaluate(input: &TunerInput<'_>, strategy: &PartitionStrategy) -> CostEst
                         incoming_copies[p] += runs;
                     }
                 }
+                // Every reading device already holds what it reads.
+                Ownership::Replicated => {}
             }
         }
     }
@@ -486,6 +499,7 @@ mod tests {
                     start: 0,
                     end: 256,
                     device: Some(1),
+                    holders: 1 << 1,
                 }]),
             }],
             ..input
@@ -493,6 +507,35 @@ mod tests {
         let est = evaluate(&input_flipped, &PartitionStrategy::even(SplitAxis::X, 2));
         assert_eq!(est.transfer_bytes, 128);
         assert_eq!(est.n_copies, 1);
+        // Partition 0 holding a replica of the remote-owned bytes makes
+        // them free; Replicated ownership makes the whole array free.
+        let input_held = TunerInput {
+            reads: vec![ReadModel {
+                enumerator: &read,
+                elem_size: 4,
+                ownership: Ownership::Segments(vec![OwnedSegment {
+                    start: 0,
+                    end: 256,
+                    device: Some(1),
+                    holders: (1 << 1) | 1,
+                }]),
+            }],
+            ..input_flipped
+        };
+        let est = evaluate(&input_held, &PartitionStrategy::even(SplitAxis::X, 2));
+        assert_eq!(est.transfer_bytes, 0);
+        assert_eq!(est.n_copies, 0);
+        let input_replicated = TunerInput {
+            reads: vec![ReadModel {
+                enumerator: &read,
+                elem_size: 4,
+                ownership: Ownership::Replicated,
+            }],
+            ..input_held
+        };
+        let est = evaluate(&input_replicated, &PartitionStrategy::even(SplitAxis::X, 2));
+        assert_eq!(est.transfer_bytes, 0);
+        assert_eq!(est.n_copies, 0);
     }
 
     #[test]

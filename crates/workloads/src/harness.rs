@@ -50,6 +50,13 @@ pub struct RunOutcome {
     pub tuner_predict_bytes: u64,
     /// The measured window-average peer-transfer bytes per launch.
     pub tuner_measured_bytes: u64,
+    /// Read-sync segment runs served by a local replica (replica-aware
+    /// coherence) instead of a D2D re-fetch.
+    pub replica_hits: u64,
+    /// Replica copies evicted by writes and H2D uploads.
+    pub replica_invalidations: u64,
+    /// Peer-transfer bytes the replica hits avoided re-fetching.
+    pub refetch_bytes_saved: u64,
 }
 
 impl RunOutcome {
@@ -64,6 +71,9 @@ impl RunOutcome {
             strategy_chosen: decode_strategy(counters.strategy_chosen),
             tuner_predict_bytes: counters.tuner_predict_bytes,
             tuner_measured_bytes: counters.tuner_measured_bytes,
+            replica_hits: counters.replica_hits,
+            replica_invalidations: counters.replica_invalidations,
+            refetch_bytes_saved: counters.refetch_bytes_saved,
         }
     }
 
@@ -81,6 +91,14 @@ impl RunOutcome {
             s.push_str(&format!(
                 " | strategy {} (predict {} B/launch, measured {} B/launch)",
                 strategy, self.tuner_predict_bytes, self.tuner_measured_bytes
+            ));
+        }
+        if self.replica_hits > 0 {
+            s.push_str(&format!(
+                " | {} replica hits ({:.2} MiB refetch saved, {} invalidations)",
+                self.replica_hits,
+                self.refetch_bytes_saved as f64 / (1024.0 * 1024.0),
+                self.replica_invalidations
             ));
         }
         let checked = self.counters.checked_safe + self.counters.checked_rejected;

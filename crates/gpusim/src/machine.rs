@@ -53,6 +53,10 @@ enum DeviceMem {
 struct Device {
     mem: DeviceMem,
     busy_until: SimTime,
+    /// Copy-engine (DMA) clock: pipelined peer copies advance this
+    /// instead of `busy_until`, so a halo exchange can stream while the
+    /// SMs compute. Non-pipelined ops ignore it; syncs join it.
+    copy_busy_until: SimTime,
 }
 
 /// Operation counters (inspected by tests and the benchmark harness).
@@ -166,6 +170,7 @@ impl Machine {
                     DeviceMem::Virtual(Vec::new())
                 },
                 busy_until: 0.0,
+                copy_busy_until: 0.0,
             })
             .collect();
         let streams = (0..spec.n_devices).map(|_| DeviceStream::new()).collect();
@@ -341,6 +346,7 @@ impl Machine {
         self.link_busy_until = 0.0;
         for d in &mut self.devices {
             d.busy_until = 0.0;
+            d.copy_busy_until = 0.0;
         }
     }
 
@@ -554,37 +560,7 @@ impl Machine {
             0.0
         };
         // Move the bytes.
-        if self.functional && len > 0 {
-            if self.defer_effects() {
-                // Event token: everything submitted to the source stream
-                // so far must land before this copy reads (§8.3 ordering).
-                let src_event = self.streams[src.device].submitted;
-                self.streams[dst.device].push(StreamOp::CopyD2D {
-                    src_device: src.device,
-                    src_event,
-                    src_handle: src.handle,
-                    src_offset,
-                    dst_handle: dst.handle,
-                    dst_offset,
-                    len,
-                });
-            } else {
-                let data: Vec<u8> = {
-                    let sdev = &self.devices[src.device];
-                    match &sdev.mem {
-                        DeviceMem::Real(store) => {
-                            store.read().bytes(src.handle)[src_offset..src_offset + len].to_vec()
-                        }
-                        DeviceMem::Virtual(_) => Vec::new(),
-                    }
-                };
-                let ddev = self.device(dst.device)?;
-                if let DeviceMem::Real(store) = &mut ddev.mem {
-                    store.get_mut().bytes_mut(dst.handle)[dst_offset..dst_offset + len]
-                        .copy_from_slice(&data);
-                }
-            }
-        }
+        self.move_bytes_d2d(src, src_offset, dst, dst_offset, len)?;
         // Clock: engages both endpoints and, on a host-staged system, the
         // shared staging engine — peer copies then serialize globally.
         let mut start = self
@@ -602,6 +578,96 @@ impl Machine {
         }
         self.breakdown.transfer += t;
         Ok(())
+    }
+
+    /// Functional half of a peer copy: queue it on the destination stream
+    /// (with the source-event token) or move the bytes serially.
+    fn move_bytes_d2d(
+        &mut self,
+        src: DevBuf,
+        src_offset: usize,
+        dst: DevBuf,
+        dst_offset: usize,
+        len: usize,
+    ) -> Result<()> {
+        if !self.functional || len == 0 {
+            return Ok(());
+        }
+        if self.defer_effects() {
+            // Event token: everything submitted to the source stream
+            // so far must land before this copy reads (§8.3 ordering).
+            let src_event = self.streams[src.device].submitted;
+            self.streams[dst.device].push(StreamOp::CopyD2D {
+                src_device: src.device,
+                src_event,
+                src_handle: src.handle,
+                src_offset,
+                dst_handle: dst.handle,
+                dst_offset,
+                len,
+            });
+        } else {
+            let data: Vec<u8> = {
+                let sdev = &self.devices[src.device];
+                match &sdev.mem {
+                    DeviceMem::Real(store) => {
+                        store.read().bytes(src.handle)[src_offset..src_offset + len].to_vec()
+                    }
+                    DeviceMem::Virtual(_) => Vec::new(),
+                }
+            };
+            let ddev = self.device(dst.device)?;
+            if let DeviceMem::Real(store) = &mut ddev.mem {
+                store.get_mut().bytes_mut(dst.handle)[dst_offset..dst_offset + len]
+                    .copy_from_slice(&data);
+            }
+        }
+        Ok(())
+    }
+
+    /// Pipelined peer copy: charged to the endpoints' **copy-engine**
+    /// clocks (and the staging engine when host-staged) instead of their
+    /// compute clocks, so an in-flight halo exchange overlaps compute.
+    /// `deps` are event edges from the caller's dependency DAG — the copy
+    /// cannot start before any of them. Returns the copy's completion
+    /// time so the caller can thread it into later edges.
+    pub fn copy_d2d_pipelined(
+        &mut self,
+        src: DevBuf,
+        src_offset: usize,
+        dst: DevBuf,
+        dst_offset: usize,
+        len: usize,
+        deps: &[SimTime],
+    ) -> Result<SimTime> {
+        Self::check_range(&src, src_offset, len)?;
+        Self::check_range(&dst, dst_offset, len)?;
+        self.counters.d2d_copies += 1;
+        self.counters.d2d_bytes += len as u64;
+        let t = if self.transfer_timing {
+            self.spec.link.latency + len as f64 / self.spec.link.bandwidth
+        } else {
+            0.0
+        };
+        self.move_bytes_d2d(src, src_offset, dst, dst_offset, len)?;
+        let mut start = self
+            .host_now
+            .max(self.devices[src.device].copy_busy_until)
+            .max(self.devices[dst.device].copy_busy_until);
+        for &d in deps {
+            start = start.max(d);
+        }
+        if self.spec.link.host_staged {
+            start = start.max(self.link_busy_until);
+        }
+        let end = start + t;
+        self.devices[src.device].copy_busy_until = end;
+        self.devices[dst.device].copy_busy_until = end;
+        if self.spec.link.host_staged {
+            self.link_busy_until = end;
+        }
+        self.breakdown.transfer += t;
+        Ok(end)
     }
 
     /// Launch a kernel asynchronously on device `d`.
@@ -638,6 +704,39 @@ impl Machine {
         block_dim: Dim3,
         traffic: Option<u64>,
     ) -> Result<()> {
+        self.launch_core(d, kernel, args, grid_dim, block_dim, traffic, &[])
+            .map(|_| ())
+    }
+
+    /// Pipelined launch: like [`Machine::launch_with_traffic`], but the
+    /// kernel additionally waits for the `deps` event edges (its incoming
+    /// halo copies, prior readers of its write buffers) and the completion
+    /// time is returned for the caller's dependency DAG.
+    #[allow(clippy::too_many_arguments)]
+    pub fn launch_pipelined(
+        &mut self,
+        d: usize,
+        kernel: &Kernel,
+        args: &[SimArg],
+        grid_dim: Dim3,
+        block_dim: Dim3,
+        traffic: Option<u64>,
+        deps: &[SimTime],
+    ) -> Result<SimTime> {
+        self.launch_core(d, kernel, args, grid_dim, block_dim, traffic, deps)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn launch_core(
+        &mut self,
+        d: usize,
+        kernel: &Kernel,
+        args: &[SimArg],
+        grid_dim: Dim3,
+        block_dim: Dim3,
+        traffic: Option<u64>,
+        deps: &[SimTime],
+    ) -> Result<SimTime> {
         self.counters.launches += 1;
         // Resolve args to interpreter args; validate buffer residency.
         let mut kargs = Vec::with_capacity(args.len());
@@ -698,11 +797,14 @@ impl Machine {
         }
         let overhead = self.spec.device_spec(d).launch_overhead;
         let dev = &mut self.devices[d];
-        let start = self.host_now.max(dev.busy_until);
+        let mut start = self.host_now.max(dev.busy_until);
+        for &dep in deps {
+            start = start.max(dep);
+        }
         let t = overhead + t_kernel;
         dev.busy_until = start + t;
         self.breakdown.app += t;
-        Ok(())
+        Ok(start + t)
     }
 
     /// Launch a kernel on device `d` and record its **observed write
@@ -808,9 +910,40 @@ impl Machine {
     /// device's stream, so a partial drain could not make progress.
     pub fn sync_device(&mut self, d: usize) -> Result<()> {
         self.flush_streams();
-        let busy = self.device(d)?.busy_until;
+        let dev = self.device(d)?;
+        let busy = dev.busy_until.max(dev.copy_busy_until);
         self.host_now = self.host_now.max(busy);
         Ok(())
+    }
+
+    /// Advance the host clock to `t` (no-op when already past). The
+    /// launch-ahead pipeline uses this to model the host blocking on an
+    /// in-flight launch when the window is full or flushed.
+    pub fn join_host(&mut self, t: SimTime) {
+        self.host_now = self.host_now.max(t);
+    }
+
+    /// Current event token of device `d`'s stream: the number of ops
+    /// submitted so far. A peer passing this to
+    /// [`Machine::stream_wait_cross`] waits for everything submitted to
+    /// `d` up to this point.
+    pub fn stream_mark(&self, d: usize) -> u64 {
+        self.streams[d].submitted
+    }
+
+    /// Queue a cross-stream event wait: device `waiter`'s stream stalls
+    /// until device `source`'s stream has completed `event` ops. Only
+    /// meaningful on streamed functional machines; a no-op otherwise.
+    /// Deadlock-free as long as `event` refers to ops submitted strictly
+    /// before this call (host submission is a total order).
+    pub fn stream_wait_cross(&mut self, waiter: usize, source: usize, event: u64) {
+        if !self.defer_effects() || waiter == source {
+            return;
+        }
+        self.streams[waiter].push(StreamOp::WaitEvent {
+            device: source,
+            event,
+        });
     }
 
     /// Block host until all devices are idle (cudaDeviceSynchronize over
@@ -828,7 +961,7 @@ impl Machine {
     pub fn try_sync_all(&mut self) -> Result<()> {
         self.flush_streams();
         for dev in &self.devices {
-            self.host_now = self.host_now.max(dev.busy_until);
+            self.host_now = self.host_now.max(dev.busy_until).max(dev.copy_busy_until);
         }
         match self.stream_error.get_mut().take() {
             Some(e) => Err(e),
@@ -1274,5 +1407,106 @@ mod tests {
         // Serial engine applies effects at submission: visible without
         // any sync (debug_read flushes, but there is nothing queued).
         assert_eq!(m.debug_read(a).unwrap(), vec![7u8; 16]);
+    }
+
+    #[test]
+    fn pipelined_copy_overlaps_compute_clock() {
+        // A pipelined peer copy runs on the copy engines: it must not
+        // push either endpoint's compute clock, and a subsequent launch
+        // gated only on the compute clock starts as if no copy happened.
+        let mut m = Machine::new(MachineSpec::kepler_system(2), false);
+        let n = 1 << 20;
+        let a0 = m.alloc(0, n * 4).unwrap();
+        let a1 = m.alloc(1, n * 4).unwrap();
+        let y0 = m.alloc(0, n * 4).unwrap();
+        let k = saxpy();
+        let grid = Dim3::new1((n / 256) as u32);
+        let block = Dim3::new1(256);
+        let args = [
+            SimArg::Scalar(Value::I64(n as i64)),
+            SimArg::Buf(a0),
+            SimArg::Buf(y0),
+        ];
+        // Baseline: two launches back to back.
+        m.launch(0, &k, &args, grid, block).unwrap();
+        m.launch(0, &k, &args, grid, block).unwrap();
+        m.sync_all();
+        let t_serial_launches = m.now();
+        // Same two launches with a large peer copy pipelined between
+        // them: the copy overlaps, so the compute-critical path is
+        // unchanged and sync time is the max of the two engines.
+        m.reset_clock();
+        m.launch(0, &k, &args, grid, block).unwrap();
+        let copy_end = m.copy_d2d_pipelined(a0, 0, a1, 0, n * 4, &[]).unwrap();
+        m.launch(0, &k, &args, grid, block).unwrap();
+        m.sync_all();
+        let t_pipe = m.now();
+        assert!(copy_end > 0.0);
+        assert!(
+            t_pipe <= t_serial_launches.max(copy_end) + 1e-12,
+            "pipelined copy must overlap: {t_pipe} vs launches {t_serial_launches} copy {copy_end}"
+        );
+        // The eager copy path serializes on the device clock instead.
+        m.reset_clock();
+        m.launch(0, &k, &args, grid, block).unwrap();
+        m.copy_d2d(a0, 0, a1, 0, n * 4).unwrap();
+        m.launch(0, &k, &args, grid, block).unwrap();
+        m.sync_all();
+        let t_eager = m.now();
+        assert!(
+            t_pipe < t_eager,
+            "overlap should beat serialization: {t_pipe} vs {t_eager}"
+        );
+    }
+
+    #[test]
+    fn pipelined_launch_waits_for_dep_edges() {
+        let mut m = Machine::new(MachineSpec::kepler_system(1), false);
+        let n = 4096usize;
+        let x = m.alloc(0, n * 4).unwrap();
+        let y = m.alloc(0, n * 4).unwrap();
+        let k = saxpy();
+        let args = [
+            SimArg::Scalar(Value::I64(n as i64)),
+            SimArg::Buf(x),
+            SimArg::Buf(y),
+        ];
+        let dep = 5.0; // far in the simulated future
+        let end = m
+            .launch_pipelined(0, &k, &args, Dim3::new1(16), Dim3::new1(256), None, &[dep])
+            .unwrap();
+        assert!(end > dep, "launch must start after its event edge");
+        m.sync_all();
+        assert!(m.now() >= end);
+    }
+
+    #[test]
+    fn cross_stream_wait_orders_writer_after_inflight_reader() {
+        // Device 1 snapshots x from device 0 (peer copy), then device 0
+        // overwrites x. Without the cross-stream wait the overwrite could
+        // race the snapshot during the flush; with it, device 0's kernel
+        // stalls until the copy completed, so device 1 always sees the
+        // pre-overwrite bytes.
+        for _ in 0..64 {
+            let mut m = Machine::new(MachineSpec::kepler_system(2), true);
+            let n = 1024usize;
+            let x0 = m.alloc(0, n * 4).unwrap();
+            let y0 = m.alloc(0, n * 4).unwrap();
+            let x1 = m.alloc(1, n * 4).unwrap();
+            let host: Vec<u8> = (0..n).flat_map(|i| (i as f32).to_le_bytes()).collect();
+            m.copy_h2d(&host, x0, 0, false).unwrap();
+            m.copy_h2d(&vec![0u8; n * 4], y0, 0, false).unwrap();
+            // Reader: snapshot x0 into device 1.
+            m.copy_d2d(x0, 0, x1, 0, n * 4).unwrap();
+            let token = m.stream_mark(1);
+            // Writer: saxpy writes y0 but ALSO overwrite x0 afterwards to
+            // model an in-place producer (swap roles: y=2x+y writes y; we
+            // overwrite x0 via h2d-deferred write below the wait).
+            m.stream_wait_cross(0, 1, token);
+            m.copy_h2d(&vec![0xFFu8; n * 4], x0, 0, true).unwrap();
+            m.sync_all();
+            let got = m.debug_read(x1).unwrap();
+            assert_eq!(got, host, "reader must observe pre-overwrite bytes");
+        }
     }
 }

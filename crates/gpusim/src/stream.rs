@@ -59,6 +59,12 @@ pub enum StreamOp {
         dst_offset: usize,
         len: usize,
     },
+    /// Cross-stream event wait: stall this stream until `device`'s stream
+    /// has completed `event` ops. Used by the launch-ahead pipeline to
+    /// order a kernel after in-flight peer copies that still *read* bytes
+    /// this kernel is about to overwrite (write-after-read), now that no
+    /// global barrier separates the sync and launch phases.
+    WaitEvent { device: usize, event: u64 },
 }
 
 /// One device's command stream plus its completion-event state.
@@ -157,6 +163,10 @@ pub(crate) fn apply_op(
             };
             let mut dst = stores[device].write();
             dst.bytes_mut(dst_handle)[dst_offset..dst_offset + len].copy_from_slice(&data);
+            Ok(())
+        }
+        StreamOp::WaitEvent { device, event } => {
+            streams[device].wait_event(event);
             Ok(())
         }
     }

@@ -320,10 +320,11 @@ impl MgpuRuntime {
                 }
             }
         }
-        // Peer-traffic delta around the launch feeds online refinement.
-        let d2d_before = self
-            .config
-            .autotune
+        // Peer-traffic delta around the launch feeds online refinement —
+        // but not while a forced override is active: those launches run
+        // a strategy the tuner did not choose, and mixing their bytes
+        // into its measurement windows would corrupt the averages.
+        let d2d_before = (self.config.autotune && !self.forced.contains_key(&ck.model.kernel_name))
             .then(|| self.machine.counters().d2d_bytes);
         let capture = self.config.capture_plans && self.resolve_dependencies;
         if capture {
@@ -331,6 +332,9 @@ impl MgpuRuntime {
             if let Some(plan) = self.plan_cache.get(&key).cloned() {
                 self.replay_plan(ck, block, &plan)?;
             } else {
+                // A cold launch walks trackers and observes device
+                // clocks directly: drain the launch-ahead window first.
+                self.pipeline_flush();
                 self.machine.note_plan_miss();
                 let plan = self.launch_full(ck, grid, block, args, &scalars, &parts, true)?;
                 self.plan_cache.insert(
@@ -339,6 +343,7 @@ impl MgpuRuntime {
                 );
             }
         } else {
+            self.pipeline_flush();
             if self.resolve_dependencies {
                 self.machine.note_plan_miss();
             }
@@ -589,6 +594,12 @@ impl MgpuRuntime {
     /// so the sequence is exact — only the pattern cost differs: one
     /// flat `host_per_replay` instead of the per-range/per-segment walk.
     fn replay_plan(&mut self, ck: &CompiledKernel, block: Dim3, plan: &LaunchPlan) -> Result<()> {
+        if self.config.launch_ahead > 0 {
+            // Launch-ahead pipelining: record event edges into the
+            // in-flight window instead of executing eagerly (see
+            // [`crate::pipeline`]).
+            return self.replay_plan_pipelined(ck, block, plan);
+        }
         self.machine.note_plan_hit();
         if plan.replica_hits > 0 {
             // Replay skips the planning walk that detects replica-served
@@ -602,13 +613,9 @@ impl MgpuRuntime {
         for c in &plan.copies {
             let src = self.buffers[c.vb.0].instances[c.src_dev];
             let dst = self.buffers[c.vb.0].instances[c.dst_gpu];
-            self.machine.copy_d2d(
-                src,
-                c.start as usize,
-                dst,
-                c.start as usize,
-                (c.end - c.start) as usize,
-            )?;
+            let off = crate::to_usize(c.start, "copy offset")?;
+            let len = crate::to_usize(c.end - c.start, "copy length")?;
+            self.machine.copy_d2d(src, off, dst, off, len)?;
             self.buffers[c.vb.0].d2d_in_bytes += c.end - c.start;
             if replica {
                 // Re-derive the holder additions the captured run made, so
@@ -659,6 +666,25 @@ impl MgpuRuntime {
         capture: bool,
     ) -> Result<Option<LaunchPlan>> {
         let mut captured = capture.then(LaunchPlan::default);
+        if let Some(cap) = &mut captured {
+            // Whole-buffer read/write sets for the launch-ahead
+            // pipeline's event edges (deduplicated; an argument bound to
+            // two parameters appears once).
+            for (arg_idx, _) in &ck.enums.reads {
+                if let LaunchArg::Buf(b) = args[*arg_idx] {
+                    if !cap.read_bufs.contains(&b) {
+                        cap.read_bufs.push(b);
+                    }
+                }
+            }
+            for (arg_idx, _) in &ck.enums.writes {
+                if let LaunchArg::Buf(b) = args[*arg_idx] {
+                    if !cap.write_bufs.contains(&b) {
+                        cap.write_bufs.push(b);
+                    }
+                }
+            }
+        }
 
         // ---- (2) synchronize read buffers --------------------------------
         if self.resolve_dependencies {
@@ -731,8 +757,9 @@ impl MgpuRuntime {
                 for &(d, s, e) in &p.copies {
                     let src = self.buffers[p.vb.0].instances[d];
                     let dst = self.buffers[p.vb.0].instances[p.gpu];
-                    self.machine
-                        .copy_d2d(src, s as usize, dst, s as usize, (e - s) as usize)?;
+                    let off = crate::to_usize(s, "copy offset")?;
+                    let len = crate::to_usize(e - s, "copy length")?;
+                    self.machine.copy_d2d(src, off, dst, off, len)?;
                     self.buffers[p.vb.0].d2d_in_bytes += e - s;
                     if replica {
                         // The destination now holds a valid copy of the
@@ -864,6 +891,8 @@ impl MgpuRuntime {
         device: usize,
     ) -> Result<()> {
         let scalars = self.validate_args(ck, args)?;
+        // Uncaptured path: walks trackers and device clocks directly.
+        self.pipeline_flush();
         // Pull every array argument fully local.
         for a in args {
             if let LaunchArg::Buf(b) = a {
@@ -932,6 +961,8 @@ impl MgpuRuntime {
                 "instrumented launches need a functional machine",
             ));
         }
+        // Uncaptured path: walks trackers and device clocks directly.
+        self.pipeline_flush();
         let parts = partition_grid(grid, self.n_devices(), ck.model.partitioning);
 
         // (1) Reads unknown: synchronize every argument buffer fully.
@@ -1044,13 +1075,10 @@ impl MgpuRuntime {
                 .note_replica_hits(plan.replica_hits, plan.saved_bytes);
         }
         for (d, s, e) in plan.copies {
-            self.machine.copy_d2d(
-                instances[d],
-                s as usize,
-                instances[gpu],
-                s as usize,
-                (e - s) as usize,
-            )?;
+            let off = crate::to_usize(s, "copy offset")?;
+            let len = crate::to_usize(e - s, "copy length")?;
+            self.machine
+                .copy_d2d(instances[d], off, instances[gpu], off, len)?;
             self.buffers[b.0].d2d_in_bytes += e - s;
             if replica {
                 self.buffers[b.0].tracker.add_holder(s, e, gpu);
@@ -2162,5 +2190,143 @@ mod tests {
         .unwrap();
         // 1:1 write pattern -> exactly one segment per device (§8.1).
         assert_eq!(rt.segment_count(b), 4);
+    }
+
+    /// Regression guard for the replica-awareness of `sync_whole_buffer`
+    /// (suspected to predate replica coherence; it does not — it runs
+    /// through the same replica-aware [`TransferPlan`] as the read-sync
+    /// path). Held segments must be skipped and counted as hits, not
+    /// re-copied from `freshest`.
+    #[test]
+    fn sync_whole_buffer_serves_held_segments_from_replicas() {
+        let mut rt = runtime(2);
+        let n = 100usize;
+        let b = rt.malloc(n * 4, 4).unwrap();
+        let data: Vec<u8> = (0..n).flat_map(|i| (i as f32).to_le_bytes()).collect();
+        rt.memcpy_h2d(b, &data).unwrap();
+        // Linear split: device 0 owns [0,200), device 1 [200,400).
+        // Replicate device 1's half onto device 0 and record the holder.
+        let (i0, i1) = (rt.buffers[b.0].instances[0], rt.buffers[b.0].instances[1]);
+        rt.machine.copy_d2d(i1, 200, i0, 200, 200).unwrap();
+        rt.machine.sync_all();
+        rt.buffers[b.0].tracker.add_holder(200, 400, 0);
+        let before = rt.machine().counters();
+        let hits_before = before.replica_hits;
+        let copies_before = before.d2d_copies;
+        // Device 0 already holds everything: a full sync must move no
+        // bytes and count the remote-fresh half as a replica hit.
+        rt.sync_whole_buffer(b, 0).unwrap();
+        let after = rt.machine().counters();
+        assert_eq!(
+            after.d2d_copies, copies_before,
+            "held segments must not be re-copied"
+        );
+        assert_eq!(after.replica_hits, hits_before + 1);
+        assert_eq!(after.refetch_bytes_saved - before.refetch_bytes_saved, 200);
+        // And with replica coherence off, the same sync re-fetches.
+        rt.set_config(RuntimeConfig {
+            replica_coherence: false,
+            ..RuntimeConfig::default()
+        });
+        rt.sync_whole_buffer(b, 0).unwrap();
+        assert_eq!(rt.machine().counters().d2d_copies, copies_before + 1);
+    }
+
+    /// Forced-strategy launches must not feed the autotuner's measurement
+    /// windows (they run a strategy the tuner did not choose), and
+    /// forcing/clearing resets any half-filled window.
+    #[test]
+    fn forced_launches_do_not_pollute_tuner_windows() {
+        let ck = CompiledKernel::compile(&scale_kernel()).unwrap();
+        let mut rt = runtime(2);
+        rt.set_config(RuntimeConfig::tuned());
+        let n = 1024usize;
+        let a = rt.malloc(n * 4, 4).unwrap();
+        let b = rt.malloc(n * 4, 4).unwrap();
+        rt.memcpy_h2d(a, &vec![0u8; n * 4]).unwrap();
+        let args = [
+            LaunchArg::Scalar(Value::I64(n as i64)),
+            LaunchArg::Buf(a),
+            LaunchArg::Buf(b),
+        ];
+        let (grid, block) = (Dim3::new1(8), Dim3::new1(128));
+        // One tuned launch creates the entry (and burns the settle).
+        rt.launch(&ck, grid, block, &args).unwrap();
+        let key = TuneKey {
+            kernel: "scale".into(),
+            grid,
+            block,
+            scalars: vec![n as i64],
+        };
+        let launches_before = rt.tuner().entry(&key).unwrap().launches;
+        // Pin a strategy and launch enough times to complete a window if
+        // these were recorded.
+        use mekong_analysis::SplitAxis;
+        rt.force_strategy("scale", PartitionStrategy::even(SplitAxis::X, 2));
+        for _ in 0..6 {
+            rt.launch(&ck, grid, block, &args).unwrap();
+        }
+        let e = rt.tuner().entry(&key).unwrap();
+        assert_eq!(
+            e.launches, launches_before,
+            "forced launches must not be recorded against the tuner entry"
+        );
+        assert_eq!(e.measured_bytes(), None, "no window may complete");
+        // Lifting the override resumes clean recording.
+        rt.clear_forced_strategy("scale");
+        for _ in 0..6 {
+            rt.launch(&ck, grid, block, &args).unwrap();
+        }
+        assert!(rt.tuner().entry(&key).unwrap().launches > launches_before);
+    }
+
+    /// The launch-ahead pipeline hides halo-exchange latency behind
+    /// compute: steady-state replays of a ping-pong stencil finish
+    /// faster with a window than fully synchronous, with identical
+    /// counters and plan hit rates.
+    #[test]
+    fn launch_ahead_overlaps_replayed_halo_exchange() {
+        let ck = CompiledKernel::compile(&stencil_kernel()).unwrap();
+        let n = 1 << 20;
+        let iters = 12;
+        let grid = Dim3::new1((n as u32) / 256);
+        let block = Dim3::new1(256);
+        let run = |ahead: u32| {
+            let mut rt = MgpuRuntime::new(Machine::new(MachineSpec::kepler_system(4), false));
+            rt.set_config(RuntimeConfig {
+                capture_plans: true,
+                launch_ahead: ahead,
+                ..RuntimeConfig::default()
+            });
+            let a = rt.malloc(n * 4, 4).unwrap();
+            let b = rt.malloc(n * 4, 4).unwrap();
+            rt.memcpy_h2d_sim(a).unwrap();
+            rt.memcpy_h2d_sim(b).unwrap();
+            rt.machine_mut().reset_clock();
+            let (mut src, mut dst) = (a, b);
+            for _ in 0..iters {
+                rt.launch(
+                    &ck,
+                    grid,
+                    block,
+                    &[
+                        LaunchArg::Scalar(Value::I64(n as i64)),
+                        LaunchArg::Buf(src),
+                        LaunchArg::Buf(dst),
+                    ],
+                )
+                .unwrap();
+                std::mem::swap(&mut src, &mut dst);
+            }
+            rt.synchronize();
+            (rt.elapsed(), rt.machine().counters())
+        };
+        let (t_sync, c_sync) = run(0);
+        let (t_pipe, c_pipe) = run(2);
+        assert_eq!(c_sync, c_pipe, "pipelining must not change any counter");
+        assert!(
+            t_pipe < t_sync,
+            "launch-ahead must hide transfer latency: {t_pipe} vs {t_sync}"
+        );
     }
 }

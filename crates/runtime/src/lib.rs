@@ -27,6 +27,7 @@
 
 pub mod compiled;
 pub mod launch;
+pub mod pipeline;
 pub mod plan;
 pub mod tracker;
 pub mod vbuf;
@@ -49,6 +50,9 @@ pub enum RuntimeError {
     BadArgument(String),
     /// The kernel was not cleared for partitioning (§4 checks).
     NotPartitionable(String),
+    /// A 64-bit byte offset or length does not fit the host's `usize`
+    /// (copy/gather paths refuse to truncate on 32-bit hosts).
+    Overflow { value: u64, what: &'static str },
     /// Simulator failure.
     Sim(mekong_gpusim::SimError),
     /// Polyhedral failure.
@@ -76,6 +80,9 @@ impl std::fmt::Display for RuntimeError {
             }
             RuntimeError::BadArgument(m) => write!(f, "bad launch argument: {m}"),
             RuntimeError::NotPartitionable(m) => write!(f, "kernel not partitionable: {m}"),
+            RuntimeError::Overflow { value, what } => {
+                write!(f, "{what} {value} does not fit this host's usize")
+            }
             RuntimeError::Sim(e) => write!(f, "simulator: {e}"),
             RuntimeError::Poly(e) => write!(f, "polyhedral: {e}"),
         }
@@ -86,3 +93,42 @@ impl std::error::Error for RuntimeError {}
 
 /// Result alias.
 pub type Result<T> = std::result::Result<T, RuntimeError>;
+
+/// Checked `u64 → usize` narrowing for copy/gather byte offsets and
+/// lengths. Tracker coordinates are 64-bit; host slices are `usize`-
+/// indexed. On 64-bit hosts this never fails, but on a 32-bit host a
+/// silent `as usize` would truncate and copy the wrong bytes — surface
+/// a [`RuntimeError::Overflow`] instead.
+pub(crate) fn to_usize(value: u64, what: &'static str) -> Result<usize> {
+    usize::try_from(value).map_err(|_| RuntimeError::Overflow { value, what })
+}
+
+#[cfg(test)]
+mod error_tests {
+    use super::*;
+
+    #[test]
+    fn to_usize_accepts_values_that_fit() {
+        assert_eq!(to_usize(0, "offset").unwrap(), 0);
+        assert_eq!(to_usize(123_456, "offset").unwrap(), 123_456);
+    }
+
+    #[test]
+    #[cfg(target_pointer_width = "32")]
+    fn to_usize_rejects_oversized_values() {
+        let err = to_usize(u64::from(u32::MAX) + 1, "copy length").unwrap_err();
+        assert!(matches!(err, RuntimeError::Overflow { .. }));
+    }
+
+    #[test]
+    fn overflow_error_names_the_field() {
+        let e = RuntimeError::Overflow {
+            value: 42,
+            what: "copy offset",
+        };
+        assert_eq!(
+            e.to_string(),
+            "copy offset 42 does not fit this host's usize"
+        );
+    }
+}

@@ -1,0 +1,277 @@
+//! Launch-ahead pipelined scheduling: a dependency DAG across replayed
+//! launches.
+//!
+//! The Figure 4 sequence is fully synchronous — `sync-reads → launch →
+//! update-trackers` with a global barrier between the sync and launch
+//! phases — so peer-copy latency sits on the critical path of every
+//! iteration. But a captured plan already *is* the static dependence
+//! structure of one launch: which copies feed which partitions, and which
+//! buffers each partition reads and writes. When such a plan replays with
+//! [`crate::RuntimeConfig::launch_ahead`] > 0, the runtime records its
+//! per-device command segments with **event edges** instead of barriers:
+//!
+//! * a read-sync copy of buffer `b` from device `s` to device `g` waits
+//!   for `b`'s producer launch on `s` (`ready_at[b,s]`, read-after-write)
+//!   and for prior readers of `b` on `g` (`read_until[b,g]`,
+//!   write-after-read);
+//! * a partition launch on `g` waits for the incoming copies of every
+//!   buffer it reads (`ready_at[r,g]`) and for in-flight readers of every
+//!   buffer it writes (`read_until[w,g]`).
+//!
+//! Copies are charged to per-device **copy-engine clocks**
+//! ([`mekong_gpusim::Machine::copy_d2d_pipelined`]), so iteration *i+1*'s
+//! halo exchange streams while iteration *i*'s compute still occupies the
+//! SM clocks. There is deliberately **no write-after-write edge between a
+//! halo copy and the destination's own partition launch**: the partition
+//! invariant guarantees disjointness (a device's kernel writes its own
+//! partition; the plan only copies in segments whose freshest copy is
+//! remote, i.e. bytes the destination did *not* just write), and the plan
+//! was captured against exactly the tracker state the key's signatures
+//! pin.
+//!
+//! **Deferred tracker commit:** trackers (and the plan-cache signatures
+//! derived from them) advance at *submit* time, exactly as in the eager
+//! path — the tracker models the submitted state of the machine, not the
+//! drained state. That keeps plan keys, hit rates and counters identical
+//! to `launch_ahead = 0`. The flip side is that any operation observing
+//! real bytes or host-side clocks mid-window — D2H/H2D, an uncaptured
+//! launch, a config change, direct machine access — must first flush
+//! the window (`MgpuRuntime::pipeline_flush`).
+//!
+//! Functional ordering across streams is handled with the same event
+//! tokens the streamed engine already uses: each pipelined copy records
+//! itself as an in-flight *reader* of its source instance, and a later
+//! kernel writing that buffer on the source device submits a
+//! [`mekong_gpusim::stream::StreamOp::WaitEvent`] first, so the copy's
+//! snapshot always precedes the overwrite. Waits only ever reference
+//! strictly-earlier submissions, so the wait graph stays a DAG.
+
+use crate::plan::LaunchPlan;
+use crate::tracker::Owner;
+use crate::vbuf::{MgpuRuntime, VBufId};
+use crate::{to_usize, CompiledKernel, Result};
+use mekong_gpusim::TimeCat;
+use mekong_kernel::Dim3;
+use std::collections::{HashMap, VecDeque};
+
+/// Key of one whole-buffer × device dependency slot.
+type Slot = (usize, usize);
+
+/// In-flight window state of the launch-ahead scheduler. All times are
+/// simulated completion times ([`mekong_gpusim::SimTime`]).
+#[derive(Debug, Default)]
+pub(crate) struct Pipeline {
+    /// Completion time of each in-flight launch, oldest first. The
+    /// window is depth-limited: exceeding `launch_ahead` joins the host
+    /// clock to the oldest entry (the host blocks, as on a full CUDA
+    /// stream).
+    in_flight: VecDeque<f64>,
+    /// When `(buffer, device)` last became fully valid (producer kernel
+    /// or incoming halo copies) — read-after-write edges.
+    ready_at: HashMap<Slot, f64>,
+    /// Until when `(buffer, device)` is being read (kernel reads, peer
+    /// copies sourcing from it) — write-after-read edges.
+    read_until: HashMap<Slot, f64>,
+    /// In-flight functional readers of `(buffer, source device)`: the
+    /// destination device and its stream event token after the copy was
+    /// queued. A later kernel writing the buffer on the source device
+    /// must cross-stream-wait on these.
+    readers: HashMap<Slot, Vec<(usize, u64)>>,
+}
+
+impl Pipeline {
+    /// Number of in-flight launches.
+    pub(crate) fn depth(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    fn ready_at(&self, vb: VBufId, device: usize) -> f64 {
+        self.ready_at.get(&(vb.0, device)).copied().unwrap_or(0.0)
+    }
+
+    fn read_until(&self, vb: VBufId, device: usize) -> f64 {
+        self.read_until.get(&(vb.0, device)).copied().unwrap_or(0.0)
+    }
+
+    fn raise(map: &mut HashMap<Slot, f64>, slot: Slot, t: f64) {
+        let e = map.entry(slot).or_insert(0.0);
+        if t > *e {
+            *e = t;
+        }
+    }
+
+    /// Record a completed-at-`end` copy of `vb` from `src` into `dst`.
+    fn note_copy(&mut self, vb: VBufId, src: usize, dst: usize, end: f64) {
+        Self::raise(&mut self.ready_at, (vb.0, dst), end);
+        Self::raise(&mut self.read_until, (vb.0, src), end);
+    }
+
+    /// Record a kernel on `device` finishing at `end` that read `vb`.
+    fn note_kernel_read(&mut self, vb: VBufId, device: usize, end: f64) {
+        Self::raise(&mut self.read_until, (vb.0, device), end);
+    }
+
+    /// Record a kernel on `device` finishing at `end` that wrote `vb`.
+    fn note_kernel_write(&mut self, vb: VBufId, device: usize, end: f64) {
+        Self::raise(&mut self.ready_at, (vb.0, device), end);
+    }
+
+    fn record_reader(&mut self, vb: VBufId, src: usize, dst: usize, token: u64) {
+        self.readers
+            .entry((vb.0, src))
+            .or_default()
+            .push((dst, token));
+    }
+
+    fn take_readers(&mut self, vb: VBufId, device: usize) -> Vec<(usize, u64)> {
+        self.readers.remove(&(vb.0, device)).unwrap_or_default()
+    }
+
+    /// Drop all window state, returning the latest in-flight completion
+    /// time (if any) for the caller to join the host clock to.
+    fn drain(&mut self) -> Option<f64> {
+        let latest = self
+            .in_flight
+            .iter()
+            .copied()
+            .fold(None, |acc: Option<f64>, t| {
+                Some(acc.map_or(t, |a| a.max(t)))
+            });
+        self.in_flight.clear();
+        self.ready_at.clear();
+        self.read_until.clear();
+        self.readers.clear();
+        latest
+    }
+}
+
+impl MgpuRuntime {
+    /// Flush the launch-ahead window: the host clock joins the latest
+    /// in-flight completion and all event-edge state is dropped. Called
+    /// before any operation that observes real bytes or host-side clocks
+    /// (D2H/H2D, uncaptured launches, synchronize, config changes,
+    /// direct machine access). Cheap no-op when nothing is in flight.
+    pub(crate) fn pipeline_flush(&mut self) {
+        if let Some(t) = self.pipeline.drain() {
+            self.machine.join_host(t);
+        }
+    }
+
+    /// Replay a captured plan through the launch-ahead pipeline instead
+    /// of eagerly: copies go to the copy-engine clocks with event-edge
+    /// dependencies, launches wait only on *their* incoming data, and
+    /// the whole launch joins the in-flight window. Counters, tracker
+    /// updates and host charges are identical to the eager
+    /// `replay_plan` — only the device-clock schedule differs.
+    pub(crate) fn replay_plan_pipelined(
+        &mut self,
+        ck: &CompiledKernel,
+        block: Dim3,
+        plan: &LaunchPlan,
+    ) -> Result<()> {
+        self.machine.note_plan_hit();
+        if plan.replica_hits > 0 {
+            self.machine
+                .note_replica_hits(plan.replica_hits, plan.replica_saved_bytes);
+        }
+        let cost = self.machine.spec().host_per_replay;
+        self.machine.charge_host(cost, TimeCat::Pattern);
+        let replica = self.config.replica_coherence;
+        // Functional WAR ordering only matters when byte effects are
+        // deferred to the streams; serial/perf machines need no tokens.
+        let track_events = self.machine.is_functional() && self.machine.is_streamed();
+
+        // ---- read-sync copies, on the copy engines -----------------------
+        for c in &plan.copies {
+            let src = self.buffers[c.vb.0].instances[c.src_dev];
+            let dst = self.buffers[c.vb.0].instances[c.dst_gpu];
+            let off = to_usize(c.start, "copy offset")?;
+            let len = to_usize(c.end - c.start, "copy length")?;
+            let deps = [
+                // RAW: the producer launch of these bytes on the source.
+                self.pipeline.ready_at(c.vb, c.src_dev),
+                // WAR: in-flight readers of the destination's instance.
+                self.pipeline.read_until(c.vb, c.dst_gpu),
+            ];
+            let end = self
+                .machine
+                .copy_d2d_pipelined(src, off, dst, off, len, &deps)?;
+            if track_events {
+                let token = self.machine.stream_mark(c.dst_gpu);
+                self.pipeline
+                    .record_reader(c.vb, c.src_dev, c.dst_gpu, token);
+            }
+            self.pipeline.note_copy(c.vb, c.src_dev, c.dst_gpu, end);
+            self.buffers[c.vb.0].d2d_in_bytes += c.end - c.start;
+            if replica {
+                self.buffers[c.vb.0]
+                    .tracker
+                    .add_holder(c.start, c.end, c.dst_gpu);
+            }
+        }
+
+        // ---- partition launches, gated on their event edges ---------------
+        let mut completion: f64 = 0.0;
+        let mut has_work = !plan.copies.is_empty();
+        let mut deps: Vec<f64> = Vec::new();
+        for l in &plan.launches {
+            deps.clear();
+            for b in &plan.read_bufs {
+                deps.push(self.pipeline.ready_at(*b, l.gpu));
+            }
+            for b in &plan.write_bufs {
+                deps.push(self.pipeline.read_until(*b, l.gpu));
+                if track_events {
+                    for (reader, token) in self.pipeline.take_readers(*b, l.gpu) {
+                        self.machine.stream_wait_cross(l.gpu, reader, token);
+                    }
+                }
+            }
+            let end = self.machine.launch_pipelined(
+                l.gpu,
+                &ck.partitioned,
+                &l.sim_args,
+                l.grid,
+                block,
+                Some(l.traffic),
+                &deps,
+            )?;
+            for b in &plan.write_bufs {
+                self.pipeline.note_kernel_write(*b, l.gpu, end);
+            }
+            for b in &plan.read_bufs {
+                self.pipeline.note_kernel_read(*b, l.gpu, end);
+            }
+            completion = completion.max(end);
+            has_work = true;
+        }
+        // Copies with no kernel after them must still be covered by the
+        // window join.
+        for c in &plan.copies {
+            completion = completion.max(self.pipeline.ready_at(c.vb, c.dst_gpu));
+        }
+
+        // ---- deferred tracker commit: advance at submit -------------------
+        let mut invalidated = 0usize;
+        for u in &plan.updates {
+            self.buffers[u.vb.0].kernel_written = true;
+            invalidated += self.buffers[u.vb.0]
+                .tracker
+                .update(u.start, u.end, Owner::Device(u.gpu))
+                .invalidated;
+            debug_assert!(self.buffers[u.vb.0].tracker.check_invariants());
+        }
+        self.machine.note_replica_invalidations(invalidated as u64);
+
+        // ---- depth-limited window -----------------------------------------
+        if has_work {
+            self.pipeline.in_flight.push_back(completion);
+            while self.pipeline.depth() > self.config.launch_ahead as usize {
+                if let Some(t) = self.pipeline.in_flight.pop_front() {
+                    self.machine.join_host(t);
+                }
+            }
+        }
+        Ok(())
+    }
+}

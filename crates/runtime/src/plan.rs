@@ -115,6 +115,13 @@ pub struct LaunchPlan {
     pub copies: Vec<PlanCopy>,
     pub launches: Vec<PlanLaunch>,
     pub updates: Vec<PlanUpdate>,
+    /// Virtual buffers the kernel reads — the launch-ahead pipeline's
+    /// event edges gate each partition launch on the halo copies into
+    /// these buffers (see [`crate::pipeline`]).
+    pub read_bufs: Vec<VBufId>,
+    /// Virtual buffers the kernel writes; a pipelined launch waits for
+    /// in-flight readers of these (write-after-read edges).
+    pub write_bufs: Vec<VBufId>,
     /// Read-sync segment runs a local replica served at capture time
     /// (re-noted into `OpCounters::replica_hits` on every replay, since
     /// replays skip the planning walk that detects them).

@@ -80,6 +80,13 @@ pub struct RuntimeConfig {
     /// the paper's single-owner behaviour (every launch re-fetches
     /// remote read bytes) for the A8 ablation.
     pub replica_coherence: bool,
+    /// Depth of the launch-ahead pipeline window (see
+    /// [`crate::pipeline`]): how many replayed launches may be in flight
+    /// before the host blocks on the oldest. `0` restores the fully
+    /// synchronous Figure 4 behaviour (every replay barriers between its
+    /// sync and launch phases). Only plan-cache *hits* pipeline; misses,
+    /// uncaptured launches and H2D/D2H always flush the window first.
+    pub launch_ahead: u32,
 }
 
 impl Default for RuntimeConfig {
@@ -92,6 +99,7 @@ impl Default for RuntimeConfig {
             autotune: false,
             enforce_partition_safety: true,
             replica_coherence: true,
+            launch_ahead: 2,
         }
     }
 }
@@ -170,6 +178,9 @@ pub struct MgpuRuntime {
     /// Per-kernel strategy overrides (benchmarks pin a candidate to
     /// measure it); these bypass both the heuristic and the tuner.
     pub(crate) forced: HashMap<String, PartitionStrategy>,
+    /// Launch-ahead window state (see [`crate::pipeline`]): in-flight
+    /// replayed launches and their event-edge dependency times.
+    pub(crate) pipeline: crate::pipeline::Pipeline,
 }
 
 impl MgpuRuntime {
@@ -183,11 +194,13 @@ impl MgpuRuntime {
             plan_cache: HashMap::new(),
             tuner: Autotuner::new(),
             forced: HashMap::new(),
+            pipeline: crate::pipeline::Pipeline::default(),
         }
     }
 
     /// Apply a measurement configuration.
     pub fn set_config(&mut self, cfg: RuntimeConfig) {
+        self.pipeline_flush();
         self.config = cfg;
         self.machine.set_transfer_timing(cfg.transfer_timing);
         self.machine.set_pattern_timing(cfg.pattern_timing);
@@ -208,16 +221,24 @@ impl MgpuRuntime {
     /// Pin the partitioning strategy of one kernel, bypassing both the
     /// compiler heuristic and the autotuner (the A7 ablation measures
     /// every candidate this way). Flushes captured plans — they encode
-    /// the old partition bounds.
+    /// the old partition bounds — and resets the autotuner's measurement
+    /// windows for this kernel: a half-filled window must not average
+    /// bytes from two different strategies.
     pub fn force_strategy(&mut self, kernel: &str, strategy: PartitionStrategy) {
+        self.pipeline_flush();
         self.forced.insert(kernel.to_string(), strategy);
         self.plan_cache.clear();
+        self.tuner.reset_windows(kernel);
     }
 
-    /// Remove a [`MgpuRuntime::force_strategy`] override.
+    /// Remove a [`MgpuRuntime::force_strategy`] override. Like
+    /// [`MgpuRuntime::force_strategy`], this is a strategy change:
+    /// captured plans flush and the kernel's tuner windows reset.
     pub fn clear_forced_strategy(&mut self, kernel: &str) {
+        self.pipeline_flush();
         self.forced.remove(kernel);
         self.plan_cache.clear();
+        self.tuner.reset_windows(kernel);
     }
 
     /// The autotuner state (decisions, measurements, switches).
@@ -252,7 +273,10 @@ impl MgpuRuntime {
     }
 
     /// Mutable access to the machine (benchmarks reset clocks etc.).
+    /// Flushes the launch-ahead window first: direct machine access must
+    /// not observe clocks mid-window.
     pub fn machine_mut(&mut self) -> &mut Machine {
+        self.pipeline_flush();
         &mut self.machine
     }
 
@@ -320,6 +344,7 @@ impl MgpuRuntime {
     /// patterns are corrected by buffer synchronization before launch.
     pub fn memcpy_h2d(&mut self, dst: VBufId, src: &[u8]) -> Result<()> {
         self.check_live(dst)?;
+        self.pipeline_flush();
         let vb = &self.buffers[dst.0];
         if src.len() != vb.len {
             return Err(RuntimeError::SizeMismatch {
@@ -366,17 +391,17 @@ impl MgpuRuntime {
                 got: dst.len(),
             });
         }
+        self.pipeline_flush();
+        let vb = &self.buffers[src.0];
         let plan = Self::d2h_gather_plan(vb, self.config.replica_coherence);
         let instances = vb.instances.clone();
         let seg_cost = self.machine.spec().host_per_segment * plan.len() as f64;
         self.machine.charge_host(seg_cost, TimeCat::Pattern);
         for (d, s, e) in plan {
-            self.machine.copy_d2h(
-                instances[d],
-                s as usize,
-                &mut dst[s as usize..e as usize],
-                false,
-            )?;
+            let s_us = crate::to_usize(s, "gather offset")?;
+            let e_us = crate::to_usize(e, "gather end")?;
+            self.machine
+                .copy_d2h(instances[d], s_us, &mut dst[s_us..e_us], false)?;
         }
         Ok(())
     }
@@ -413,6 +438,7 @@ impl MgpuRuntime {
     /// (paper-scale buffers need not exist in host memory).
     pub fn memcpy_h2d_sim(&mut self, dst: VBufId) -> Result<()> {
         self.check_live(dst)?;
+        self.pipeline_flush();
         let vb = &self.buffers[dst.0];
         let n = self.n_devices();
         let elem = vb.elem_size;
@@ -445,14 +471,17 @@ impl MgpuRuntime {
     /// destination.
     pub fn memcpy_d2h_sim(&mut self, src: VBufId) -> Result<()> {
         self.check_live(src)?;
+        self.pipeline_flush();
         let vb = &self.buffers[src.0];
         let plan = Self::d2h_gather_plan(vb, self.config.replica_coherence);
         let instances = vb.instances.clone();
         let seg_cost = self.machine.spec().host_per_segment * plan.len() as f64;
         self.machine.charge_host(seg_cost, TimeCat::Pattern);
         for (d, s, e) in plan {
+            let s_us = crate::to_usize(s, "gather offset")?;
+            let len = crate::to_usize(e - s, "gather length")?;
             self.machine
-                .copy_d2h_timed(instances[d], s as usize, (e - s) as usize, false)?;
+                .copy_d2h_timed(instances[d], s_us, len, false)?;
         }
         Ok(())
     }
@@ -471,6 +500,7 @@ impl MgpuRuntime {
     /// synchronize before reusing the host buffer, exactly like CUDA.
     pub fn memcpy_h2d_async(&mut self, dst: VBufId, src: &[u8]) -> Result<()> {
         self.check_live(dst)?;
+        self.pipeline_flush();
         let vb = &self.buffers[dst.0];
         if src.len() != vb.len {
             return Err(RuntimeError::SizeMismatch {
@@ -508,6 +538,7 @@ impl MgpuRuntime {
     /// `cudaDeviceSynchronize` replacement: synchronizes **all** devices
     /// (§8.4).
     pub fn synchronize(&mut self) {
+        self.pipeline_flush();
         self.machine.sync_all();
     }
 

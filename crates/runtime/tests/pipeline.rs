@@ -1,0 +1,265 @@
+//! Differential verification of launch-ahead pipelined scheduling
+//! (see `mekong_runtime::pipeline`) against the shadow-memory oracle.
+//!
+//! Two properties anchor correctness:
+//!
+//! * ping-pong stencil runs at `launch_ahead ∈ {0, 2, 4}` produce
+//!   **byte-identical** outputs, all matching a host-side reference;
+//! * random interleavings of D2H reads, H2D uploads and cold-cache
+//!   (uncaptured) launches at arbitrary points inside a launch-ahead
+//!   window — every pipeline-flush boundary — preserve exact agreement
+//!   with the synchronous runtime *and* the host oracle at every
+//!   observation point, not just at the end.
+
+use mekong_gpusim::{Machine, MachineSpec};
+use mekong_kernel::builder::*;
+use mekong_kernel::{Dim3, Kernel, Value};
+use mekong_runtime::{CompiledKernel, LaunchArg, MgpuRuntime, RuntimeConfig};
+use proptest::prelude::*;
+
+const N: usize = 256;
+const N_DEV: usize = 4;
+
+fn stencil_kernel() -> Kernel {
+    Kernel {
+        name: "stencil".into(),
+        params: vec![
+            scalar("n"),
+            array_f32("input", &[ext("n")]),
+            array_f32("output", &[ext("n")]),
+        ],
+        body: vec![
+            let_("i", global_x()),
+            guard_return(v("i").ge(v("n"))),
+            if_(
+                v("i").eq_(i(0)).or(v("i").eq_(v("n") - i(1))),
+                vec![store("output", vec![v("i")], load("input", vec![v("i")]))],
+                vec![store(
+                    "output",
+                    vec![v("i")],
+                    (load("input", vec![v("i") - i(1)])
+                        + load("input", vec![v("i")])
+                        + load("input", vec![v("i") + i(1)]))
+                        / f(3.0),
+                )],
+            ),
+        ],
+    }
+}
+
+fn scale_kernel() -> Kernel {
+    Kernel {
+        name: "scale".into(),
+        params: vec![
+            scalar("n"),
+            array_f32("a", &[ext("n")]),
+            array_f32("b", &[ext("n")]),
+        ],
+        body: vec![
+            let_("i", global_x()),
+            guard_return(v("i").ge(v("n"))),
+            store("b", vec![v("i")], load("a", vec![v("i")]) * f(3.0)),
+        ],
+    }
+}
+
+fn stencil_step(cur: &[f32]) -> Vec<f32> {
+    let n = cur.len();
+    let mut next = cur.to_vec();
+    for i in 1..n - 1 {
+        next[i] = (cur[i - 1] + cur[i] + cur[i + 1]) / 3.0;
+    }
+    next
+}
+
+fn bytes_of(vals: &[f32]) -> Vec<u8> {
+    vals.iter().flat_map(|v| v.to_le_bytes()).collect()
+}
+
+fn data_from_seed(seed: u32) -> Vec<f32> {
+    (0..N)
+        .map(|i| ((i as u32).wrapping_mul(37).wrapping_add(seed * 101) % 251) as f32)
+        .collect()
+}
+
+/// One step of the interleaved workload. `Stencil` replays from the plan
+/// cache after warm-up (the pipelined path); the others all cross a
+/// pipeline-flush boundary.
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    /// Captured ping-pong stencil launch (pipelines on a cache hit).
+    Stencil,
+    /// Scale src into dst without swapping. Its first occurrence per
+    /// tracker state is a cold cache miss — an uncaptured launch inside
+    /// the window.
+    Scale,
+    /// Gather src to the host and compare against oracle + baseline.
+    ReadBack,
+    /// Re-upload fresh host data into src (tracker redistribution).
+    Upload(u32),
+}
+
+fn arb_steps() -> impl Strategy<Value = Vec<Step>> {
+    // Repeated arms stand in for weights: bias toward the pipelined
+    // stencil so windows actually build up between flush events.
+    let step = prop_oneof![
+        Just(Step::Stencil),
+        Just(Step::Stencil),
+        Just(Step::Stencil),
+        Just(Step::Stencil),
+        Just(Step::Scale),
+        Just(Step::ReadBack),
+        (0u32..8).prop_map(Step::Upload),
+    ];
+    proptest::collection::vec(step, 1..24)
+}
+
+struct Run {
+    rt: MgpuRuntime,
+    stencil: CompiledKernel,
+    scale: CompiledKernel,
+    src: mekong_runtime::VBufId,
+    dst: mekong_runtime::VBufId,
+}
+
+impl Run {
+    fn new(launch_ahead: u32, init: &[f32]) -> Run {
+        let mut rt = MgpuRuntime::new(Machine::new(MachineSpec::kepler_system(N_DEV), true));
+        rt.set_config(RuntimeConfig {
+            capture_plans: true,
+            launch_ahead,
+            ..RuntimeConfig::default()
+        });
+        let src = rt.malloc(N * 4, 4).unwrap();
+        let dst = rt.malloc(N * 4, 4).unwrap();
+        rt.memcpy_h2d(src, &bytes_of(init)).unwrap();
+        rt.memcpy_h2d(dst, &bytes_of(init)).unwrap();
+        Run {
+            rt,
+            stencil: CompiledKernel::compile(&stencil_kernel()).unwrap(),
+            scale: CompiledKernel::compile(&scale_kernel()).unwrap(),
+            src,
+            dst,
+        }
+    }
+
+    fn launch(&mut self, ck: usize) {
+        let k = if ck == 0 { &self.stencil } else { &self.scale };
+        self.rt
+            .launch(
+                k,
+                Dim3::new1((N / 64) as u32),
+                Dim3::new1(64),
+                &[
+                    LaunchArg::Scalar(Value::I64(N as i64)),
+                    LaunchArg::Buf(self.src),
+                    LaunchArg::Buf(self.dst),
+                ],
+            )
+            .unwrap();
+    }
+
+    fn read_src(&mut self) -> Vec<u8> {
+        let mut out = vec![0u8; N * 4];
+        self.rt.memcpy_d2h(self.src, &mut out).unwrap();
+        out
+    }
+}
+
+/// Drive one step on a runtime and the host oracle in lock-step.
+fn apply(run: &mut Run, oracle: (&mut Vec<f32>, &mut Vec<f32>), step: Step) -> Option<Vec<u8>> {
+    let (src_h, dst_h) = oracle;
+    match step {
+        Step::Stencil => {
+            run.launch(0);
+            std::mem::swap(&mut run.src, &mut run.dst);
+            *dst_h = stencil_step(src_h);
+            std::mem::swap(src_h, dst_h);
+            None
+        }
+        Step::Scale => {
+            run.launch(1);
+            *dst_h = src_h.iter().map(|x| x * 3.0).collect();
+            None
+        }
+        Step::ReadBack => Some(run.read_src()),
+        Step::Upload(seed) => {
+            let data = data_from_seed(seed);
+            run.rt.memcpy_h2d(run.src, &bytes_of(&data)).unwrap();
+            *src_h = data;
+            None
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Tier-1 differential: `launch_ahead ∈ {0, 2}` (plus 4 for depth
+    /// coverage) on a pure ping-pong stencil — byte-identical outputs,
+    /// all equal to the shadow oracle.
+    #[test]
+    fn ping_pong_outputs_identical_across_launch_ahead(
+        iters in 1usize..10,
+        seed in 0u32..16,
+    ) {
+        let init = data_from_seed(seed);
+        let mut reference = init.clone();
+        for _ in 0..iters {
+            reference = stencil_step(&reference);
+        }
+        let mut outs = Vec::new();
+        for ahead in [0u32, 2, 4] {
+            let mut run = Run::new(ahead, &init);
+            for _ in 0..iters {
+                run.launch(0);
+                std::mem::swap(&mut run.src, &mut run.dst);
+            }
+            outs.push(run.read_src());
+        }
+        prop_assert_eq!(&outs[0], &outs[1], "launch_ahead 2 diverged from 0");
+        prop_assert_eq!(&outs[0], &outs[2], "launch_ahead 4 diverged from 0");
+        prop_assert_eq!(&outs[0], &bytes_of(&reference), "diverged from oracle");
+    }
+
+    /// Flush boundaries: D2H reads, H2D uploads and cold-cache launches
+    /// interleaved at random points in the window. Every observation
+    /// must agree across `launch_ahead ∈ {0, 2, 4}` and with the oracle.
+    #[test]
+    fn random_flush_boundaries_preserve_exact_agreement(
+        steps in arb_steps(),
+        seed in 0u32..8,
+    ) {
+        let init = data_from_seed(seed);
+        let mut runs: Vec<Run> = [0u32, 2, 4]
+            .iter()
+            .map(|&a| Run::new(a, &init))
+            .collect();
+        let mut oracles: Vec<(Vec<f32>, Vec<f32>)> = (0..runs.len())
+            .map(|_| (init.clone(), init.clone()))
+            .collect();
+        for &step in &steps {
+            let mut seen: Option<Vec<u8>> = None;
+            for (run, (src_h, dst_h)) in runs.iter_mut().zip(oracles.iter_mut()) {
+                let got = apply(run, (src_h, dst_h), step);
+                if let Some(bytes) = got {
+                    prop_assert_eq!(
+                        &bytes,
+                        &bytes_of(src_h),
+                        "readback diverged from oracle at {:?}",
+                        step
+                    );
+                    match &seen {
+                        None => seen = Some(bytes),
+                        Some(prev) => prop_assert_eq!(prev, &bytes, "runtimes diverged"),
+                    }
+                }
+            }
+        }
+        // Final gather always agrees, whatever the interleaving did.
+        let finals: Vec<Vec<u8>> = runs.iter_mut().map(|r| r.read_src()).collect();
+        prop_assert_eq!(&finals[0], &finals[1]);
+        prop_assert_eq!(&finals[0], &finals[2]);
+        prop_assert_eq!(&finals[0], &bytes_of(&oracles[0].0));
+    }
+}

@@ -167,6 +167,27 @@ impl Autotuner {
         })
     }
 
+    /// Reset the in-progress measurement windows of every entry for
+    /// `kernel` (all geometries), restoring the settle countdown.
+    ///
+    /// Call on any external strategy change — a forced override, or its
+    /// removal. A half-filled window otherwise survives the change and
+    /// the first completed window afterwards averages bytes measured
+    /// under **two different strategies**, corrupting both the blended
+    /// measurement and the refinement decision built on it. (Window
+    /// state after an internal refinement switch is already zeroed by
+    /// [`Autotuner::record`]; this handles changes the tuner cannot
+    /// see.)
+    pub fn reset_windows(&mut self, kernel: &str) {
+        for (key, entry) in self.entries.iter_mut() {
+            if key.kernel == kernel {
+                entry.window_bytes = 0;
+                entry.window_n = 0;
+                entry.settle_left = self.settle;
+            }
+        }
+    }
+
     /// Feed one launch's measured peer-transfer bytes back. Completes a
     /// window every `window` non-settle launches and refines the choice
     /// when the prediction was badly off.
@@ -296,6 +317,37 @@ mod tests {
         }
         assert!(!flapped, "refinement must not oscillate");
         assert_eq!(t.entry(&key()).unwrap().strategy().describe(), "y:2");
+    }
+
+    #[test]
+    fn reset_windows_discards_partial_measurements_across_strategy_changes() {
+        let mut t = Autotuner::new();
+        // Accurate prediction: ~100 bytes per launch under the tuner's
+        // choice; the alternative predicts 1 MB.
+        let cands = vec![
+            candidate(SplitAxis::X, 2, 100, 1e-3),
+            candidate(SplitAxis::Y, 2, 1_000_000, 1e-3),
+        ];
+        t.decide(key(), cands, 1e9, 0.0);
+        t.record(&key(), 100); // settle
+                               // Two launches of a *different* strategy (a forced override ran
+                               // mid-window) leak huge byte counts into the open window.
+        t.record(&key(), 500_000_000);
+        t.record(&key(), 500_000_000);
+        // The override is lifted: the caller resets the windows.
+        t.reset_windows("k");
+        // A fresh settle launch, then a clean window of the chosen
+        // strategy: the completed window must average only these.
+        t.record(&key(), 100);
+        let mut avg = None;
+        for _ in 0..4 {
+            let out = t.record(&key(), 100);
+            avg = avg.or(out.window_avg);
+            assert!(!out.switched, "clean window must not trigger a switch");
+        }
+        assert_eq!(avg, Some(100), "window average polluted by stale bytes");
+        assert_eq!(t.entry(&key()).unwrap().measured_bytes(), Some(100));
+        assert_eq!(t.entry(&key()).unwrap().switches, 0);
     }
 
     #[test]

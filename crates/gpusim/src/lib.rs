@@ -49,6 +49,9 @@ pub enum SimError {
     },
     /// Device index out of range.
     NoSuchDevice { device: usize, n_devices: usize },
+    /// A strided copy whose runs would overlap (stride smaller than
+    /// the run length).
+    BadStride { run: usize, stride: usize },
 }
 
 impl From<mekong_kernel::KernelError> for SimError {
@@ -75,6 +78,9 @@ impl std::fmt::Display for SimError {
             ),
             SimError::NoSuchDevice { device, n_devices } => {
                 write!(f, "device {device} out of range ({n_devices} devices)")
+            }
+            SimError::BadStride { run, stride } => {
+                write!(f, "strided copy: stride {stride} smaller than run {run}")
             }
         }
     }

@@ -75,10 +75,12 @@ pub struct OpCounters {
     /// captured a fresh plan (or ran with capture disabled).
     pub plan_misses: u64,
     /// The most recent autotuner decision, encoded as
-    /// `(axis + 1) | parts << 8 | weighted << 16` (0 = no decision yet;
-    /// axis is the `SplitAxis` zyx-free index 0/1/2 for X/Y/Z). The
-    /// runtime's tuner reports decisions here; `mekong-tuner` decodes
-    /// them back into a human-readable strategy string.
+    /// `(axis + 1) | parts << 8 | weighted << 16` for 1-D splits, with
+    /// 2-D rectangular tilings additionally carrying
+    /// `(axis2 + 1) << 17 | parts2 << 19` (0 = no decision yet; axes
+    /// are zyx indices, so 1/2/3 means Z/Y/X). The runtime's tuner
+    /// reports decisions here; `mekong-tuner` decodes them back into a
+    /// human-readable strategy string.
     pub strategy_chosen: u32,
     /// Predicted steady-state transfer bytes *per launch* of the most
     /// recent autotuner decision.
@@ -670,6 +672,124 @@ impl Machine {
         Ok(end)
     }
 
+    /// Strided (rectangular) peer copy: `count` runs of `run` bytes,
+    /// `stride` bytes apart, at the *same* offsets on both endpoints —
+    /// the column-halo shape of a 2-D grid tiling. Modeled as **one**
+    /// DMA transaction (a `cudaMemcpy2D`-style descriptor): one link
+    /// latency plus the aggregate bytes, and one `d2d_copies` tick.
+    pub fn copy_d2d_strided(
+        &mut self,
+        src: DevBuf,
+        dst: DevBuf,
+        offset: usize,
+        run: usize,
+        stride: usize,
+        count: usize,
+    ) -> Result<()> {
+        let (_, bytes) = Self::check_strided(&src, &dst, offset, run, stride, count)?;
+        if bytes == 0 {
+            return Ok(());
+        }
+        self.counters.d2d_copies += 1;
+        self.counters.d2d_bytes += bytes as u64;
+        let t = if self.transfer_timing {
+            self.spec.link.latency + bytes as f64 / self.spec.link.bandwidth
+        } else {
+            0.0
+        };
+        for i in 0..count {
+            let off = offset + i * stride;
+            self.move_bytes_d2d(src, off, dst, off, run)?;
+        }
+        let mut start = self
+            .host_now
+            .max(self.devices[src.device].busy_until)
+            .max(self.devices[dst.device].busy_until);
+        if self.spec.link.host_staged {
+            start = start.max(self.link_busy_until);
+        }
+        let end = start + t;
+        self.devices[src.device].busy_until = end;
+        self.devices[dst.device].busy_until = end;
+        if self.spec.link.host_staged {
+            self.link_busy_until = end;
+        }
+        self.breakdown.transfer += t;
+        Ok(())
+    }
+
+    /// Pipelined [`Machine::copy_d2d_strided`]: charged to the
+    /// copy-engine clocks with the caller's event-edge dependencies,
+    /// like [`Machine::copy_d2d_pipelined`]. Returns the completion
+    /// time.
+    #[allow(clippy::too_many_arguments)]
+    pub fn copy_d2d_strided_pipelined(
+        &mut self,
+        src: DevBuf,
+        dst: DevBuf,
+        offset: usize,
+        run: usize,
+        stride: usize,
+        count: usize,
+        deps: &[SimTime],
+    ) -> Result<SimTime> {
+        let (_, bytes) = Self::check_strided(&src, &dst, offset, run, stride, count)?;
+        if bytes == 0 {
+            return Ok(self.host_now);
+        }
+        self.counters.d2d_copies += 1;
+        self.counters.d2d_bytes += bytes as u64;
+        let t = if self.transfer_timing {
+            self.spec.link.latency + bytes as f64 / self.spec.link.bandwidth
+        } else {
+            0.0
+        };
+        for i in 0..count {
+            let off = offset + i * stride;
+            self.move_bytes_d2d(src, off, dst, off, run)?;
+        }
+        let mut start = self
+            .host_now
+            .max(self.devices[src.device].copy_busy_until)
+            .max(self.devices[dst.device].copy_busy_until);
+        for &d in deps {
+            start = start.max(d);
+        }
+        if self.spec.link.host_staged {
+            start = start.max(self.link_busy_until);
+        }
+        let end = start + t;
+        self.devices[src.device].copy_busy_until = end;
+        self.devices[dst.device].copy_busy_until = end;
+        if self.spec.link.host_staged {
+            self.link_busy_until = end;
+        }
+        self.breakdown.transfer += t;
+        Ok(end)
+    }
+
+    /// Validate a strided copy's shape against both endpoints; returns
+    /// `(span, payload bytes)`.
+    fn check_strided(
+        src: &DevBuf,
+        dst: &DevBuf,
+        offset: usize,
+        run: usize,
+        stride: usize,
+        count: usize,
+    ) -> Result<(usize, usize)> {
+        if count == 0 || run == 0 {
+            return Ok((0, 0));
+        }
+        if stride < run {
+            return Err(SimError::BadStride { run, stride });
+        }
+        let span = (count - 1) * stride + run;
+        Self::check_range(src, offset, span)?;
+        Self::check_range(dst, offset, span)?;
+        Ok((span, run * count))
+    }
+
     /// Launch a kernel asynchronously on device `d`.
     ///
     /// Functional machines execute the grid (rayon-parallel over blocks);
@@ -1195,6 +1315,52 @@ mod tests {
             serialized > 1.8 * overlapped,
             "serialized {serialized} vs overlapped {overlapped}"
         );
+    }
+
+    #[test]
+    fn strided_copy_is_one_transaction() {
+        // Functional correctness: only the strided runs move.
+        let mut m = Machine::new(MachineSpec::kepler_system(2), true);
+        let a = m.alloc(0, 64).unwrap();
+        let b = m.alloc(1, 64).unwrap();
+        m.copy_h2d(&[7u8; 64], a, 0, false).unwrap();
+        m.copy_h2d(&[0u8; 64], b, 0, false).unwrap();
+        // 3 runs of 4 bytes, 16 apart, starting at offset 4.
+        m.copy_d2d_strided(a, b, 4, 4, 16, 3).unwrap();
+        let mut out = [0u8; 64];
+        m.copy_d2h(b, 0, &mut out, false).unwrap();
+        for (i, &v) in out.iter().enumerate() {
+            let in_run = (4..40).contains(&i) && (i - 4) % 16 < 4;
+            assert_eq!(v, if in_run { 7 } else { 0 }, "byte {i}");
+        }
+        assert_eq!(m.counters().d2d_copies, 1);
+        assert_eq!(m.counters().d2d_bytes, 12);
+
+        // Timing: one latency for the whole lattice of runs, vs one
+        // per run for the plain copies.
+        let time_of = |strided: bool| -> f64 {
+            let mut m = Machine::new(MachineSpec::kepler_system(2), false);
+            let a = m.alloc(0, 1 << 20).unwrap();
+            let b = m.alloc(1, 1 << 20).unwrap();
+            if strided {
+                m.copy_d2d_strided(a, b, 0, 64, 4096, 128).unwrap();
+            } else {
+                for i in 0..128 {
+                    m.copy_d2d(a, i * 4096, b, i * 4096, 64).unwrap();
+                }
+            }
+            m.sync_all();
+            m.now()
+        };
+        let lat = MachineSpec::kepler_system(2).link.latency;
+        assert!(time_of(false) - time_of(true) > 120.0 * lat);
+        // Degenerate shapes are rejected or no-ops.
+        let mut m = Machine::new(MachineSpec::kepler_system(2), true);
+        let a = m.alloc(0, 64).unwrap();
+        let b = m.alloc(1, 64).unwrap();
+        assert!(m.copy_d2d_strided(a, b, 0, 8, 4, 2).is_err()); // stride < run
+        m.copy_d2d_strided(a, b, 0, 4, 16, 0).unwrap(); // count 0: no-op
+        assert_eq!(m.counters().d2d_copies, 0);
     }
 
     #[test]

@@ -82,8 +82,10 @@ impl MachineSpec {
     /// *source* of a copy when several replica holders are equally valid:
     /// 0 for the device itself, 1 for its board partner (K80-style
     /// dual-GPU boards pair devices `2k`/`2k+1`), 2 for everything else.
-    /// A ranking only — the simulator charges the same uniform
-    /// [`MachineSpec::link`] cost regardless of the pair.
+    /// The simulator charges the same uniform [`MachineSpec::link`]
+    /// cost regardless of the pair; the tuner's perimeter cost model
+    /// additionally scales per-transfer setup latency by this hop
+    /// count when pricing a tiling's halo exchanges.
     pub fn link_hops(a: usize, b: usize) -> u32 {
         if a == b {
             0

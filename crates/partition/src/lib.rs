@@ -18,5 +18,7 @@
 pub mod split;
 pub mod transform;
 
-pub use split::{allocate_blocks, partition_grid, partition_grid_weighted, Partition};
+pub use split::{
+    allocate_blocks, partition_grid, partition_grid_rect, partition_grid_weighted, Partition,
+};
 pub use transform::{partition_kernel, PART_PARAMS};

@@ -144,6 +144,52 @@ pub fn partition_grid(grid_dim: Dim3, n: usize, axis: SplitAxis) -> Vec<Partitio
     out
 }
 
+/// Cut a grid into a `Pa × Pb` lattice of disjoint rectangular tiles:
+/// `shares_a` slices along `axis_a`, each then sliced along `axis_b`
+/// by `shares_b`. Per axis the remainder blocks are spread one each
+/// over the leading slices (exactly as in [`allocate_blocks`]); empty
+/// tiles are dropped.
+///
+/// Tile order is row-major over `(axis_a, axis_b)` slice indices —
+/// tile `(ia, ib)` lands at output index `ia·Pb + ib` (before empties
+/// are dropped), so devices that share an `axis_a` slice are
+/// consecutive. With `shares_b == [1.0]` the lattice degenerates to
+/// [`partition_grid_weighted`] along `axis_a`.
+pub fn partition_grid_rect(
+    grid_dim: Dim3,
+    axis_a: SplitAxis,
+    shares_a: &[f64],
+    axis_b: SplitAxis,
+    shares_b: &[f64],
+) -> Vec<Partition> {
+    assert_ne!(axis_a, axis_b, "tiling axes must differ");
+    let whole = Partition::whole(grid_dim);
+    let da = axis_a.zyx_index();
+    let db = axis_b.zyx_index();
+    let lens_a = allocate_blocks(whole.hi[da], shares_a);
+    let lens_b = allocate_blocks(whole.hi[db], shares_b);
+    let mut out = Vec::with_capacity(lens_a.len() * lens_b.len());
+    let mut start_a = 0i64;
+    for la in &lens_a {
+        let mut start_b = 0i64;
+        for lb in &lens_b {
+            if *la > 0 && *lb > 0 {
+                let mut p = whole;
+                p.lo[da] = start_a;
+                p.hi[da] = start_a + la;
+                p.lo[db] = start_b;
+                p.hi[db] = start_b + lb;
+                out.push(p);
+            }
+            start_b += lb;
+        }
+        debug_assert_eq!(start_b, whole.hi[db]);
+        start_a += la;
+    }
+    debug_assert_eq!(start_a, whole.hi[da]);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,91 @@
+//! Property-based tests for `partition_grid_rect` (2-D rectangular
+//! tilings), checked against a naive per-block membership oracle: every
+//! block index of the grid is enumerated and tested against every tile.
+
+use mekong_analysis::SplitAxis;
+use mekong_kernel::Dim3;
+use mekong_partition::{partition_grid_rect, partition_grid_weighted, Partition};
+use proptest::prelude::*;
+
+const AXES: [SplitAxis; 3] = [SplitAxis::Z, SplitAxis::Y, SplitAxis::X];
+
+fn arb_shares(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(1u32..=4, 1..=max_len)
+        .prop_map(|ws| ws.into_iter().map(f64::from).collect())
+}
+
+/// How many tiles contain each block of the grid, by brute force.
+fn membership_counts(grid: Dim3, tiles: &[Partition]) -> Vec<u32> {
+    let [gz, gy, gx] = Partition::whole(grid).hi;
+    let mut counts = Vec::with_capacity((gz * gy * gx) as usize);
+    for z in 0..gz {
+        for y in 0..gy {
+            for x in 0..gx {
+                let n = tiles.iter().filter(|t| t.contains([z, y, x])).count();
+                counts.push(n as u32);
+            }
+        }
+    }
+    counts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Tiles are pairwise disjoint and cover the grid exactly: the
+    /// naive oracle sees every block in exactly one tile, and the
+    /// block-count sum equals the grid product.
+    #[test]
+    fn rect_tiles_partition_the_grid(
+        gx in 1i64..=12, gy in 1i64..=12, gz in 1i64..=3,
+        a in 0usize..3, b in 0usize..3,
+        shares_a in arb_shares(5), shares_b in arb_shares(5),
+    ) {
+        prop_assume!(a != b);
+        let grid = Dim3::new3(gx as u32, gy as u32, gz as u32);
+        let tiles = partition_grid_rect(grid, AXES[a], &shares_a, AXES[b], &shares_b);
+        prop_assert!(tiles.iter().all(|t| !t.is_empty()));
+        let total: u64 = tiles.iter().map(|t| t.block_count()).sum();
+        prop_assert_eq!(total, grid.count());
+        let counts = membership_counts(grid, &tiles);
+        prop_assert!(counts.iter().all(|&c| c == 1),
+            "each block must lie in exactly one tile: {counts:?}");
+    }
+
+    /// A second-axis factor of 1 degenerates to the 1-D weighted split.
+    #[test]
+    fn rect_degenerates_to_weighted_1d(
+        gx in 1i64..=16, gy in 1i64..=16,
+        a in 0usize..3, b in 0usize..3,
+        shares_a in arb_shares(5),
+    ) {
+        prop_assume!(a != b);
+        let grid = Dim3::new2(gx as u32, gy as u32);
+        let rect = partition_grid_rect(grid, AXES[a], &shares_a, AXES[b], &[1.0]);
+        let slab = partition_grid_weighted(grid, AXES[a], &shares_a);
+        prop_assert_eq!(rect, slab);
+    }
+
+    /// Per axis the remainder goes to the leading tiles: along each
+    /// axis the slice extents are non-increasing for equal shares.
+    #[test]
+    fn rect_remainder_lands_on_leading_tiles(
+        gx in 1i64..=13, gy in 1i64..=13,
+        na in 1usize..=4, nb in 1usize..=4,
+    ) {
+        let grid = Dim3::new2(gx as u32, gy as u32);
+        let tiles = partition_grid_rect(
+            grid, SplitAxis::X, &vec![1.0; na], SplitAxis::Y, &vec![1.0; nb]);
+        for d in [1usize, 2] {
+            let mut cuts: Vec<(i64, i64)> =
+                tiles.iter().map(|t| (t.lo[d], t.hi[d])).collect();
+            cuts.sort_unstable();
+            cuts.dedup();
+            for w in cuts.windows(2) {
+                let (first, second) = (w[0].1 - w[0].0, w[1].1 - w[1].0);
+                prop_assert!(first >= second,
+                    "axis {d}: leading slice {first} smaller than later {second}");
+            }
+        }
+    }
+}

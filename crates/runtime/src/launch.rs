@@ -10,15 +10,15 @@ use crate::plan::{ArgKey, LaunchPlan, PlanCopy, PlanKey, PlanLaunch, PlanUpdate}
 use crate::tracker::{Owner, Validity};
 use crate::vbuf::{MgpuRuntime, VBufId, VirtualBuffer};
 use crate::{Result, RuntimeError};
-use mekong_analysis::{ArgModel, SplitAxis};
+use mekong_analysis::ArgModel;
 use mekong_enumgen::AccessEnumerator;
 use mekong_gpusim::machine::SimArg;
 use mekong_gpusim::{sample_kernel_profile, TimeCat};
 use mekong_kernel::{Dim3, Extent, KernelArg, Value};
 use mekong_partition::{partition_grid, Partition};
 use mekong_tuner::{
-    rank_candidates_masked, Candidate, OwnedSegment, Ownership, PartitionStrategy, ReadModel,
-    TuneKey, TunerInput, WriteModel,
+    rank_candidates_opts, strided_groups, Candidate, OwnedSegment, Ownership, PartitionStrategy,
+    ReadModel, TuneKey, TunerInput, WriteModel,
 };
 use rayon::prelude::*;
 use std::sync::Arc;
@@ -298,25 +298,27 @@ impl MgpuRuntime {
             None => partition_grid(grid, self.n_devices(), ck.model.partitioning),
         };
         // Partition-safety gate: a launch that actually splits the grid
-        // must run along an axis the static checker proved write-disjoint
-        // (mekong-check). With enforcement off the launch proceeds but is
-        // counted, so experiments can quantify how often they ran
+        // must run along axes the static checker proved write-disjoint
+        // (mekong-check) — for a rectangular tiling, *every* split axis
+        // needs its own proof. With enforcement off the launch proceeds
+        // but is counted, so experiments can quantify how often they ran
         // unproven.
         if parts.iter().filter(|p| !p.is_empty()).count() > 1 {
-            let axis = strategy
+            let axes = strategy
                 .as_ref()
-                .map(|s| s.axis)
-                .unwrap_or(ck.model.partitioning);
-            if ck.safe_axes.allows(axis) {
-                self.machine.note_check_safe();
-            } else {
-                self.machine.note_check_rejected();
-                if self.config.enforce_partition_safety {
-                    return Err(RuntimeError::NotPartitionable(format!(
-                        "{}: split along axis {} has no static write-disjointness proof \
-                         (proven axes {})",
-                        ck.model.kernel_name, axis, ck.safe_axes
-                    )));
+                .map(|s| s.split_axes())
+                .unwrap_or_else(|| vec![ck.model.partitioning]);
+            match axes.iter().find(|a| !ck.safe_axes.allows(**a)) {
+                None => self.machine.note_check_safe(),
+                Some(axis) => {
+                    self.machine.note_check_rejected();
+                    if self.config.enforce_partition_safety {
+                        return Err(RuntimeError::NotPartitionable(format!(
+                            "{}: split along axis {} has no static write-disjointness proof \
+                             (proven axes {})",
+                            ck.model.kernel_name, axis, ck.safe_axes
+                        )));
+                    }
                 }
             }
         }
@@ -328,7 +330,7 @@ impl MgpuRuntime {
             .then(|| self.machine.counters().d2d_bytes);
         let capture = self.config.capture_plans && self.resolve_dependencies;
         if capture {
-            let key = self.plan_key(ck, grid, block, args, &parts);
+            let key = self.plan_key(ck, grid, block, args, strategy.as_ref(), &parts);
             if let Some(plan) = self.plan_cache.get(&key).cloned() {
                 self.replay_plan(ck, block, &plan)?;
             } else {
@@ -527,10 +529,19 @@ impl MgpuRuntime {
             reads,
             writes,
             profile,
+            // Under plan capture, steady-state launches replay the
+            // pattern walk for a flat fee — price candidates the way
+            // they will actually run.
+            pattern_amortized: self.config.capture_plans,
         };
         // Candidates along axes without a disjointness proof are never
-        // enumerated — the tuner cannot pick an unsound strategy.
-        Ok(rank_candidates_masked(&input, ck.safe_axes))
+        // enumerated — the tuner cannot pick an unsound strategy, and a
+        // rectangular tiling needs proofs on *both* of its axes.
+        Ok(rank_candidates_opts(
+            &input,
+            ck.safe_axes,
+            self.config.enumerate_tilings,
+        ))
     }
 
     /// Rank the tuner's candidate strategies for a launch site without
@@ -557,13 +568,16 @@ impl MgpuRuntime {
         grid: Dim3,
         block: Dim3,
         args: &[LaunchArg],
+        strategy: Option<&PartitionStrategy>,
         parts: &[Partition],
     ) -> PlanKey {
-        let axis = match ck.model.partitioning {
-            SplitAxis::X => 0,
-            SplitAxis::Y => 1,
-            SplitAxis::Z => 2,
-        };
+        // The full strategy encoding (axes, factors, weighted/tiled
+        // bits) — the compiler's fixed even split when no tuner/forced
+        // strategy is active. A 2-D tiling and a 1-D slab can never
+        // alias, even if they happened to produce the same bounds list.
+        let strategy = strategy.map(|s| s.encode()).unwrap_or_else(|| {
+            PartitionStrategy::even(ck.model.partitioning, self.n_devices()).encode()
+        });
         let bounds = parts
             .iter()
             .flat_map(|p| p.lo.iter().chain(p.hi.iter()).copied())
@@ -580,7 +594,7 @@ impl MgpuRuntime {
             .collect();
         PlanKey {
             kernel: ck.model.kernel_name.clone(),
-            axis,
+            strategy,
             grid,
             block,
             bounds,
@@ -614,15 +628,29 @@ impl MgpuRuntime {
             let src = self.buffers[c.vb.0].instances[c.src_dev];
             let dst = self.buffers[c.vb.0].instances[c.dst_gpu];
             let off = crate::to_usize(c.start, "copy offset")?;
-            let len = crate::to_usize(c.end - c.start, "copy length")?;
-            self.machine.copy_d2d(src, off, dst, off, len)?;
-            self.buffers[c.vb.0].d2d_in_bytes += c.end - c.start;
+            let run = crate::to_usize(c.end - c.start, "copy length")?;
+            if c.count <= 1 {
+                self.machine.copy_d2d(src, off, dst, off, run)?;
+            } else {
+                self.machine.copy_d2d_strided(
+                    src,
+                    dst,
+                    off,
+                    run,
+                    crate::to_usize(c.stride, "copy stride")?,
+                    crate::to_usize(c.count, "copy count")?,
+                )?;
+            }
+            self.buffers[c.vb.0].d2d_in_bytes += (c.end - c.start) * c.count;
             if replica {
                 // Re-derive the holder additions the captured run made, so
                 // the tracker reaches the same state as the capture did.
-                self.buffers[c.vb.0]
-                    .tracker
-                    .add_holder(c.start, c.end, c.dst_gpu);
+                for r in 0..c.count {
+                    let s = c.start + r * c.stride;
+                    self.buffers[c.vb.0]
+                        .tracker
+                        .add_holder(s, s + (c.end - c.start), c.dst_gpu);
+                }
             }
         }
         // Figure 4, line 8 — same barrier as the captured run.
@@ -754,28 +782,61 @@ impl MgpuRuntime {
                     cap.replica_hits += p.replica_hits;
                     cap.replica_saved_bytes += p.saved_bytes;
                 }
-                for &(d, s, e) in &p.copies {
-                    let src = self.buffers[p.vb.0].instances[d];
-                    let dst = self.buffers[p.vb.0].instances[p.gpu];
-                    let off = crate::to_usize(s, "copy offset")?;
-                    let len = crate::to_usize(e - s, "copy length")?;
-                    self.machine.copy_d2d(src, off, dst, off, len)?;
-                    self.buffers[p.vb.0].d2d_in_bytes += e - s;
-                    if replica {
-                        // The destination now holds a valid copy of the
-                        // freshest bytes in the copied range (Uninit
-                        // bridge gaps are skipped inside).
-                        self.buffers[p.vb.0].tracker.add_holder(s, e, p.gpu);
+                // Group consecutive same-source copies into strided
+                // transactions (the column-halo shape of a rectangular
+                // tiling): equal-length runs at a constant stride move
+                // as one cudaMemcpy2D-style DMA, matching the cost
+                // model's transaction pricing. 1-D slab halos are
+                // single runs and pass through unchanged.
+                let mut i = 0usize;
+                while i < p.copies.len() {
+                    let d = p.copies[i].0;
+                    let mut j = i;
+                    while j < p.copies.len() && p.copies[j].0 == d {
+                        j += 1;
                     }
-                    if let Some(cap) = &mut captured {
-                        cap.copies.push(PlanCopy {
-                            vb: p.vb,
-                            dst_gpu: p.gpu,
-                            src_dev: d,
-                            start: s,
-                            end: e,
-                        });
+                    let segs: Vec<(u64, u64)> =
+                        p.copies[i..j].iter().map(|&(_, s, e)| (s, e)).collect();
+                    for g in strided_groups(&segs) {
+                        let src = self.buffers[p.vb.0].instances[d];
+                        let dst = self.buffers[p.vb.0].instances[p.gpu];
+                        let off = crate::to_usize(g.start, "copy offset")?;
+                        let run = crate::to_usize(g.run, "copy length")?;
+                        if g.count <= 1 {
+                            self.machine.copy_d2d(src, off, dst, off, run)?;
+                        } else {
+                            self.machine.copy_d2d_strided(
+                                src,
+                                dst,
+                                off,
+                                run,
+                                crate::to_usize(g.stride, "copy stride")?,
+                                crate::to_usize(g.count, "copy count")?,
+                            )?;
+                        }
+                        self.buffers[p.vb.0].d2d_in_bytes += g.run * g.count;
+                        if replica {
+                            // The destination now holds a valid copy of
+                            // the freshest bytes in each copied run
+                            // (Uninit bridge gaps are skipped inside).
+                            for r in 0..g.count {
+                                let s = g.start + r * g.stride;
+                                self.buffers[p.vb.0].tracker.add_holder(s, s + g.run, p.gpu);
+                            }
+                        }
+                        if let Some(cap) = &mut captured {
+                            cap.copies.push(PlanCopy {
+                                vb: p.vb,
+                                dst_gpu: p.gpu,
+                                src_dev: d,
+                                start: g.start,
+                                end: g.start + g.run,
+                                stride: g.stride,
+                                count: g.count,
+                            });
+                        }
                     }
+                    i = j;
                 }
             }
             // Figure 4, line 8: all_devs_synchronize().
@@ -1148,6 +1209,7 @@ impl MgpuRuntime {
 mod tests {
     use super::*;
     use crate::vbuf::RuntimeConfig;
+    use mekong_analysis::SplitAxis;
     use mekong_gpusim::{Machine, MachineSpec};
     use mekong_kernel::builder::*;
     use mekong_kernel::Kernel;
@@ -1257,6 +1319,148 @@ mod tests {
         rt.synchronize();
         assert_eq!(rt.machine().counters().checked_rejected, 2);
         assert_eq!(rt.machine().counters().checked_safe, 1);
+    }
+
+    /// A kernel race-free on x but not y blocks every tiling involving
+    /// y — in the masked enumeration (no tiled candidate is ranked) and
+    /// at the launch gate (a forced tiling is refused) — while plain x
+    /// splits stay enumerable.
+    #[test]
+    fn tilings_blocked_without_proofs_on_both_axes() {
+        let ck = CompiledKernel::compile(&colwrite_kernel()).unwrap();
+        assert!(ck.safe_axes.allows(SplitAxis::X));
+        assert!(!ck.safe_axes.allows(SplitAxis::Y));
+        // Enumeration side: the checker mask reaches the tuner.
+        let strategies = mekong_tuner::enumerate_strategies_masked(
+            &MachineSpec::kepler_system(4),
+            Dim3::new2(4, 4),
+            mekong_gpusim::ThreadProfile::default(),
+            ck.safe_axes,
+        );
+        assert!(strategies
+            .iter()
+            .any(|s| s.axis == SplitAxis::X && s.n_parts() > 1));
+        assert!(strategies.iter().all(|s| !s.is_tiled()));
+        // Ranking side: the runtime's own candidate table agrees.
+        let mut rt = runtime(4);
+        let n = 16usize;
+        let out = rt.malloc(n * 4, 4).unwrap();
+        let args = [LaunchArg::Scalar(Value::I64(n as i64)), LaunchArg::Buf(out)];
+        let (grid, block) = (Dim3::new2(4, 4), Dim3::new2(4, 4));
+        let cands = rt.tuner_candidates(&ck, grid, block, &args).unwrap();
+        assert!(!cands.is_empty());
+        assert!(cands.iter().all(|c| !c.strategy.is_tiled()));
+        // Gate side: forcing an x×y tiling is refused outright — x alone
+        // is proven, but the tiling also splits y.
+        rt.force_strategy(
+            "colwrite",
+            PartitionStrategy::tiled(SplitAxis::X, 2, SplitAxis::Y, 2),
+        );
+        let err = rt.launch(&ck, grid, block, &args).unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::NotPartitionable(_)),
+            "unexpected error: {err:?}"
+        );
+        assert_eq!(rt.machine().counters().checked_rejected, 1);
+    }
+
+    /// A 2-D 5-point stencil over an `n`×`n` array, write-disjoint on
+    /// both grid axes (each thread writes its own element).
+    fn stencil2d_kernel() -> Kernel {
+        Kernel {
+            name: "stencil2d".into(),
+            params: vec![
+                scalar("n"),
+                array_f32("src", &[ext("n"), ext("n")]),
+                array_f32("dst", &[ext("n"), ext("n")]),
+            ],
+            body: vec![
+                let_("x", global_x()),
+                let_("y", global_y()),
+                guard_return(v("x").ge(v("n")).or(v("y").ge(v("n")))),
+                if_(
+                    v("x")
+                        .eq_(i(0))
+                        .or(v("x").eq_(v("n") - i(1)))
+                        .or(v("y").eq_(i(0)))
+                        .or(v("y").eq_(v("n") - i(1))),
+                    vec![store(
+                        "dst",
+                        vec![v("y"), v("x")],
+                        load("src", vec![v("y"), v("x")]),
+                    )],
+                    vec![store(
+                        "dst",
+                        vec![v("y"), v("x")],
+                        (load("src", vec![v("y"), v("x") - i(1)])
+                            + load("src", vec![v("y"), v("x") + i(1)])
+                            + load("src", vec![v("y") - i(1), v("x")])
+                            + load("src", vec![v("y") + i(1), v("x")]))
+                            / f(4.0),
+                    )],
+                ),
+            ],
+        }
+    }
+
+    /// A forced 2×2 rectangular tiling runs functionally: four devices
+    /// compute byte-identical results to one, and the column halos of
+    /// each tile move as strided transactions instead of one copy per
+    /// row.
+    #[test]
+    fn forced_rect_tiling_matches_unpartitioned() {
+        let ck = CompiledKernel::compile(&stencil2d_kernel()).unwrap();
+        assert!(ck.safe_axes.allows(SplitAxis::X) && ck.safe_axes.allows(SplitAxis::Y));
+        let n = 16usize;
+        let data: Vec<u8> = (0..n * n)
+            .flat_map(|i| ((i as f32).sin()).to_le_bytes())
+            .collect();
+        let (grid, block) = (Dim3::new2(4, 4), Dim3::new2(4, 4));
+        let iters = 4usize;
+        let run = |rt: &mut MgpuRuntime| -> Vec<u8> {
+            let a = rt.malloc(n * n * 4, 4).unwrap();
+            let b = rt.malloc(n * n * 4, 4).unwrap();
+            rt.memcpy_h2d(a, &data).unwrap();
+            let bufs = [a, b];
+            for it in 0..iters {
+                rt.launch(
+                    &ck,
+                    grid,
+                    block,
+                    &[
+                        LaunchArg::Scalar(Value::I64(n as i64)),
+                        LaunchArg::Buf(bufs[it % 2]),
+                        LaunchArg::Buf(bufs[(it + 1) % 2]),
+                    ],
+                )
+                .unwrap();
+            }
+            rt.synchronize();
+            let mut out = vec![0u8; n * n * 4];
+            rt.memcpy_d2h(bufs[iters % 2], &mut out).unwrap();
+            out
+        };
+        let mut rt1 = runtime(1);
+        let expected = run(&mut rt1);
+        let mut rt4 = runtime(4);
+        rt4.force_strategy(
+            "stencil2d",
+            PartitionStrategy::tiled(SplitAxis::Y, 2, SplitAxis::X, 2),
+        );
+        let got = run(&mut rt4);
+        assert_eq!(got, expected, "2×2 tiling diverged from single-device run");
+        let c = rt4.machine().counters();
+        assert!(c.d2d_bytes > 0, "halo exchange must actually move bytes");
+        // Each tile's column face batches into one strided DMA: per
+        // halo-paying iteration, 4 tiles × (column face + row face +
+        // corner) = 12 transactions. Row-by-row column halos would be
+        // 8 copies per face — the counter blowing past this bound means
+        // the strided grouping regressed.
+        assert!(
+            c.d2d_copies <= 12 * (iters as u64 - 1),
+            "column halos must batch into strided transactions, got {} copies",
+            c.d2d_copies
+        );
     }
 
     fn stencil_kernel() -> Kernel {
@@ -2328,5 +2532,63 @@ mod tests {
             t_pipe < t_sync,
             "launch-ahead must hide transfer latency: {t_pipe} vs {t_sync}"
         );
+    }
+
+    /// A D2H gather of a buffer nothing in flight writes must not drain
+    /// the launch-ahead window: the spectator's bytes come back exactly
+    /// as uploaded and the in-flight depth is preserved, while
+    /// gathering the ping-pong buffer itself still forces the
+    /// conservative full flush.
+    #[test]
+    fn cold_buffer_gather_keeps_the_window_in_flight() {
+        let ck = CompiledKernel::compile(&stencil_kernel()).unwrap();
+        let mut rt = runtime(4);
+        rt.set_config(RuntimeConfig {
+            capture_plans: true,
+            launch_ahead: 2,
+            ..RuntimeConfig::default()
+        });
+        let n = 4096usize;
+        let grid = Dim3::new1((n as u32) / 256);
+        let block = Dim3::new1(256);
+        let a = rt.malloc(n * 4, 4).unwrap();
+        let b = rt.malloc(n * 4, 4).unwrap();
+        let spectator = rt.malloc(n * 4, 4).unwrap();
+        let data: Vec<u8> = (0..n).flat_map(|i| (i as f32).to_le_bytes()).collect();
+        let marker: Vec<u8> = (0..n)
+            .flat_map(|i| (0.5 * i as f32).to_le_bytes())
+            .collect();
+        rt.memcpy_h2d(a, &data).unwrap();
+        rt.memcpy_h2d(b, &data).unwrap();
+        rt.memcpy_h2d(spectator, &marker).unwrap();
+        let (mut src, mut dst) = (a, b);
+        for _ in 0..8 {
+            rt.launch(
+                &ck,
+                grid,
+                block,
+                &[
+                    LaunchArg::Scalar(Value::I64(n as i64)),
+                    LaunchArg::Buf(src),
+                    LaunchArg::Buf(dst),
+                ],
+            )
+            .unwrap();
+            std::mem::swap(&mut src, &mut dst);
+        }
+        let depth = rt.pipeline_depth();
+        assert!(depth > 0, "steady-state replays must be in flight");
+        let mut out = vec![0u8; n * 4];
+        rt.memcpy_d2h(spectator, &mut out).unwrap();
+        assert_eq!(out, marker, "cold gather must be byte-identical");
+        assert_eq!(
+            rt.pipeline_depth(),
+            depth,
+            "cold gather must not drain the window"
+        );
+        // Both ping-pong buffers have in-flight writers: gathering one
+        // takes the conservative flush and empties the window.
+        rt.memcpy_d2h(src, &mut out).unwrap();
+        assert_eq!(rt.pipeline_depth(), 0, "hot gather must flush");
     }
 }

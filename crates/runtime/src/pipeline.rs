@@ -36,7 +36,11 @@
 //! to `launch_ahead = 0`. The flip side is that any operation observing
 //! real bytes or host-side clocks mid-window — D2H/H2D, an uncaptured
 //! launch, a config change, direct machine access — must first flush
-//! the window (`MgpuRuntime::pipeline_flush`).
+//! the window (`MgpuRuntime::pipeline_flush`). One exception is carved
+//! out: a D2H gather of a buffer with **no in-flight writer** (no
+//! queued halo copy into it, no queued launch writing it — see
+//! [`Pipeline::writes_in_flight`]) skips the flush, so periodic
+//! result downloads of a spectator buffer do not stall the window.
 //!
 //! Functional ordering across streams is handled with the same event
 //! tokens the streamed engine already uses: each pipelined copy records
@@ -127,6 +131,15 @@ impl Pipeline {
         self.readers.remove(&(vb.0, device)).unwrap_or_default()
     }
 
+    /// True when an in-flight operation may still be writing `vb` on
+    /// some device — an incoming halo copy or a partition launch that
+    /// writes it. Buffers only *read* inside the window never enter
+    /// `ready_at`, so they stay cold. Conservative across retired
+    /// launches: entries persist until the next drain.
+    pub(crate) fn writes_in_flight(&self, vb: VBufId) -> bool {
+        !self.in_flight.is_empty() && self.ready_at.keys().any(|&(b, _)| b == vb.0)
+    }
+
     /// Drop all window state, returning the latest in-flight completion
     /// time (if any) for the caller to join the host clock to.
     fn drain(&mut self) -> Option<f64> {
@@ -155,6 +168,13 @@ impl MgpuRuntime {
         if let Some(t) = self.pipeline.drain() {
             self.machine.join_host(t);
         }
+    }
+
+    /// Current launch-ahead window depth: how many replayed launches
+    /// are in flight right now. Read-only — unlike
+    /// [`MgpuRuntime::machine_mut`], observing the depth does not flush.
+    pub fn pipeline_depth(&self) -> usize {
+        self.pipeline.depth()
     }
 
     /// Replay a captured plan through the launch-ahead pipeline instead
@@ -186,27 +206,43 @@ impl MgpuRuntime {
             let src = self.buffers[c.vb.0].instances[c.src_dev];
             let dst = self.buffers[c.vb.0].instances[c.dst_gpu];
             let off = to_usize(c.start, "copy offset")?;
-            let len = to_usize(c.end - c.start, "copy length")?;
+            let run = to_usize(c.end - c.start, "copy length")?;
             let deps = [
                 // RAW: the producer launch of these bytes on the source.
                 self.pipeline.ready_at(c.vb, c.src_dev),
                 // WAR: in-flight readers of the destination's instance.
                 self.pipeline.read_until(c.vb, c.dst_gpu),
             ];
-            let end = self
-                .machine
-                .copy_d2d_pipelined(src, off, dst, off, len, &deps)?;
+            let end = if c.count <= 1 {
+                self.machine
+                    .copy_d2d_pipelined(src, off, dst, off, run, &deps)?
+            } else {
+                // A captured strided group (column halo of a rectangular
+                // tile): one DMA transaction on the copy engine.
+                self.machine.copy_d2d_strided_pipelined(
+                    src,
+                    dst,
+                    off,
+                    run,
+                    to_usize(c.stride, "copy stride")?,
+                    to_usize(c.count, "copy count")?,
+                    &deps,
+                )?
+            };
             if track_events {
                 let token = self.machine.stream_mark(c.dst_gpu);
                 self.pipeline
                     .record_reader(c.vb, c.src_dev, c.dst_gpu, token);
             }
             self.pipeline.note_copy(c.vb, c.src_dev, c.dst_gpu, end);
-            self.buffers[c.vb.0].d2d_in_bytes += c.end - c.start;
+            self.buffers[c.vb.0].d2d_in_bytes += (c.end - c.start) * c.count;
             if replica {
-                self.buffers[c.vb.0]
-                    .tracker
-                    .add_holder(c.start, c.end, c.dst_gpu);
+                for r in 0..c.count {
+                    let s = c.start + r * c.stride;
+                    self.buffers[c.vb.0]
+                        .tracker
+                        .add_holder(s, s + (c.end - c.start), c.dst_gpu);
+                }
             }
         }
 

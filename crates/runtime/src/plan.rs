@@ -57,8 +57,12 @@ impl ArgKey {
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct PlanKey {
     pub kernel: String,
-    /// Partitioning axis (`SplitAxis` encoded as 0/1/2 for X/Y/Z).
-    pub axis: u8,
+    /// The launch's partitioning strategy
+    /// ([`mekong_tuner::PartitionStrategy::encode`]): axes, device
+    /// factors, and the weighted/tiled bits. Distinguishes a 2-D
+    /// rectangular tiling from any 1-D slab split even when their
+    /// flattened bounds coincide.
+    pub strategy: u32,
     pub grid: Dim3,
     pub block: Dim3,
     /// Flattened `lo`/`hi` bounds of every partition the launch runs.
@@ -66,8 +70,13 @@ pub struct PlanKey {
     pub args: Vec<ArgKey>,
 }
 
-/// One captured D2D copy: pull `[start, end)` bytes of `vb`'s instance
-/// on `src_dev` into the instance on `dst_gpu`.
+/// One captured D2D transaction: pull `count` runs of `end - start`
+/// bytes of `vb`'s instance on `src_dev` into the instance on
+/// `dst_gpu`, the first at `start` and each subsequent one `stride`
+/// bytes later (same offsets both sides). `count == 1` is a plain
+/// contiguous copy; `count > 1` is a `cudaMemcpy2D`-style strided DMA —
+/// the column-halo shape of a rectangular tiling — replayed as **one**
+/// link transaction ([`mekong_gpusim::Machine::copy_d2d_strided`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PlanCopy {
     pub vb: VBufId,
@@ -75,6 +84,10 @@ pub struct PlanCopy {
     pub src_dev: usize,
     pub start: u64,
     pub end: u64,
+    /// Distance between run starts; `end - start` for a single run.
+    pub stride: u64,
+    /// Number of runs (≥ 1).
+    pub count: u64,
 }
 
 /// One captured partition launch. The kernel body is *not* stored — the

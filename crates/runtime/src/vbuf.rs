@@ -87,6 +87,12 @@ pub struct RuntimeConfig {
     /// sync and launch phases). Only plan-cache *hits* pipeline; misses,
     /// uncaptured launches and H2D/D2H always flush the window first.
     pub launch_ahead: u32,
+    /// Let the autotuner consider 2-D rectangular grid tilings (X×Y
+    /// device lattices with perimeter-priced halos) in addition to 1-D
+    /// slab splits. A tiling is only enumerable when *both* of its axes
+    /// carry a static write-disjointness proof. On by default; off
+    /// restores the slab-only search space for the A10 ablation.
+    pub enumerate_tilings: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -100,6 +106,7 @@ impl Default for RuntimeConfig {
             enforce_partition_safety: true,
             replica_coherence: true,
             launch_ahead: 2,
+            enumerate_tilings: true,
         }
     }
 }
@@ -391,7 +398,14 @@ impl MgpuRuntime {
                 got: dst.len(),
             });
         }
-        self.pipeline_flush();
+        // A gather of a buffer no in-flight launch or halo copy still
+        // writes need not drain the launch-ahead window: trackers
+        // advance at submit (so the gather plan is current) and the
+        // simulator drains deferred byte effects on every D2H read.
+        // Only a *hot* buffer forces the conservative full flush.
+        if self.pipeline.writes_in_flight(src) {
+            self.pipeline_flush();
+        }
         let vb = &self.buffers[src.0];
         let plan = Self::d2h_gather_plan(vb, self.config.replica_coherence);
         let instances = vb.instances.clone();
@@ -471,7 +485,10 @@ impl MgpuRuntime {
     /// destination.
     pub fn memcpy_d2h_sim(&mut self, src: VBufId) -> Result<()> {
         self.check_live(src)?;
-        self.pipeline_flush();
+        // Same cold-buffer bypass as `memcpy_d2h`.
+        if self.pipeline.writes_in_flight(src) {
+            self.pipeline_flush();
+        }
         let vb = &self.buffers[src.0];
         let plan = Self::d2h_gather_plan(vb, self.config.replica_coherence);
         let instances = vb.instances.clone();

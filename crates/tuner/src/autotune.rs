@@ -13,6 +13,19 @@
 //! Each candidate's measurement is remembered, and a switch requires a
 //! strict improvement, so refinement visits at most every candidate once
 //! and then stays put — no oscillation.
+//!
+//! Two refinement triggers beyond the absolute tolerance band:
+//!
+//! * **Scalar drift** — some sites' access patterns move with their
+//!   scalar arguments (data-dependent footprints the polyhedral model
+//!   linearizes away). For those the measured/predicted ratio *changes
+//!   between windows* even while staying inside the band; a moving
+//!   ratio re-ranks the candidates every window it moves.
+//! * **Tiled fallback** — a 2-D tiling's prediction rests on the
+//!   perimeter model (strided column faces, hop-weighted latency). When
+//!   measured D2D bytes contradict it, the other unmeasured tilings are
+//!   wrong for the same reason, so the re-rank falls back to 1-D slabs
+//!   and to candidates with their own measurements.
 
 use crate::cost::Candidate;
 use crate::strategy::PartitionStrategy;
@@ -38,6 +51,12 @@ pub struct RecordOutcome {
     /// The entry switched to a different candidate; the caller must stop
     /// using cached launch plans built for the old strategy.
     pub switched: bool,
+    /// The candidate set was re-ranked this window — either the
+    /// prediction was beyond the tolerance band, or the
+    /// measured-vs-predicted ratio drifted between windows (a site whose
+    /// access pattern moves with its scalar arguments). A re-rank does
+    /// not imply a switch.
+    pub retuned: bool,
 }
 
 /// Per-key tuning state.
@@ -56,6 +75,9 @@ pub struct TuneEntry {
     settle_left: u32,
     window_bytes: u64,
     window_n: u32,
+    /// Measured/predicted byte ratio of the last completed window under
+    /// the current choice — the drift detector's baseline.
+    last_ratio: Option<f64>,
     link_bandwidth: f64,
     link_latency: f64,
 }
@@ -106,6 +128,12 @@ pub struct Autotuner {
     pub tolerance: f64,
     /// Absolute slack so tiny kernels don't thrash over a few bytes.
     pub slack_bytes: u64,
+    /// Also refine when the measured/predicted ratio moves by more than
+    /// this relative amount between consecutive windows, even *inside*
+    /// the tolerance band. A stable ratio means the model is merely
+    /// biased; a moving one means the site's access pattern drifts with
+    /// its scalar arguments and yesterday's decision is going stale.
+    pub drift: f64,
 }
 
 impl Default for Autotuner {
@@ -116,6 +144,7 @@ impl Default for Autotuner {
             window: 4,
             tolerance: 1.5,
             slack_bytes: 4096,
+            drift: 0.25,
         }
     }
 }
@@ -162,6 +191,7 @@ impl Autotuner {
             settle_left: settle,
             window_bytes: 0,
             window_n: 0,
+            last_ratio: None,
             link_bandwidth,
             link_latency,
         })
@@ -183,6 +213,7 @@ impl Autotuner {
             if key.kernel == kernel {
                 entry.window_bytes = 0;
                 entry.window_n = 0;
+                entry.last_ratio = None;
                 entry.settle_left = self.settle;
             }
         }
@@ -218,14 +249,42 @@ impl Autotuner {
         let mut outcome = RecordOutcome {
             window_avg: Some(avg.round() as u64),
             switched: false,
+            retuned: false,
         };
         let predicted = entry.candidates[entry.chosen].predict.transfer_bytes as f64;
-        if avg <= self.tolerance * predicted + self.slack_bytes as f64 {
-            return outcome; // prediction holds; stay.
+        // Drift detector: the ratio of one window's average to the
+        // prediction (+1 byte so empty predictions don't divide by
+        // zero). A stable ratio — even a stably *wrong* one inside the
+        // tolerance band — needs no action beyond the band check; a
+        // ratio that moves between windows means the site's access
+        // pattern shifts with its scalar arguments, so the decision is
+        // re-ranked every window it moves.
+        let ratio = (avg + 1.0) / (predicted + 1.0);
+        let drifted = match entry.last_ratio {
+            Some(prev) => (ratio - prev).abs() > self.drift * prev.max(f64::MIN_POSITIVE),
+            None => false,
+        };
+        entry.last_ratio = Some(ratio);
+        let mispredicted = avg > self.tolerance * predicted + self.slack_bytes as f64;
+        if !mispredicted && !drifted {
+            return outcome; // prediction holds and isn't moving; stay.
         }
+        outcome.retuned = true;
         // Re-rank with measurements substituted; switch only on strict
-        // improvement (10% hysteresis) to rule out oscillation.
+        // improvement (10% hysteresis) to rule out oscillation. When the
+        // link counters contradict a *tiling's* perimeter prediction,
+        // its unmeasured 2-D siblings rest on the same broken model:
+        // restrict the fallback to 1-D candidates and candidates with
+        // their own measurements.
+        let tiled_mispredict = mispredicted && entry.candidates[entry.chosen].strategy.is_tiled();
+        let eligible = |e: &TuneEntry, i: usize| {
+            !tiled_mispredict
+                || i == e.chosen
+                || !e.candidates[i].strategy.is_tiled()
+                || e.measured[i].is_some()
+        };
         let best = (0..entry.candidates.len())
+            .filter(|&i| eligible(entry, i))
             .min_by(|&a, &b| entry.effective_time(a).total_cmp(&entry.effective_time(b)))
             .unwrap();
         if best != entry.chosen
@@ -234,6 +293,7 @@ impl Autotuner {
             entry.chosen = best;
             entry.switches += 1;
             entry.settle_left = self.settle;
+            entry.last_ratio = None;
             outcome.switched = true;
         }
         outcome
@@ -255,9 +315,9 @@ mod tests {
         }
     }
 
-    fn candidate(axis: SplitAxis, parts: usize, transfer_bytes: u64, compute: f64) -> Candidate {
+    fn candidate_s(strategy: PartitionStrategy, transfer_bytes: u64, compute: f64) -> Candidate {
         Candidate {
-            strategy: PartitionStrategy::even(axis, parts),
+            strategy,
             predict: CostEstimate {
                 transfer_bytes,
                 n_copies: u64::from(transfer_bytes > 0),
@@ -267,6 +327,14 @@ mod tests {
                 ..CostEstimate::default()
             },
         }
+    }
+
+    fn candidate(axis: SplitAxis, parts: usize, transfer_bytes: u64, compute: f64) -> Candidate {
+        candidate_s(
+            PartitionStrategy::even(axis, parts),
+            transfer_bytes,
+            compute,
+        )
     }
 
     #[test]
@@ -348,6 +416,85 @@ mod tests {
         assert_eq!(avg, Some(100), "window average polluted by stale bytes");
         assert_eq!(t.entry(&key()).unwrap().measured_bytes(), Some(100));
         assert_eq!(t.entry(&key()).unwrap().switches, 0);
+    }
+
+    #[test]
+    fn ratio_drift_retunes_inside_the_tolerance_band() {
+        let mut t = Autotuner::new();
+        // The chosen candidate predicts 1 MB; reality stays inside the
+        // 1.5× band throughout, so the absolute trigger never fires.
+        // The alternative would be cheaper once the chosen one's
+        // measurement crept up — only the drift trigger can see that.
+        let cands = vec![
+            candidate(SplitAxis::X, 2, 1_000_000, 1e-3),
+            candidate(SplitAxis::Y, 2, 800_000, 1e-3),
+        ];
+        t.decide(key(), cands, 1e9, 0.0);
+        t.record(&key(), 1_000_000); // settle
+                                     // First window: on-prediction, ratio 1.0 becomes the baseline.
+        for _ in 0..4 {
+            let out = t.record(&key(), 1_000_000);
+            assert!(!out.retuned && !out.switched);
+        }
+        // Second window: the pattern drifts to 1.49 MB/launch — still
+        // inside the band, but the ratio moved 49% ≫ the 25% knob.
+        let mut last = RecordOutcome::default();
+        for _ in 0..4 {
+            last = t.record(&key(), 1_490_000);
+        }
+        assert!(last.retuned, "a moving ratio must re-rank the candidates");
+        assert!(last.switched, "the re-rank must land on the cheaper slab");
+        assert_eq!(t.entry(&key()).unwrap().strategy().describe(), "y:2");
+        // A stable-but-biased site, by contrast, never re-tunes: same
+        // 1.49× bias every window.
+        let mut t = Autotuner::new();
+        let cands = vec![
+            candidate(SplitAxis::X, 2, 1_000_000, 1e-3),
+            candidate(SplitAxis::Y, 2, 800_000, 1e-3),
+        ];
+        t.decide(key(), cands, 1e9, 0.0);
+        for _ in 0..13 {
+            let out = t.record(&key(), 1_490_000);
+            assert!(!out.retuned && !out.switched);
+        }
+        assert_eq!(t.entry(&key()).unwrap().strategy().describe(), "x:2");
+    }
+
+    #[test]
+    fn tiled_mispredictions_fall_back_to_one_d() {
+        let mut t = Autotuner::new();
+        // Two tilings both priced off the perimeter model, plus a 1-D
+        // slab. The chosen tiling's measured bytes blow through the
+        // band; the *other* tiling is unmeasured and still looks cheap,
+        // but it is wrong for the same reason — the fallback must pick
+        // the slab.
+        let cands = vec![
+            candidate_s(
+                PartitionStrategy::tiled(SplitAxis::X, 2, SplitAxis::Y, 2),
+                500_000,
+                1e-3,
+            ),
+            candidate_s(
+                PartitionStrategy::tiled(SplitAxis::Y, 2, SplitAxis::X, 2),
+                500_000,
+                1e-3,
+            ),
+            candidate(SplitAxis::Y, 4, 1_000_000, 1e-3),
+        ];
+        t.decide(key(), cands, 1e9, 0.0);
+        let mut switched = false;
+        for _ in 0..=t.settle as usize + t.window as usize {
+            switched |= t.record(&key(), 10_000_000).switched;
+        }
+        assert!(switched, "a contradicted perimeter model must be abandoned");
+        let e = t.entry(&key()).unwrap();
+        assert!(
+            !e.strategy().is_tiled(),
+            "fallback jumped to a sibling tiling built on the same \
+             broken model: {}",
+            e.strategy().describe()
+        );
+        assert_eq!(e.strategy().describe(), "y:4");
     }
 
     #[test]

@@ -151,6 +151,7 @@ proptest! {
             reads: vec![ReadModel { enumerator: &read, elem_size, ownership }],
             writes: vec![WriteModel { enumerator: &write, elem_size }],
             profile: ThreadProfile::default(),
+            pattern_amortized: false,
         };
         for k in 1..=n_devices {
             let strategy = PartitionStrategy::even(SplitAxis::X, k);
@@ -199,6 +200,7 @@ proptest! {
             reads: vec![ReadModel { enumerator: &read, elem_size: 4, ownership }],
             writes: vec![WriteModel { enumerator: &write, elem_size: 4 }],
             profile: ThreadProfile::default(),
+            pattern_amortized: false,
         };
         let ranked = rank_candidates(&input);
         prop_assert!(!ranked.is_empty());

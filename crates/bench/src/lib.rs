@@ -18,6 +18,9 @@
 //! | `ablation_replay`      | A6 — launch-plan capture & replay         |
 //! | `ablation_tuner`       | A7 — cost-model-driven autotuner          |
 //! | `ablation_replica`     | A8 — replica-aware coherence              |
+//! | `ablation_pipeline`    | A9 — launch-ahead pipelined scheduling    |
+//! | `ablation_tiling`      | A10 — 2-D grid tilings vs 1-D slabs       |
+//! | `ablation_serve`       | A11 — multi-tenant serving runtime        |
 //!
 //! All binaries accept `--quick` to scale down iteration counts for a fast
 //! smoke run; without it, the Table 1 configurations are used.

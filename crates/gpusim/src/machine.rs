@@ -74,6 +74,13 @@ pub struct OpCounters {
     /// Launch-plan cache misses: launches that walked trackers and
     /// captured a fresh plan (or ran with capture disabled).
     pub plan_misses: u64,
+    /// Plan-cache hits on a plan captured by a *different* namespace —
+    /// another tenant of a shared cache, or a loaded snapshot from a
+    /// previous process (multi-tenant serving, see mekong-serve).
+    pub plan_shared_hits: u64,
+    /// Captured plans evicted by the plan cache's LRU capacity bound
+    /// (`RuntimeConfig::plan_cache_capacity` in mekong-runtime).
+    pub plan_evictions: u64,
     /// The most recent autotuner decision, encoded as
     /// `(axis + 1) | parts << 8 | weighted << 16` for 1-D splits, with
     /// 2-D rectangular tilings additionally carrying
@@ -108,7 +115,7 @@ pub struct OpCounters {
 }
 
 /// A kernel launch argument at the machine level.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SimArg {
     Scalar(Value),
     Buf(DevBuf),
@@ -300,6 +307,18 @@ impl Machine {
     /// Record a launch-plan cache miss.
     pub fn note_plan_miss(&mut self) {
         self.counters.plan_misses += 1;
+    }
+
+    /// Record a plan-cache hit whose plan was captured by a different
+    /// namespace (cross-tenant sharing; also bump `note_plan_hit`
+    /// separately — shared hits are a subset of hits).
+    pub fn note_plan_shared_hit(&mut self) {
+        self.counters.plan_shared_hits += 1;
+    }
+
+    /// Record captured plans evicted by the cache's LRU capacity bound.
+    pub fn note_plan_evictions(&mut self, n: u64) {
+        self.counters.plan_evictions += n;
     }
 
     /// Record an autotuner decision: the encoded strategy (see

@@ -105,6 +105,31 @@ impl MachineSpec {
         self
     }
 
+    /// The machine a device subset of this one presents: `devices.len()`
+    /// devices behind the same interconnect, with per-device overrides
+    /// remapped to subset positions. A fleet scheduler uses this to hand
+    /// a tenant a runtime over `devices` while pricing links with the
+    /// full machine's constants.
+    pub fn subset(&self, devices: &[usize]) -> MachineSpec {
+        assert!(!devices.is_empty(), "subset of zero devices");
+        let overrides = devices
+            .iter()
+            .enumerate()
+            .filter_map(|(pos, &d)| {
+                assert!(d < self.n_devices, "device {d} out of range");
+                self.device_overrides
+                    .iter()
+                    .find(|(i, _)| *i == d)
+                    .map(|(_, s)| (pos, s.clone()))
+            })
+            .collect();
+        MachineSpec {
+            n_devices: devices.len(),
+            device_overrides: overrides,
+            ..self.clone()
+        }
+    }
+
     /// A Kepler-class system patterned on the paper's testbed: `n` logical
     /// GPUs (K80 dies: ~4.37 SP TFLOP/s, 240 GB/s HBM... GDDR5), PCIe 3.0
     /// interconnect with host-staged peer copies.
@@ -193,5 +218,23 @@ mod tests {
         let m = m.with_device_override(1, base_device);
         assert!(m.device_overrides.len() == 1);
         assert_eq!(m.device_spec(1).flops, m.device_spec(0).flops);
+    }
+
+    #[test]
+    fn subset_remaps_overrides_to_subset_positions() {
+        let base = MachineSpec::kepler_system(4);
+        let fast = DeviceSpec {
+            flops: base.device.flops * 2.0,
+            ..base.device.clone()
+        };
+        let m = base.with_device_override(2, fast);
+        let sub = m.subset(&[2, 3]);
+        assert_eq!(sub.n_devices, 2);
+        // Physical device 2 is subset position 0.
+        assert_eq!(sub.device_spec(0).flops, m.device_spec(2).flops);
+        assert_eq!(sub.device_spec(1).flops, m.device.flops);
+        // A homogeneous subset of a heterogeneous machine carries no
+        // overrides at all.
+        assert!(m.subset(&[0, 1]).is_homogeneous());
     }
 }

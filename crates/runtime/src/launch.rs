@@ -331,18 +331,28 @@ impl MgpuRuntime {
         let capture = self.config.capture_plans && self.resolve_dependencies;
         if capture {
             let key = self.plan_key(ck, grid, block, args, strategy.as_ref(), &parts);
-            if let Some(plan) = self.plan_cache.get(&key).cloned() {
-                self.replay_plan(ck, block, &plan)?;
+            if let Some((plan, captured_by)) = self.plan_cache.get(&key) {
+                if captured_by != self.namespace {
+                    // Another tenant (or a loaded snapshot) captured this
+                    // plan — the cross-tenant sharing the serving layer
+                    // exists for.
+                    self.machine.note_plan_shared_hit();
+                }
+                self.replay_plan(ck, block, args, &plan)?;
             } else {
                 // A cold launch walks trackers and observes device
                 // clocks directly: drain the launch-ahead window first.
                 self.pipeline_flush();
                 self.machine.note_plan_miss();
                 let plan = self.launch_full(ck, grid, block, args, &scalars, &parts, true)?;
-                self.plan_cache.insert(
+                let evicted = self.plan_cache.insert(
                     key,
                     Arc::new(plan.expect("capturing launch returns a plan")),
+                    self.namespace,
                 );
+                if evicted > 0 {
+                    self.machine.note_plan_evictions(evicted);
+                }
             }
         } else {
             self.pipeline_flush();
@@ -450,7 +460,7 @@ impl MgpuRuntime {
             };
             writes.push(WriteModel {
                 enumerator: wenum,
-                elem_size: self.buffers[vb.0].elem_size as u64,
+                elem_size: self.buffers[vb.index()].elem_size as u64,
             });
             write_shapes.push(shape_of(*arg_idx));
         }
@@ -460,7 +470,7 @@ impl MgpuRuntime {
                 LaunchArg::Buf(b) => b,
                 _ => unreachable!("validated"),
             };
-            let vbuf = &self.buffers[vb.0];
+            let vbuf = &self.buffers[vb.index()];
             let shape = shape_of(*arg_idx);
             // Steady-state ownership. An array this launch also writes is
             // trivially redistributed along the candidate's own
@@ -586,9 +596,12 @@ impl MgpuRuntime {
             .iter()
             .map(|a| match a {
                 LaunchArg::Scalar(v) => ArgKey::scalar(*v),
+                // Namespace-stripped: identical workloads in different
+                // tenant namespaces must produce identical keys, so
+                // tenants can hit each other's captured plans.
                 LaunchArg::Buf(b) => ArgKey::Buf {
-                    id: *b,
-                    sig: self.buffers[b.0].tracker.signature(),
+                    id: b.local(),
+                    sig: self.buffers[b.index()].tracker.signature(),
                 },
             })
             .collect();
@@ -602,17 +615,47 @@ impl MgpuRuntime {
         }
     }
 
+    /// Materialize one captured partition launch's argument vector for
+    /// this runtime: captured scalars (including the trailing six
+    /// partition-bound scalars) pass through verbatim, while buffer
+    /// positions are re-resolved from the live `args` to this runtime's
+    /// own device instances. Within one runtime the result is identical
+    /// to the captured vector; across tenants — or across processes,
+    /// after a snapshot reload — it is the step that makes plans
+    /// portable.
+    pub(crate) fn resolve_sim_args(&self, l: &PlanLaunch, args: &[LaunchArg]) -> Vec<SimArg> {
+        let mut sim_args = l.sim_args.clone();
+        for (i, a) in args.iter().enumerate() {
+            if let LaunchArg::Buf(b) = a {
+                sim_args[i] = SimArg::Buf(self.buffers[b.index()].instances[l.gpu]);
+            }
+        }
+        sim_args
+    }
+
     /// Replay a captured launch: enqueue the recorded copies and
     /// launches, apply the recorded tracker updates. The tracker state
     /// matches the capture byte for byte (the key embeds its signature),
     /// so the sequence is exact — only the pattern cost differs: one
     /// flat `host_per_replay` instead of the per-range/per-segment walk.
-    fn replay_plan(&mut self, ck: &CompiledKernel, block: Dim3, plan: &LaunchPlan) -> Result<()> {
+    ///
+    /// Buffer references inside the plan are namespace-local ids; the
+    /// live `args` re-resolve them against *this* runtime's instances
+    /// (see [`MgpuRuntime::resolve_sim_args`]), so a plan captured by
+    /// another tenant — or loaded from a snapshot taken in another
+    /// process — replays correctly here.
+    fn replay_plan(
+        &mut self,
+        ck: &CompiledKernel,
+        block: Dim3,
+        args: &[LaunchArg],
+        plan: &LaunchPlan,
+    ) -> Result<()> {
         if self.config.launch_ahead > 0 {
             // Launch-ahead pipelining: record event edges into the
             // in-flight window instead of executing eagerly (see
             // [`crate::pipeline`]).
-            return self.replay_plan_pipelined(ck, block, plan);
+            return self.replay_plan_pipelined(ck, block, args, plan);
         }
         self.machine.note_plan_hit();
         if plan.replica_hits > 0 {
@@ -625,8 +668,8 @@ impl MgpuRuntime {
         self.machine.charge_host(cost, TimeCat::Pattern);
         let replica = self.config.replica_coherence;
         for c in &plan.copies {
-            let src = self.buffers[c.vb.0].instances[c.src_dev];
-            let dst = self.buffers[c.vb.0].instances[c.dst_gpu];
+            let src = self.buffers[c.vb.index()].instances[c.src_dev];
+            let dst = self.buffers[c.vb.index()].instances[c.dst_gpu];
             let off = crate::to_usize(c.start, "copy offset")?;
             let run = crate::to_usize(c.end - c.start, "copy length")?;
             if c.count <= 1 {
@@ -641,25 +684,28 @@ impl MgpuRuntime {
                     crate::to_usize(c.count, "copy count")?,
                 )?;
             }
-            self.buffers[c.vb.0].d2d_in_bytes += (c.end - c.start) * c.count;
+            self.buffers[c.vb.index()].d2d_in_bytes += (c.end - c.start) * c.count;
             if replica {
                 // Re-derive the holder additions the captured run made, so
                 // the tracker reaches the same state as the capture did.
                 for r in 0..c.count {
                     let s = c.start + r * c.stride;
-                    self.buffers[c.vb.0]
-                        .tracker
-                        .add_holder(s, s + (c.end - c.start), c.dst_gpu);
+                    self.buffers[c.vb.index()].tracker.add_holder(
+                        s,
+                        s + (c.end - c.start),
+                        c.dst_gpu,
+                    );
                 }
             }
         }
         // Figure 4, line 8 — same barrier as the captured run.
         self.machine.sync_all();
         for l in &plan.launches {
+            let sim_args = self.resolve_sim_args(l, args);
             self.machine.launch_with_traffic(
                 l.gpu,
                 &ck.partitioned,
-                &l.sim_args,
+                &sim_args,
                 l.grid,
                 block,
                 Some(l.traffic),
@@ -667,12 +713,12 @@ impl MgpuRuntime {
         }
         let mut invalidated = 0usize;
         for u in &plan.updates {
-            self.buffers[u.vb.0].kernel_written = true;
-            invalidated += self.buffers[u.vb.0]
+            self.buffers[u.vb.index()].kernel_written = true;
+            invalidated += self.buffers[u.vb.index()]
                 .tracker
                 .update(u.start, u.end, Owner::Device(u.gpu))
                 .invalidated;
-            debug_assert!(self.buffers[u.vb.0].tracker.check_invariants());
+            debug_assert!(self.buffers[u.vb.index()].tracker.check_invariants());
         }
         self.machine.note_replica_invalidations(invalidated as u64);
         Ok(())
@@ -698,17 +744,20 @@ impl MgpuRuntime {
             // Whole-buffer read/write sets for the launch-ahead
             // pipeline's event edges (deduplicated; an argument bound to
             // two parameters appears once).
+            // Captured buffer ids are namespace-stripped (local indices)
+            // so the plan is portable across tenants and processes;
+            // replay paths index buffers by `.index()`, which agrees.
             for (arg_idx, _) in &ck.enums.reads {
                 if let LaunchArg::Buf(b) = args[*arg_idx] {
-                    if !cap.read_bufs.contains(&b) {
-                        cap.read_bufs.push(b);
+                    if !cap.read_bufs.contains(&b.local()) {
+                        cap.read_bufs.push(b.local());
                     }
                 }
             }
             for (arg_idx, _) in &ck.enums.writes {
                 if let LaunchArg::Buf(b) = args[*arg_idx] {
-                    if !cap.write_bufs.contains(&b) {
-                        cap.write_bufs.push(b);
+                    if !cap.write_bufs.contains(&b.local()) {
+                        cap.write_bufs.push(b.local());
                     }
                 }
             }
@@ -746,7 +795,7 @@ impl MgpuRuntime {
                     _ => unreachable!("validated"),
                 };
                 plan_sync(
-                    &buffers[vb_id.0],
+                    &buffers[vb_id.index()],
                     vb_id,
                     renum,
                     part,
@@ -798,8 +847,8 @@ impl MgpuRuntime {
                     let segs: Vec<(u64, u64)> =
                         p.copies[i..j].iter().map(|&(_, s, e)| (s, e)).collect();
                     for g in strided_groups(&segs) {
-                        let src = self.buffers[p.vb.0].instances[d];
-                        let dst = self.buffers[p.vb.0].instances[p.gpu];
+                        let src = self.buffers[p.vb.index()].instances[d];
+                        let dst = self.buffers[p.vb.index()].instances[p.gpu];
                         let off = crate::to_usize(g.start, "copy offset")?;
                         let run = crate::to_usize(g.run, "copy length")?;
                         if g.count <= 1 {
@@ -814,19 +863,21 @@ impl MgpuRuntime {
                                 crate::to_usize(g.count, "copy count")?,
                             )?;
                         }
-                        self.buffers[p.vb.0].d2d_in_bytes += g.run * g.count;
+                        self.buffers[p.vb.index()].d2d_in_bytes += g.run * g.count;
                         if replica {
                             // The destination now holds a valid copy of
                             // the freshest bytes in each copied run
                             // (Uninit bridge gaps are skipped inside).
                             for r in 0..g.count {
                                 let s = g.start + r * g.stride;
-                                self.buffers[p.vb.0].tracker.add_holder(s, s + g.run, p.gpu);
+                                self.buffers[p.vb.index()]
+                                    .tracker
+                                    .add_holder(s, s + g.run, p.gpu);
                             }
                         }
                         if let Some(cap) = &mut captured {
                             cap.copies.push(PlanCopy {
-                                vb: p.vb,
+                                vb: p.vb.local(),
                                 dst_gpu: p.gpu,
                                 src_dev: d,
                                 start: g.start,
@@ -853,7 +904,7 @@ impl MgpuRuntime {
                 match a {
                     LaunchArg::Scalar(v) => sim_args.push(SimArg::Scalar(*v)),
                     LaunchArg::Buf(b) => {
-                        sim_args.push(SimArg::Buf(self.buffers[b.0].instances[gpu]))
+                        sim_args.push(SimArg::Buf(self.buffers[b.index()].instances[gpu]))
                     }
                 }
             }
@@ -892,7 +943,7 @@ impl MgpuRuntime {
                         LaunchArg::Buf(b) => b,
                         _ => unreachable!("validated"),
                     };
-                    let elem = self.buffers[vb_id.0].elem_size as u64;
+                    let elem = self.buffers[vb_id.index()].elem_size as u64;
                     updates.clear();
                     wenum.for_each_range(
                         part,
@@ -906,7 +957,7 @@ impl MgpuRuntime {
                     );
                     let n_ranges = updates.len();
                     if n_ranges > 0 {
-                        self.buffers[vb_id.0].kernel_written = true;
+                        self.buffers[vb_id.index()].kernel_written = true;
                     }
                     // Segment maintenance costs what the update actually
                     // walked, same accounting as the read path's query —
@@ -914,14 +965,15 @@ impl MgpuRuntime {
                     let mut touched = 0usize;
                     let mut invalidated = 0usize;
                     for &(s, e) in &updates {
-                        let stats = self.buffers[vb_id.0]
-                            .tracker
-                            .update(s, e, Owner::Device(gpu));
+                        let stats =
+                            self.buffers[vb_id.index()]
+                                .tracker
+                                .update(s, e, Owner::Device(gpu));
                         touched += stats.touched;
                         invalidated += stats.invalidated;
                         if let Some(cap) = &mut captured {
                             cap.updates.push(PlanUpdate {
-                                vb: vb_id,
+                                vb: vb_id.local(),
                                 gpu,
                                 start: s,
                                 end: e,
@@ -932,7 +984,7 @@ impl MgpuRuntime {
                     let cost = self.machine.spec().host_per_range * n_ranges as f64
                         + self.machine.spec().host_per_segment * touched as f64;
                     self.machine.charge_host(cost, TimeCat::Pattern);
-                    debug_assert!(self.buffers[vb_id.0].tracker.check_invariants());
+                    debug_assert!(self.buffers[vb_id.index()].tracker.check_invariants());
                 }
             }
         }
@@ -966,7 +1018,7 @@ impl MgpuRuntime {
             match a {
                 LaunchArg::Scalar(v) => sim_args.push(SimArg::Scalar(*v)),
                 LaunchArg::Buf(b) => {
-                    sim_args.push(SimArg::Buf(self.buffers[b.0].instances[device]))
+                    sim_args.push(SimArg::Buf(self.buffers[b.index()].instances[device]))
                 }
             }
         }
@@ -986,11 +1038,12 @@ impl MgpuRuntime {
         for (idx, arg_model) in ck.model.args.iter().enumerate() {
             if arg_model.is_written_array() {
                 if let LaunchArg::Buf(b) = args[idx] {
-                    let len = self.buffers[b.0].len as u64;
-                    self.buffers[b.0].kernel_written = true;
-                    let stats = self.buffers[b.0]
-                        .tracker
-                        .update(0, len, Owner::Device(device));
+                    let len = self.buffers[b.index()].len as u64;
+                    self.buffers[b.index()].kernel_written = true;
+                    let stats =
+                        self.buffers[b.index()]
+                            .tracker
+                            .update(0, len, Owner::Device(device));
                     self.machine
                         .note_replica_invalidations(stats.invalidated as u64);
                 }
@@ -1049,7 +1102,7 @@ impl MgpuRuntime {
                 match a {
                     LaunchArg::Scalar(v) => sim_args.push(SimArg::Scalar(*v)),
                     LaunchArg::Buf(b) => {
-                        sim_args.push(SimArg::Buf(self.buffers[b.0].instances[gpu]))
+                        sim_args.push(SimArg::Buf(self.buffers[b.index()].instances[gpu]))
                     }
                 }
             }
@@ -1073,11 +1126,11 @@ impl MgpuRuntime {
                 LaunchArg::Buf(b) => *b,
                 _ => continue,
             };
-            let elem = self.buffers[b.0].elem_size as u64;
+            let elem = self.buffers[b.index()].elem_size as u64;
             // Collect (gpu, range) pairs for this buffer.
             let mut claims: Vec<(usize, u64, u64)> = Vec::new();
             for (gpu, obs) in observed_per_gpu.iter().enumerate() {
-                let handle = self.buffers[b.0].instances[gpu].handle;
+                let handle = self.buffers[b.index()].instances[gpu].handle;
                 if let Some(ranges) = obs.get(&handle) {
                     for &(s, e) in ranges {
                         claims.push((gpu, s * elem, e * elem));
@@ -1093,11 +1146,11 @@ impl MgpuRuntime {
             }
             let n_claims = claims.len() as f64;
             if !claims.is_empty() {
-                self.buffers[b.0].kernel_written = true;
+                self.buffers[b.index()].kernel_written = true;
             }
             let mut invalidated = 0usize;
             for (gpu, s, e) in claims {
-                invalidated += self.buffers[b.0]
+                invalidated += self.buffers[b.index()]
                     .tracker
                     .update(s, e, Owner::Device(gpu))
                     .invalidated;
@@ -1115,7 +1168,7 @@ impl MgpuRuntime {
     /// plan additionally bridges same-source copies across small Uninit
     /// gaps, which collapses fragmented trackers.
     fn sync_whole_buffer(&mut self, b: VBufId, gpu: usize) -> Result<()> {
-        let vb = &self.buffers[b.0];
+        let vb = &self.buffers[b.index()];
         let instances = vb.instances.clone();
         let max_gap = if self.config.coalesce_transfers {
             TransferPlan::break_even_gap(&self.machine)
@@ -1140,9 +1193,9 @@ impl MgpuRuntime {
             let len = crate::to_usize(e - s, "copy length")?;
             self.machine
                 .copy_d2d(instances[d], off, instances[gpu], off, len)?;
-            self.buffers[b.0].d2d_in_bytes += e - s;
+            self.buffers[b.index()].d2d_in_bytes += e - s;
             if replica {
-                self.buffers[b.0].tracker.add_holder(s, e, gpu);
+                self.buffers[b.index()].tracker.add_holder(s, e, gpu);
             }
         }
         Ok(())
@@ -1179,6 +1232,10 @@ impl MgpuRuntime {
         // Check array sizes against extents.
         for (model_arg, arg) in ck.model.args.iter().zip(args) {
             if let (ArgModel::Array { elem, extents, .. }, LaunchArg::Buf(b)) = (model_arg, arg) {
+                // Liveness *and* namespace check: a handle minted by
+                // another tenant's runtime must not reach this one's
+                // buffer table, even if its local index is in range.
+                self.check_live(*b)?;
                 let mut elems: i64 = 1;
                 for e in extents {
                     elems *= match e {
@@ -1195,7 +1252,7 @@ impl MgpuRuntime {
                     };
                 }
                 let expected = elems as usize * elem.size_bytes();
-                let got = self.buffers[b.0].len;
+                let got = self.buffers[b.index()].len;
                 if expected != got {
                     return Err(RuntimeError::SizeMismatch { expected, got });
                 }
@@ -2239,6 +2296,58 @@ mod tests {
         assert_eq!(rt.plan_cache_len(), 0, "config change must flush plans");
     }
 
+    /// `plan_cache_capacity` bounds the cache with LRU eviction: the
+    /// stencil ping-pong alternates between 2 steady-state plans, so a
+    /// capacity of 1 keeps evicting the plan about to be replayed and
+    /// every launch misses, while the counters record each eviction.
+    /// Unbounded (0) and generous capacities never evict.
+    #[test]
+    fn plan_cache_capacity_evicts_lru_and_counts() {
+        let ck = CompiledKernel::compile(&stencil_kernel()).unwrap();
+        let n = 512usize;
+        let iters = 10;
+        let run = |capacity: usize| {
+            let mut rt = MgpuRuntime::new(Machine::new(MachineSpec::kepler_system(3), false));
+            rt.set_config(RuntimeConfig {
+                plan_cache_capacity: capacity,
+                ..RuntimeConfig::beta()
+            });
+            let a = rt.malloc(n * 4, 4).unwrap();
+            let b = rt.malloc(n * 4, 4).unwrap();
+            rt.memcpy_h2d_sim(a).unwrap();
+            rt.memcpy_h2d_sim(b).unwrap();
+            let (mut src, mut dst) = (a, b);
+            for _ in 0..iters {
+                rt.launch(
+                    &ck,
+                    Dim3::new1(4),
+                    Dim3::new1(128),
+                    &[
+                        LaunchArg::Scalar(Value::I64(n as i64)),
+                        LaunchArg::Buf(src),
+                        LaunchArg::Buf(dst),
+                    ],
+                )
+                .unwrap();
+                std::mem::swap(&mut src, &mut dst);
+            }
+            rt.synchronize();
+            (rt.machine().counters(), rt.plan_cache_len())
+        };
+        let (tight, len_tight) = run(1);
+        assert!(len_tight <= 1, "cache exceeded its capacity: {len_tight}");
+        assert!(tight.plan_evictions > 0, "{tight:?}");
+        assert_eq!(tight.plan_hits, 0, "thrashing cache cannot hit: {tight:?}");
+        assert_eq!(tight.plan_misses as usize, iters);
+
+        let (unbounded, _) = run(0);
+        assert_eq!(unbounded.plan_evictions, 0, "{unbounded:?}");
+        let (generous, len_generous) = run(1024);
+        assert_eq!(generous.plan_evictions, 0, "{generous:?}");
+        assert_eq!(len_generous, 4, "steady state holds 4 plans");
+        assert_eq!(generous.plan_hits, unbounded.plan_hits);
+    }
+
     /// Autotuned launches must stay functionally identical to the fixed
     /// heuristic: same stencil, same reference results — only the grid
     /// slicing is chosen by the cost model.
@@ -2410,10 +2519,13 @@ mod tests {
         rt.memcpy_h2d(b, &data).unwrap();
         // Linear split: device 0 owns [0,200), device 1 [200,400).
         // Replicate device 1's half onto device 0 and record the holder.
-        let (i0, i1) = (rt.buffers[b.0].instances[0], rt.buffers[b.0].instances[1]);
+        let (i0, i1) = (
+            rt.buffers[b.index()].instances[0],
+            rt.buffers[b.index()].instances[1],
+        );
         rt.machine.copy_d2d(i1, 200, i0, 200, 200).unwrap();
         rt.machine.sync_all();
-        rt.buffers[b.0].tracker.add_holder(200, 400, 0);
+        rt.buffers[b.index()].tracker.add_holder(200, 400, 0);
         let before = rt.machine().counters();
         let hits_before = before.replica_hits;
         let copies_before = before.d2d_copies;

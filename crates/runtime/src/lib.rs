@@ -25,17 +25,21 @@
 //! (CUDA-Graphs-style capture & replay) keyed by the structural state of
 //! every argument buffer's tracker. See [`RuntimeConfig::capture_plans`].
 
+pub mod cache;
 pub mod compiled;
 pub mod launch;
+pub mod persist;
 pub mod pipeline;
 pub mod plan;
 pub mod tracker;
 pub mod vbuf;
 
+pub use cache::ShardedPlanCache;
 pub use compiled::CompiledKernel;
 pub use launch::LaunchArg;
 pub use mekong_tuner::{decode_strategy, Autotuner, Candidate, PartitionStrategy};
-pub use plan::{ArgKey, LaunchPlan, PlanKey};
+pub use persist::{load_snapshot_json, snapshot_to_json, SNAPSHOT_VERSION};
+pub use plan::{ArgKey, LaunchPlan, PlanCopy, PlanKey, PlanLaunch, PlanUpdate};
 pub use tracker::{DeviceSet, Owner, Tracker, UpdateStats, Validity};
 pub use vbuf::{MgpuRuntime, RuntimeConfig, TunerReport, VBufId};
 
@@ -57,6 +61,9 @@ pub enum RuntimeError {
     Sim(mekong_gpusim::SimError),
     /// Polyhedral failure.
     Poly(mekong_poly::PolyError),
+    /// A plan-cache snapshot could not be loaded (version mismatch or
+    /// malformed document). The cache is untouched when this is raised.
+    Snapshot(String),
 }
 
 impl From<mekong_gpusim::SimError> for RuntimeError {
@@ -85,6 +92,7 @@ impl std::fmt::Display for RuntimeError {
             }
             RuntimeError::Sim(e) => write!(f, "simulator: {e}"),
             RuntimeError::Poly(e) => write!(f, "polyhedral: {e}"),
+            RuntimeError::Snapshot(m) => write!(f, "plan snapshot: {m}"),
         }
     }
 }

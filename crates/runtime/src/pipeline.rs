@@ -39,7 +39,7 @@
 //! the window (`MgpuRuntime::pipeline_flush`). One exception is carved
 //! out: a D2H gather of a buffer with **no in-flight writer** (no
 //! queued halo copy into it, no queued launch writing it — see
-//! [`Pipeline::writes_in_flight`]) skips the flush, so periodic
+//! `Pipeline::writes_in_flight`) skips the flush, so periodic
 //! result downloads of a spectator buffer do not stall the window.
 //!
 //! Functional ordering across streams is handled with the same event
@@ -90,11 +90,17 @@ impl Pipeline {
     }
 
     fn ready_at(&self, vb: VBufId, device: usize) -> f64 {
-        self.ready_at.get(&(vb.0, device)).copied().unwrap_or(0.0)
+        self.ready_at
+            .get(&(vb.index(), device))
+            .copied()
+            .unwrap_or(0.0)
     }
 
     fn read_until(&self, vb: VBufId, device: usize) -> f64 {
-        self.read_until.get(&(vb.0, device)).copied().unwrap_or(0.0)
+        self.read_until
+            .get(&(vb.index(), device))
+            .copied()
+            .unwrap_or(0.0)
     }
 
     fn raise(map: &mut HashMap<Slot, f64>, slot: Slot, t: f64) {
@@ -106,29 +112,31 @@ impl Pipeline {
 
     /// Record a completed-at-`end` copy of `vb` from `src` into `dst`.
     fn note_copy(&mut self, vb: VBufId, src: usize, dst: usize, end: f64) {
-        Self::raise(&mut self.ready_at, (vb.0, dst), end);
-        Self::raise(&mut self.read_until, (vb.0, src), end);
+        Self::raise(&mut self.ready_at, (vb.index(), dst), end);
+        Self::raise(&mut self.read_until, (vb.index(), src), end);
     }
 
     /// Record a kernel on `device` finishing at `end` that read `vb`.
     fn note_kernel_read(&mut self, vb: VBufId, device: usize, end: f64) {
-        Self::raise(&mut self.read_until, (vb.0, device), end);
+        Self::raise(&mut self.read_until, (vb.index(), device), end);
     }
 
     /// Record a kernel on `device` finishing at `end` that wrote `vb`.
     fn note_kernel_write(&mut self, vb: VBufId, device: usize, end: f64) {
-        Self::raise(&mut self.ready_at, (vb.0, device), end);
+        Self::raise(&mut self.ready_at, (vb.index(), device), end);
     }
 
     fn record_reader(&mut self, vb: VBufId, src: usize, dst: usize, token: u64) {
         self.readers
-            .entry((vb.0, src))
+            .entry((vb.index(), src))
             .or_default()
             .push((dst, token));
     }
 
     fn take_readers(&mut self, vb: VBufId, device: usize) -> Vec<(usize, u64)> {
-        self.readers.remove(&(vb.0, device)).unwrap_or_default()
+        self.readers
+            .remove(&(vb.index(), device))
+            .unwrap_or_default()
     }
 
     /// True when an in-flight operation may still be writing `vb` on
@@ -137,7 +145,7 @@ impl Pipeline {
     /// `ready_at`, so they stay cold. Conservative across retired
     /// launches: entries persist until the next drain.
     pub(crate) fn writes_in_flight(&self, vb: VBufId) -> bool {
-        !self.in_flight.is_empty() && self.ready_at.keys().any(|&(b, _)| b == vb.0)
+        !self.in_flight.is_empty() && self.ready_at.keys().any(|&(b, _)| b == vb.index())
     }
 
     /// Drop all window state, returning the latest in-flight completion
@@ -187,6 +195,7 @@ impl MgpuRuntime {
         &mut self,
         ck: &CompiledKernel,
         block: Dim3,
+        args: &[crate::LaunchArg],
         plan: &LaunchPlan,
     ) -> Result<()> {
         self.machine.note_plan_hit();
@@ -203,8 +212,8 @@ impl MgpuRuntime {
 
         // ---- read-sync copies, on the copy engines -----------------------
         for c in &plan.copies {
-            let src = self.buffers[c.vb.0].instances[c.src_dev];
-            let dst = self.buffers[c.vb.0].instances[c.dst_gpu];
+            let src = self.buffers[c.vb.index()].instances[c.src_dev];
+            let dst = self.buffers[c.vb.index()].instances[c.dst_gpu];
             let off = to_usize(c.start, "copy offset")?;
             let run = to_usize(c.end - c.start, "copy length")?;
             let deps = [
@@ -235,13 +244,15 @@ impl MgpuRuntime {
                     .record_reader(c.vb, c.src_dev, c.dst_gpu, token);
             }
             self.pipeline.note_copy(c.vb, c.src_dev, c.dst_gpu, end);
-            self.buffers[c.vb.0].d2d_in_bytes += (c.end - c.start) * c.count;
+            self.buffers[c.vb.index()].d2d_in_bytes += (c.end - c.start) * c.count;
             if replica {
                 for r in 0..c.count {
                     let s = c.start + r * c.stride;
-                    self.buffers[c.vb.0]
-                        .tracker
-                        .add_holder(s, s + (c.end - c.start), c.dst_gpu);
+                    self.buffers[c.vb.index()].tracker.add_holder(
+                        s,
+                        s + (c.end - c.start),
+                        c.dst_gpu,
+                    );
                 }
             }
         }
@@ -263,10 +274,13 @@ impl MgpuRuntime {
                     }
                 }
             }
+            // Buffer positions re-resolved from the live args — plans
+            // are namespace-local and portable across tenant runtimes.
+            let sim_args = self.resolve_sim_args(l, args);
             let end = self.machine.launch_pipelined(
                 l.gpu,
                 &ck.partitioned,
-                &l.sim_args,
+                &sim_args,
                 l.grid,
                 block,
                 Some(l.traffic),
@@ -290,12 +304,12 @@ impl MgpuRuntime {
         // ---- deferred tracker commit: advance at submit -------------------
         let mut invalidated = 0usize;
         for u in &plan.updates {
-            self.buffers[u.vb.0].kernel_written = true;
-            invalidated += self.buffers[u.vb.0]
+            self.buffers[u.vb.index()].kernel_written = true;
+            invalidated += self.buffers[u.vb.index()]
                 .tracker
                 .update(u.start, u.end, Owner::Device(u.gpu))
                 .invalidated;
-            debug_assert!(self.buffers[u.vb.0].tracker.check_invariants());
+            debug_assert!(self.buffers[u.vb.index()].tracker.check_invariants());
         }
         self.machine.note_replica_invalidations(invalidated as u64);
 

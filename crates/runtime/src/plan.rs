@@ -94,7 +94,7 @@ pub struct PlanCopy {
 /// caller passes the same [`crate::CompiledKernel`] at replay — only the
 /// fully resolved argument vector (device-local buffer instances plus
 /// the six partition-bound scalars) and the roofline traffic estimate.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PlanLaunch {
     pub gpu: usize,
     pub sim_args: Vec<SimArg>,
@@ -123,7 +123,7 @@ pub struct PlanUpdate {
 /// never serves a copy the replica state makes redundant, nor skips one
 /// it makes necessary. Replay re-derives holder additions from `copies`
 /// and re-notes the replica observability stats below.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct LaunchPlan {
     pub copies: Vec<PlanCopy>,
     pub launches: Vec<PlanLaunch>,

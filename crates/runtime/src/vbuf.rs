@@ -1,6 +1,6 @@
 //! Virtual buffers and the CUDA-replacement runtime object.
 
-use crate::plan::{LaunchPlan, PlanKey};
+use crate::cache::ShardedPlanCache;
 use crate::tracker::{Owner, Tracker, Validity};
 use crate::{Result, RuntimeError};
 use mekong_gpusim::{DevBuf, Machine, TimeCat};
@@ -12,8 +12,43 @@ use std::sync::Arc;
 
 /// Handle to a virtual buffer — the value the rewritten application holds
 /// where the original held a device pointer.
+///
+/// The raw id packs a 32-bit **namespace** (high bits) over a 32-bit
+/// buffer index (low bits). A standalone runtime lives in namespace 0,
+/// where handle and index coincide — `VBufId(3)` is buffer 3, exactly as
+/// before. A multi-tenant server gives every tenant runtime its own
+/// namespace ([`MgpuRuntime::set_namespace`]); handles then carry their
+/// tenant's prefix and a foreign handle fails the liveness check instead
+/// of silently aliasing another tenant's tracker.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct VBufId(pub usize);
+
+impl VBufId {
+    /// Assemble a handle from a namespace and a buffer index.
+    pub fn with_namespace(ns: u32, index: usize) -> VBufId {
+        debug_assert!(index <= u32::MAX as usize, "buffer index exceeds 32 bits");
+        VBufId((((ns as u64) << 32) | index as u64) as usize)
+    }
+
+    /// The namespace prefix (0 for standalone runtimes).
+    pub fn namespace(self) -> u32 {
+        ((self.0 as u64) >> 32) as u32
+    }
+
+    /// The namespace-local buffer index — the position in the owning
+    /// runtime's buffer table.
+    pub fn index(self) -> usize {
+        ((self.0 as u64) & 0xffff_ffff) as usize
+    }
+
+    /// The namespace-stripped form of this handle. Captured plans store
+    /// local ids so a plan is portable across tenants: identical
+    /// workloads in different namespaces produce identical keys and
+    /// command lists.
+    pub(crate) fn local(self) -> VBufId {
+        VBufId(self.index())
+    }
+}
 
 /// A virtual buffer: one instance per device + the coherence tracker
 /// (paper §8.1).
@@ -93,6 +128,13 @@ pub struct RuntimeConfig {
     /// carry a static write-disjointness proof. On by default; off
     /// restores the slab-only search space for the A10 ablation.
     pub enumerate_tilings: bool,
+    /// Maximum number of captured launch plans the plan cache holds
+    /// before least-recently-used eviction kicks in (`0` = unbounded).
+    /// The default is generous — a single app's working set is a handful
+    /// of plans per kernel — but bounded, so tenant churn in a serving
+    /// fleet cannot leak memory. Evictions are counted in
+    /// [`mekong_gpusim::OpCounters::plan_evictions`].
+    pub plan_cache_capacity: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -107,6 +149,7 @@ impl Default for RuntimeConfig {
             replica_coherence: true,
             launch_ahead: 2,
             enumerate_tilings: true,
+            plan_cache_capacity: 1024,
         }
     }
 }
@@ -175,10 +218,15 @@ pub struct MgpuRuntime {
     /// When γ disables dependency resolution, transfers are skipped
     /// entirely (they depend on resolution), like the paper's γ run.
     pub(crate) resolve_dependencies: bool,
-    /// Captured launch plans, keyed by the content-addressed [`PlanKey`]
-    /// (see [`crate::plan`]). `Arc` so a hit clones a handle, not the
-    /// command lists.
-    pub(crate) plan_cache: HashMap<PlanKey, Arc<LaunchPlan>>,
+    /// Captured launch plans, keyed by the content-addressed
+    /// [`crate::PlanKey`] (see [`crate::plan`]). Sharded and behind an
+    /// `Arc` so a serving fleet can point many tenant runtimes at one
+    /// cache ([`MgpuRuntime::set_plan_cache`]); a standalone runtime
+    /// simply owns the only handle.
+    pub(crate) plan_cache: Arc<ShardedPlanCache>,
+    /// Namespace prefix stamped into every [`VBufId`] this runtime hands
+    /// out (0 = standalone). See [`VBufId::namespace`].
+    pub(crate) namespace: u32,
     /// Partitioning autotuner state: one decision per
     /// (kernel, geometry, scalars), fed back with measured traffic.
     pub(crate) tuner: Autotuner,
@@ -198,7 +246,10 @@ impl MgpuRuntime {
             buffers: Vec::new(),
             config: RuntimeConfig::default(),
             resolve_dependencies: true,
-            plan_cache: HashMap::new(),
+            plan_cache: Arc::new(ShardedPlanCache::new(
+                RuntimeConfig::default().plan_cache_capacity,
+            )),
+            namespace: 0,
             tuner: Autotuner::new(),
             forced: HashMap::new(),
             pipeline: crate::pipeline::Pipeline::default(),
@@ -217,12 +268,54 @@ impl MgpuRuntime {
         self.resolve_dependencies = cfg.pattern_timing || self.machine.is_functional();
         // Plans captured under another configuration must not replay:
         // the keys deliberately exclude config flags, so flush instead.
+        // (Serving fleets share one config across tenants and attach the
+        // shared cache *after* configuring, so this only ever clears the
+        // runtime's private cache.)
         self.plan_cache.clear();
+        self.plan_cache.set_capacity(cfg.plan_cache_capacity);
     }
 
     /// Launch-plan cache size (captured plans currently held).
     pub fn plan_cache_len(&self) -> usize {
         self.plan_cache.len()
+    }
+
+    /// A handle to the plan cache — share it with another runtime via
+    /// [`MgpuRuntime::set_plan_cache`], or snapshot it with
+    /// [`crate::persist::snapshot_to_json`].
+    pub fn plan_cache_handle(&self) -> Arc<ShardedPlanCache> {
+        self.plan_cache.clone()
+    }
+
+    /// Attach a (possibly shared) plan cache. Plan keys strip the buffer
+    /// namespace, so tenants with identical workloads hit each other's
+    /// captured plans; replay re-resolves buffer arguments against this
+    /// runtime's own instances. Call *after* [`MgpuRuntime::set_config`]
+    /// — configuring clears the attached cache.
+    pub fn set_plan_cache(&mut self, cache: Arc<ShardedPlanCache>) {
+        self.pipeline_flush();
+        self.plan_cache = cache;
+    }
+
+    /// Assign this runtime's virtual-buffer namespace. Every handle
+    /// minted by [`MgpuRuntime::malloc`] carries the prefix, and handles
+    /// from any other namespace are rejected by the liveness check —
+    /// tenants cannot alias each other's trackers. Only callable before
+    /// the first allocation: existing handles must not be re-interpreted.
+    pub fn set_namespace(&mut self, ns: u32) -> Result<()> {
+        if !self.buffers.is_empty() {
+            return Err(RuntimeError::BadArgument(format!(
+                "cannot change namespace to {ns} after {} allocations",
+                self.buffers.len()
+            )));
+        }
+        self.namespace = ns;
+        Ok(())
+    }
+
+    /// This runtime's virtual-buffer namespace (0 = standalone).
+    pub fn namespace(&self) -> u32 {
+        self.namespace
     }
 
     /// Pin the partitioning strategy of one kernel, bypassing both the
@@ -315,16 +408,26 @@ impl MgpuRuntime {
             kernel_written: false,
             d2d_in_bytes: 0,
         });
-        Ok(VBufId(self.buffers.len() - 1))
+        Ok(VBufId::with_namespace(
+            self.namespace,
+            self.buffers.len() - 1,
+        ))
     }
 
     /// `cudaFree` replacement. The simulator does not reclaim device
     /// memory (allocation is virtual in performance mode anyway); freeing
     /// marks the handle so later use is caught as an error.
     pub fn free(&mut self, b: VBufId) -> Result<()> {
+        if b.namespace() != self.namespace {
+            return Err(RuntimeError::BadArgument(format!(
+                "buffer {b:?} belongs to namespace {}, not {}",
+                b.namespace(),
+                self.namespace
+            )));
+        }
         let vb = self
             .buffers
-            .get_mut(b.0)
+            .get_mut(b.index())
             .ok_or(RuntimeError::BadArgument(format!("unknown buffer {b:?}")))?;
         if vb.freed {
             return Err(RuntimeError::BadArgument(format!(
@@ -336,7 +439,17 @@ impl MgpuRuntime {
     }
 
     pub(crate) fn check_live(&self, b: VBufId) -> Result<()> {
-        match self.buffers.get(b.0) {
+        // A handle from another namespace is *someone else's* buffer —
+        // its index may well be in range here, which is exactly the
+        // cross-tenant aliasing this check exists to refuse.
+        if b.namespace() != self.namespace {
+            return Err(RuntimeError::BadArgument(format!(
+                "buffer {b:?} belongs to namespace {}, not {}",
+                b.namespace(),
+                self.namespace
+            )));
+        }
+        match self.buffers.get(b.index()) {
             Some(vb) if !vb.freed => Ok(()),
             Some(_) => Err(RuntimeError::BadArgument(format!(
                 "use of freed buffer {b:?}"
@@ -352,7 +465,7 @@ impl MgpuRuntime {
     pub fn memcpy_h2d(&mut self, dst: VBufId, src: &[u8]) -> Result<()> {
         self.check_live(dst)?;
         self.pipeline_flush();
-        let vb = &self.buffers[dst.0];
+        let vb = &self.buffers[dst.index()];
         if src.len() != vb.len {
             return Err(RuntimeError::SizeMismatch {
                 expected: vb.len,
@@ -374,16 +487,17 @@ impl MgpuRuntime {
                 continue;
             }
             self.machine.copy_h2d(&src[s..e], inst, s, false)?;
-            let stats = self.buffers[dst.0]
-                .tracker
-                .update(s as u64, e as u64, Owner::Device(d));
+            let stats =
+                self.buffers[dst.index()]
+                    .tracker
+                    .update(s as u64, e as u64, Owner::Device(d));
             self.machine
                 .note_replica_invalidations(stats.invalidated as u64);
             let seg_cost = self.machine.spec().host_per_segment;
             self.machine.charge_host(seg_cost, TimeCat::Pattern);
         }
-        self.buffers[dst.0].kernel_written = false;
-        debug_assert!(self.buffers[dst.0].tracker.check_invariants());
+        self.buffers[dst.index()].kernel_written = false;
+        debug_assert!(self.buffers[dst.index()].tracker.check_invariants());
         Ok(())
     }
 
@@ -391,7 +505,7 @@ impl MgpuRuntime {
     /// the tracker (§8.2).
     pub fn memcpy_d2h(&mut self, src: VBufId, dst: &mut [u8]) -> Result<()> {
         self.check_live(src)?;
-        let vb = &self.buffers[src.0];
+        let vb = &self.buffers[src.index()];
         if dst.len() != vb.len {
             return Err(RuntimeError::SizeMismatch {
                 expected: vb.len,
@@ -406,7 +520,7 @@ impl MgpuRuntime {
         if self.pipeline.writes_in_flight(src) {
             self.pipeline_flush();
         }
-        let vb = &self.buffers[src.0];
+        let vb = &self.buffers[src.index()];
         let plan = Self::d2h_gather_plan(vb, self.config.replica_coherence);
         let instances = vb.instances.clone();
         let seg_cost = self.machine.spec().host_per_segment * plan.len() as f64;
@@ -453,7 +567,7 @@ impl MgpuRuntime {
     pub fn memcpy_h2d_sim(&mut self, dst: VBufId) -> Result<()> {
         self.check_live(dst)?;
         self.pipeline_flush();
-        let vb = &self.buffers[dst.0];
+        let vb = &self.buffers[dst.index()];
         let n = self.n_devices();
         let elem = vb.elem_size;
         let total_elems = vb.len / elem;
@@ -469,15 +583,16 @@ impl MgpuRuntime {
                 continue;
             }
             self.machine.copy_h2d_timed(inst, s, e - s, false)?;
-            let stats = self.buffers[dst.0]
-                .tracker
-                .update(s as u64, e as u64, Owner::Device(d));
+            let stats =
+                self.buffers[dst.index()]
+                    .tracker
+                    .update(s as u64, e as u64, Owner::Device(d));
             self.machine
                 .note_replica_invalidations(stats.invalidated as u64);
             let seg_cost = self.machine.spec().host_per_segment;
             self.machine.charge_host(seg_cost, TimeCat::Pattern);
         }
-        self.buffers[dst.0].kernel_written = false;
+        self.buffers[dst.index()].kernel_written = false;
         Ok(())
     }
 
@@ -489,7 +604,7 @@ impl MgpuRuntime {
         if self.pipeline.writes_in_flight(src) {
             self.pipeline_flush();
         }
-        let vb = &self.buffers[src.0];
+        let vb = &self.buffers[src.index()];
         let plan = Self::d2h_gather_plan(vb, self.config.replica_coherence);
         let instances = vb.instances.clone();
         let seg_cost = self.machine.spec().host_per_segment * plan.len() as f64;
@@ -518,7 +633,7 @@ impl MgpuRuntime {
     pub fn memcpy_h2d_async(&mut self, dst: VBufId, src: &[u8]) -> Result<()> {
         self.check_live(dst)?;
         self.pipeline_flush();
-        let vb = &self.buffers[dst.0];
+        let vb = &self.buffers[dst.index()];
         if src.len() != vb.len {
             return Err(RuntimeError::SizeMismatch {
                 expected: vb.len,
@@ -540,15 +655,16 @@ impl MgpuRuntime {
                 continue;
             }
             self.machine.copy_h2d(&src[s..e], inst, s, true)?;
-            let stats = self.buffers[dst.0]
-                .tracker
-                .update(s as u64, e as u64, Owner::Device(d));
+            let stats =
+                self.buffers[dst.index()]
+                    .tracker
+                    .update(s as u64, e as u64, Owner::Device(d));
             self.machine
                 .note_replica_invalidations(stats.invalidated as u64);
             let seg_cost = self.machine.spec().host_per_segment;
             self.machine.charge_host(seg_cost, TimeCat::Pattern);
         }
-        self.buffers[dst.0].kernel_written = false;
+        self.buffers[dst.index()].kernel_written = false;
         Ok(())
     }
 
@@ -561,7 +677,7 @@ impl MgpuRuntime {
 
     /// Tracker segment count of a buffer (fragmentation metric).
     pub fn segment_count(&self, b: VBufId) -> usize {
-        self.buffers[b.0].tracker.segment_count()
+        self.buffers[b.index()].tracker.segment_count()
     }
 
     /// Total peer-copy bytes ever received by a buffer's device
@@ -570,12 +686,12 @@ impl MgpuRuntime {
     /// read-only array it stops growing after the first launch once
     /// replica coherence marks every reader a valid holder.
     pub fn d2d_bytes_into(&self, b: VBufId) -> u64 {
-        self.buffers[b.0].d2d_in_bytes
+        self.buffers[b.index()].d2d_in_bytes
     }
 
     /// Byte length of a buffer.
     pub fn buffer_len(&self, b: VBufId) -> usize {
-        self.buffers[b.0].len
+        self.buffers[b.index()].len
     }
 
     /// Elapsed simulated time on the host clock.
@@ -635,15 +751,18 @@ mod tests {
         // Linear split: device 0 received [0,200), device 1 [200,400).
         // Replicate device 1's half onto device 0 (a real copy on the
         // functional machine, then the tracker records the holder).
-        let (i0, i1) = (rt.buffers[b.0].instances[0], rt.buffers[b.0].instances[1]);
+        let (i0, i1) = (
+            rt.buffers[b.index()].instances[0],
+            rt.buffers[b.index()].instances[1],
+        );
         rt.machine.copy_d2d(i1, 200, i0, 200, 200).unwrap();
         rt.machine.sync_all();
-        rt.buffers[b.0].tracker.add_holder(200, 400, 0);
+        rt.buffers[b.index()].tracker.add_holder(200, 400, 0);
         // Replica-aware gather: one copy, sourced entirely from device 0.
-        let plan = MgpuRuntime::d2h_gather_plan(&rt.buffers[b.0], true);
+        let plan = MgpuRuntime::d2h_gather_plan(&rt.buffers[b.index()], true);
         assert_eq!(plan, vec![(0, 0, 400)]);
         // Legacy gather: one copy per freshest owner.
-        let legacy = MgpuRuntime::d2h_gather_plan(&rt.buffers[b.0], false);
+        let legacy = MgpuRuntime::d2h_gather_plan(&rt.buffers[b.index()], false);
         assert_eq!(legacy, vec![(0, 0, 200), (1, 200, 400)]);
         let mut out = vec![0u8; n * 4];
         rt.memcpy_d2h(b, &mut out).unwrap();

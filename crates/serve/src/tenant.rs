@@ -1,0 +1,107 @@
+//! Per-tenant state: the private runtime, its op queue and accounting.
+
+use std::collections::VecDeque;
+
+use mekong_core::prelude::{CompiledProgram, Dim3, LaunchArg, MgpuRuntime, VBufId};
+
+/// Opaque handle to a registered tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TenantId(pub(crate) usize);
+
+impl TenantId {
+    /// The tenant's index in registration order (also its namespace − 1).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Receipt for a queued device-to-host read-back. Redeem with
+/// [`crate::FleetServer::take_output`] once the queue has drained past
+/// the submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ticket(pub(crate) usize);
+
+/// One queued operation. Submission is asynchronous: ops accumulate in
+/// the tenant's FIFO and run when the fleet executor steps the tenant.
+pub(crate) enum TenantOp {
+    H2d {
+        dst: VBufId,
+        data: Vec<u8>,
+    },
+    Launch {
+        kernel: String,
+        grid: Dim3,
+        block: Dim3,
+        args: Vec<LaunchArg>,
+    },
+    D2h {
+        src: VBufId,
+        ticket: usize,
+    },
+    Sync,
+}
+
+/// A registered tenant: its compiled program, a private runtime over the
+/// placed device subset (namespace-isolated, shared plan cache), the
+/// pending op queue and completed read-backs.
+pub(crate) struct Tenant {
+    pub name: String,
+    pub rt: MgpuRuntime,
+    pub program: CompiledProgram,
+    /// Physical fleet devices backing the tenant's runtime (runtime
+    /// device `i` is fleet device `devices[i]`).
+    pub devices: Vec<usize>,
+    pub queue: VecDeque<TenantOp>,
+    /// Ticket-indexed read-back results; `None` until executed or after
+    /// [`crate::FleetServer::take_output`].
+    pub outputs: Vec<Option<Vec<u8>>>,
+    pub bytes_h2d: u64,
+    pub bytes_d2h: u64,
+    pub ops_submitted: u64,
+    pub ops_completed: u64,
+}
+
+/// Accounting snapshot of one tenant (see
+/// [`crate::FleetServer::stats`]).
+#[derive(Debug, Clone)]
+pub struct TenantStats {
+    pub name: String,
+    /// Physical fleet devices the tenant was placed on.
+    pub devices: Vec<usize>,
+    /// Simulated wall-clock the tenant's runtime has consumed, seconds.
+    pub wall_time: f64,
+    /// Host↔device bytes moved through the submission queue.
+    pub bytes_h2d: u64,
+    pub bytes_d2h: u64,
+    pub ops_submitted: u64,
+    pub ops_completed: u64,
+    /// Ops still waiting in the FIFO.
+    pub queued: usize,
+    /// Plan-cache counters of the tenant's runtime. `plan_shared_hits`
+    /// counts hits on plans captured by a *different* namespace — the
+    /// cross-tenant (or warm-start) sharing the sharded cache exists for.
+    pub plan_hits: u64,
+    pub plan_misses: u64,
+    pub plan_shared_hits: u64,
+    pub plan_evictions: u64,
+}
+
+impl Tenant {
+    pub fn stats(&self) -> TenantStats {
+        let counters = self.rt.machine().counters();
+        TenantStats {
+            name: self.name.clone(),
+            devices: self.devices.clone(),
+            wall_time: self.rt.elapsed(),
+            bytes_h2d: self.bytes_h2d,
+            bytes_d2h: self.bytes_d2h,
+            ops_submitted: self.ops_submitted,
+            ops_completed: self.ops_completed,
+            queued: self.queue.len(),
+            plan_hits: counters.plan_hits,
+            plan_misses: counters.plan_misses,
+            plan_shared_hits: counters.plan_shared_hits,
+            plan_evictions: counters.plan_evictions,
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Serving smoke tests: cross-tenant plan sharing, namespace isolation
+//! of buffer handles, and snapshot warm start with zero captures.
+
+use mekong_core::prelude::{LaunchArg, Value};
+use mekong_serve::{FleetConfig, FleetServer, Probe, ProbeArg, ServeError, TenantId, Ticket};
+use mekong_workloads::hotspot;
+
+fn hotspot_probe(n: usize) -> Probe {
+    let (grid, block) = hotspot::geometry(n);
+    let bytes = n * n * 4;
+    Probe {
+        kernel: "hotspot".into(),
+        grid,
+        block,
+        args: vec![
+            ProbeArg::Scalar(Value::I64(n as i64)),
+            ProbeArg::Scalar(Value::F32(hotspot::CAP)),
+            ProbeArg::Buf {
+                bytes,
+                elem_size: 4,
+            },
+            ProbeArg::Buf {
+                bytes,
+                elem_size: 4,
+            },
+            ProbeArg::Buf {
+                bytes,
+                elem_size: 4,
+            },
+        ],
+    }
+}
+
+/// Register a hotspot tenant and queue its whole run: uploads, `iters`
+/// ping-pong launches, sync, one read-back of the final buffer.
+fn submit_hotspot(
+    server: &mut FleetServer,
+    name: &str,
+    n: usize,
+    iters: usize,
+    seed: u32,
+) -> (TenantId, Ticket) {
+    let (grid, block) = hotspot::geometry(n);
+    let bytes = n * n * 4;
+    let t = server
+        .register_tenant(name, hotspot::SOURCE, &hotspot_probe(n))
+        .expect("register");
+    let a = server.malloc(t, bytes, 4).unwrap();
+    let b = server.malloc(t, bytes, 4).unwrap();
+    let p = server.malloc(t, bytes, 4).unwrap();
+    let temp: Vec<u8> = (0..n * n)
+        .flat_map(|i| {
+            (((i as u32).wrapping_mul(31).wrapping_add(seed) % 173) as f32 * 0.1).to_le_bytes()
+        })
+        .collect();
+    let power: Vec<u8> = (0..n * n)
+        .flat_map(|i| {
+            (((i as u32).wrapping_mul(17).wrapping_add(seed) % 97) as f32 * 0.01).to_le_bytes()
+        })
+        .collect();
+    server.submit_h2d(t, a, temp.clone()).unwrap();
+    server.submit_h2d(t, b, temp).unwrap();
+    server.submit_h2d(t, p, power).unwrap();
+    let (mut src, mut dst) = (a, b);
+    for _ in 0..iters {
+        server
+            .submit_launch(
+                t,
+                "hotspot",
+                grid,
+                block,
+                vec![
+                    LaunchArg::Scalar(Value::I64(n as i64)),
+                    LaunchArg::Scalar(Value::F32(hotspot::CAP)),
+                    LaunchArg::Buf(src),
+                    LaunchArg::Buf(p),
+                    LaunchArg::Buf(dst),
+                ],
+            )
+            .unwrap();
+        std::mem::swap(&mut src, &mut dst);
+    }
+    server.submit_sync(t).unwrap();
+    let ticket = server.submit_d2h(t, src).unwrap();
+    (t, ticket)
+}
+
+#[test]
+fn two_identical_tenants_share_plans_and_match_solo() {
+    let mut server = FleetServer::new(FleetConfig::functional_fleet(4));
+    let (t0, k0) = submit_hotspot(&mut server, "alice", 96, 6, 1);
+    let (t1, k1) = submit_hotspot(&mut server, "bob", 96, 6, 1);
+    server.drain().unwrap();
+    let out0 = server.take_output(t0, k0).unwrap().expect("executed");
+    let out1 = server.take_output(t1, k1).unwrap().expect("executed");
+    assert_eq!(out0, out1, "identical workloads must agree");
+    // A second take returns nothing (the bytes moved out).
+    assert!(server.take_output(t0, k0).unwrap().is_none());
+
+    // The second tenant replayed plans the first captured.
+    let shared: u64 = server
+        .fleet_stats()
+        .iter()
+        .map(|s| s.plan_shared_hits)
+        .sum();
+    assert!(shared > 0, "no cross-tenant plan hits");
+
+    // Interleaved serving is byte-identical to the tenant running alone.
+    let mut solo = FleetServer::new(FleetConfig::functional_fleet(4));
+    let (s0, sk0) = submit_hotspot(&mut solo, "alice", 96, 6, 1);
+    solo.drain().unwrap();
+    assert_eq!(solo.take_output(s0, sk0).unwrap().unwrap(), out0);
+}
+
+#[test]
+fn foreign_buffer_handles_are_rejected() {
+    let mut server = FleetServer::new(FleetConfig::functional_fleet(2));
+    let n = 96;
+    let (t0, _k0) = submit_hotspot(&mut server, "alice", n, 2, 1);
+    let (t1, _k1) = submit_hotspot(&mut server, "bob", n, 2, 2);
+    // A handle minted for tenant 0, submitted through tenant 1.
+    let stolen = server.malloc(t0, n * n * 4, 4).unwrap();
+    server.submit_h2d(t1, stolen, vec![0u8; n * n * 4]).unwrap();
+    // Tenant 0's ops run fine; tenant 1 fails at the stolen upload.
+    let err = server.drain().unwrap_err();
+    match err {
+        ServeError::Runtime(_) => {}
+        other => panic!("expected a runtime rejection, got {other}"),
+    }
+}
+
+#[test]
+fn warm_start_from_snapshot_replays_with_zero_captures() {
+    let cfg = FleetConfig::functional_fleet(4);
+    let mut first = FleetServer::new(cfg.clone());
+    let (t0, k0) = submit_hotspot(&mut first, "alice", 96, 5, 3);
+    first.drain().unwrap();
+    let out_first = first.take_output(t0, k0).unwrap().unwrap();
+    let cold = first.stats(t0).unwrap();
+    assert!(cold.plan_misses > 0, "cold server must capture");
+    let snapshot = first.snapshot_plans();
+
+    // A fresh server process: load the snapshot, rerun the same tenant.
+    let mut second = FleetServer::new(cfg);
+    let loaded = second.load_plans(&snapshot).unwrap();
+    assert!(loaded > 0, "snapshot carried no plans");
+    let (t1, k1) = submit_hotspot(&mut second, "alice", 96, 5, 3);
+    second.drain().unwrap();
+    assert_eq!(second.take_output(t1, k1).unwrap().unwrap(), out_first);
+    let warm = second.stats(t1).unwrap();
+    assert_eq!(warm.plan_misses, 0, "warm start must not capture");
+    assert!(warm.plan_hits > 0, "warm start must replay loaded plans");
+
+    // And the snapshot is deterministic: re-rendering the warm server's
+    // cache reproduces it byte for byte.
+    assert_eq!(second.snapshot_plans(), snapshot);
+}
+
+#[test]
+fn placement_spreads_tenants_over_least_loaded_devices() {
+    let mut server = FleetServer::new(FleetConfig {
+        max_devices_per_tenant: 2,
+        ..FleetConfig::functional_fleet(4)
+    });
+    let (t0, _) = submit_hotspot(&mut server, "alice", 96, 1, 1);
+    let (t1, _) = submit_hotspot(&mut server, "bob", 96, 1, 1);
+    let d0 = server.stats(t0).unwrap().devices;
+    let d1 = server.stats(t1).unwrap().devices;
+    assert!(d0.len() <= 2 && d1.len() <= 2);
+    // With the fleet twice as large as the cap, the second tenant lands
+    // on devices the first left free.
+    if d0.len() == 2 {
+        assert!(d0.iter().all(|d| !d1.contains(d)), "{d0:?} vs {d1:?}");
+    }
+    let load = server.device_load();
+    assert_eq!(load.iter().sum::<usize>(), d0.len() + d1.len());
+    server.drain().unwrap();
+}

@@ -536,6 +536,29 @@ pub fn rank_candidates_opts(
     out
 }
 
+/// Cheapest ranked candidate that fits on at most `max_devices` devices.
+///
+/// A fleet scheduler carving a device subset out of a larger machine
+/// ranks candidates on the full-fleet spec (so relative link/device
+/// costs are honest) and then asks for the best strategy it can still
+/// place. Returns `None` when `max_devices == 0` or no candidate fits.
+pub fn best_candidate_within(cands: &[Candidate], max_devices: usize) -> Option<&Candidate> {
+    cands
+        .iter()
+        .find(|c| c.strategy.n_parts() <= max_devices && c.strategy.n_parts() >= 1)
+}
+
+/// Device count a tenant's kernel is worth, per the ranked candidate
+/// list: the `n_parts` of the cheapest candidate fitting within
+/// `max_devices` (1 when nothing fits — the single-device fallback is
+/// always enumerable).
+pub fn preferred_devices(cands: &[Candidate], max_devices: usize) -> usize {
+    best_candidate_within(cands, max_devices)
+        .map(|c| c.strategy.n_parts())
+        .unwrap_or(1)
+        .max(1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

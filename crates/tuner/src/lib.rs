@@ -39,10 +39,10 @@ pub mod strategy;
 
 pub use autotune::{Autotuner, RecordOutcome, TuneEntry, TuneKey};
 pub use cost::{
-    enumerate_strategies, enumerate_strategies_masked, enumerate_strategies_opts, evaluate,
-    proportional_shares, rank_candidates, rank_candidates_masked, rank_candidates_opts,
-    strided_groups, thread_time, Candidate, CostEstimate, OwnedSegment, Ownership, ReadModel,
-    StridedGroup, TunerInput, WriteModel,
+    best_candidate_within, enumerate_strategies, enumerate_strategies_masked,
+    enumerate_strategies_opts, evaluate, preferred_devices, proportional_shares, rank_candidates,
+    rank_candidates_masked, rank_candidates_opts, strided_groups, thread_time, Candidate,
+    CostEstimate, OwnedSegment, Ownership, ReadModel, StridedGroup, TunerInput, WriteModel,
 };
 pub use mekong_check::AxisMask;
 pub use strategy::{decode_strategy, PartitionStrategy};

@@ -57,6 +57,11 @@ pub struct RunOutcome {
     pub replica_invalidations: u64,
     /// Peer-transfer bytes the replica hits avoided re-fetching.
     pub refetch_bytes_saved: u64,
+    /// Plan-cache hits served by a plan another namespace captured
+    /// (cross-tenant sharing / warm start, see mekong-serve).
+    pub plan_shared_hits: u64,
+    /// Captured plans evicted by the plan cache's LRU capacity bound.
+    pub plan_evictions: u64,
 }
 
 impl RunOutcome {
@@ -74,6 +79,8 @@ impl RunOutcome {
             replica_hits: counters.replica_hits,
             replica_invalidations: counters.replica_invalidations,
             refetch_bytes_saved: counters.refetch_bytes_saved,
+            plan_shared_hits: counters.plan_shared_hits,
+            plan_evictions: counters.plan_evictions,
         }
     }
 
@@ -100,6 +107,12 @@ impl RunOutcome {
                 self.refetch_bytes_saved as f64 / (1024.0 * 1024.0),
                 self.replica_invalidations
             ));
+        }
+        if self.plan_shared_hits > 0 {
+            s.push_str(&format!(" | {} shared plan hits", self.plan_shared_hits));
+        }
+        if self.plan_evictions > 0 {
+            s.push_str(&format!(" | {} plan evictions", self.plan_evictions));
         }
         let checked = self.counters.checked_safe + self.counters.checked_rejected;
         if checked > 0 {

@@ -18,20 +18,38 @@
 //! declared map must be block-injective along the split axis. What the
 //! programmer vouches for is *accuracy* (that the kernel writes no more
 //! than declared), which static analysis could not establish.
+//!
+//! A second, lighter flavor feeds the interval abstract interpreter
+//! (see [`crate::interval`]): *value-range* annotations bound the values
+//! stored in an index array, as inclusive `lo .. hi` templates over
+//! `$0, $1, …` placeholders for the access's index expressions:
+//!
+//! ```text
+//! // @mekong spmv range cols : $0 - w .. $0 + w
+//! ```
+//!
+//! declares `$0 − w ≤ cols[$0][$1] ≤ $0 + w`. Range annotations are a
+//! single line (no isl map follows the `:`); templates use integer
+//! literals, scalar parameters, `$k`, `+ − *` `/ %` and parentheses.
 
+use crate::extract::ValueRanges;
 use crate::injective::is_block_injective;
 use crate::model::{ArgModel, ArrayAccess, KernelModel, Verdict};
 use crate::space::{AnalysisSpace, N_FIXED_PARAMS, N_MAP_IN};
 use crate::strategy::suggest_split;
 use crate::AnalysisError;
+use mekong_kernel::{BinOp, Expr, UnOp};
 use mekong_poly::Map;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
 /// Direction of an annotated access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum AnnotationKind {
     Read,
     Write,
+    /// Value-range bound on an index array (`lo .. hi` templates).
+    Range,
 }
 
 /// One `@mekong` annotation.
@@ -73,9 +91,10 @@ pub fn scan_annotations(src: &str) -> Result<Vec<Annotation>, String> {
         let kind = match parts.next() {
             Some("read") => AnnotationKind::Read,
             Some("write") => AnnotationKind::Write,
+            Some("range") => AnnotationKind::Range,
             other => {
                 return Err(format!(
-                    "line {}: expected read|write, found {other:?}",
+                    "line {}: expected read|write|range, found {other:?}",
                     i + 1
                 ))
             }
@@ -87,6 +106,19 @@ pub fn scan_annotations(src: &str) -> Result<Vec<Annotation>, String> {
             Some((a, m)) => (a.trim().to_string(), m.trim().to_string()),
             None => return Err(format!("line {}: expected ':' before the map", i + 1)),
         };
+        // Range annotations are a single line of `lo .. hi` templates —
+        // no braces follow, so the map continuation loop must not run.
+        if kind == AnnotationKind::Range {
+            out.push(Annotation {
+                kernel,
+                kind,
+                arg,
+                map_text,
+                line: i + 1,
+            });
+            i += 1;
+            continue;
+        }
         // Continue across `//` lines until braces balance.
         let balance = |s: &str| s.matches('{').count() as i64 - s.matches('}').count() as i64;
         let mut bal = balance(&map_text);
@@ -121,7 +153,7 @@ pub fn scan_annotations(src: &str) -> Result<Vec<Annotation>, String> {
 pub fn apply_annotations(model: &mut KernelModel, annotations: &[Annotation]) -> crate::Result<()> {
     let mine: Vec<&Annotation> = annotations
         .iter()
-        .filter(|a| a.kernel == model.kernel_name)
+        .filter(|a| a.kernel == model.kernel_name && a.kind != AnnotationKind::Range)
         .collect();
     if mine.is_empty() {
         return Ok(());
@@ -175,10 +207,12 @@ pub fn apply_annotations(model: &mut KernelModel, annotations: &[Annotation]) ->
             map,
             exact: true,
             may: false,
+            interval: false,
         };
         match ann.kind {
             AnnotationKind::Read => *read = Some(access),
             AnnotationKind::Write => *write = Some(access),
+            AnnotationKind::Range => unreachable!("ranges filtered above"),
         }
     }
     // Re-derive strategy and verdict with the declared maps in place.
@@ -207,6 +241,159 @@ pub fn apply_annotations(model: &mut KernelModel, annotations: &[Annotation]) ->
     }
     model.verdict = verdict;
     Ok(())
+}
+
+/// Collect the value-range annotations into per-kernel [`ValueRanges`]
+/// tables for [`crate::analyze_kernel_with`]: kernel name → array name →
+/// inclusive `(lo, hi)` bound templates.
+pub fn value_ranges(annotations: &[Annotation]) -> Result<HashMap<String, ValueRanges>, String> {
+    let mut out: HashMap<String, ValueRanges> = HashMap::new();
+    for a in annotations {
+        if a.kind != AnnotationKind::Range {
+            continue;
+        }
+        let (lo, hi) = a.map_text.split_once("..").ok_or_else(|| {
+            format!(
+                "line {}: range annotation must be '<lo> .. <hi>', got {:?}",
+                a.line, a.map_text
+            )
+        })?;
+        let lo = parse_range_expr(lo).map_err(|e| format!("line {}: {e}", a.line))?;
+        let hi = parse_range_expr(hi).map_err(|e| format!("line {}: {e}", a.line))?;
+        out.entry(a.kernel.clone())
+            .or_default()
+            .insert(a.arg.clone(), (lo, hi));
+    }
+    Ok(out)
+}
+
+/// Parse one side of a range template into a kernel [`Expr`]. Grammar:
+/// integer literals, identifiers (scalar params), `$k` placeholders,
+/// unary minus, `+ - * / %` with the usual precedence, parentheses.
+pub fn parse_range_expr(text: &str) -> Result<Expr, String> {
+    let toks = lex_range(text)?;
+    let mut p = RangeParser { toks, pos: 0 };
+    let e = p.expr()?;
+    if p.pos != p.toks.len() {
+        return Err(format!("trailing input after expression in {text:?}"));
+    }
+    Ok(e)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Int(i64),
+    Ident(String),
+    Op(char),
+}
+
+fn lex_range(text: &str) -> Result<Vec<Tok>, String> {
+    let mut toks = Vec::new();
+    let mut chars = text.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        if c.is_whitespace() {
+            chars.next();
+        } else if c.is_ascii_digit() {
+            let mut n = String::new();
+            while let Some(&d) = chars.peek() {
+                if d.is_ascii_digit() {
+                    n.push(d);
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            toks.push(Tok::Int(
+                n.parse().map_err(|_| format!("bad integer {n:?}"))?,
+            ));
+        } else if c.is_ascii_alphabetic() || c == '_' || c == '$' {
+            let mut id = String::new();
+            id.push(c);
+            chars.next();
+            while let Some(&d) = chars.peek() {
+                if d.is_ascii_alphanumeric() || d == '_' {
+                    id.push(d);
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            toks.push(Tok::Ident(id));
+        } else if matches!(c, '+' | '-' | '*' | '/' | '%' | '(' | ')') {
+            toks.push(Tok::Op(c));
+            chars.next();
+        } else {
+            return Err(format!("unexpected character {c:?} in range template"));
+        }
+    }
+    Ok(toks)
+}
+
+struct RangeParser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl RangeParser {
+    fn peek_op(&self) -> Option<char> {
+        match self.toks.get(self.pos) {
+            Some(Tok::Op(c)) => Some(*c),
+            _ => None,
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, String> {
+        let mut e = self.term()?;
+        while let Some(c @ ('+' | '-')) = self.peek_op() {
+            self.pos += 1;
+            let rhs = self.term()?;
+            let op = if c == '+' { BinOp::Add } else { BinOp::Sub };
+            e = Expr::bin(op, e, rhs);
+        }
+        Ok(e)
+    }
+
+    fn term(&mut self) -> Result<Expr, String> {
+        let mut e = self.factor()?;
+        while let Some(c @ ('*' | '/' | '%')) = self.peek_op() {
+            self.pos += 1;
+            let rhs = self.factor()?;
+            let op = match c {
+                '*' => BinOp::Mul,
+                '/' => BinOp::Div,
+                _ => BinOp::Rem,
+            };
+            e = Expr::bin(op, e, rhs);
+        }
+        Ok(e)
+    }
+
+    fn factor(&mut self) -> Result<Expr, String> {
+        match self.toks.get(self.pos).cloned() {
+            Some(Tok::Op('-')) => {
+                self.pos += 1;
+                Ok(Expr::un(UnOp::Neg, self.factor()?))
+            }
+            Some(Tok::Op('(')) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                if self.peek_op() != Some(')') {
+                    return Err("missing ')' in range template".into());
+                }
+                self.pos += 1;
+                Ok(e)
+            }
+            Some(Tok::Int(v)) => {
+                self.pos += 1;
+                Ok(Expr::Int(v))
+            }
+            Some(Tok::Ident(name)) => {
+                self.pos += 1;
+                Ok(Expr::Var(name))
+            }
+            other => Err(format!("unexpected token {other:?} in range template")),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -322,5 +509,55 @@ mod tests {
             line: 1,
         }];
         assert!(apply_annotations(&mut model, &anns).is_err());
+    }
+
+    #[test]
+    fn scan_finds_single_line_range_annotations() {
+        // A range annotation has no braces; the scanner must not try to
+        // join continuation lines (which would swallow the source below).
+        let src = "\
+// @mekong spmv range cols : $0 - w .. $0 + w
+__global__ void spmv(...) {}
+";
+        let anns = scan_annotations(src).unwrap();
+        assert_eq!(anns.len(), 1);
+        assert_eq!(anns[0].kind, AnnotationKind::Range);
+        assert_eq!(anns[0].arg, "cols");
+        assert_eq!(anns[0].map_text, "$0 - w .. $0 + w");
+    }
+
+    #[test]
+    fn value_ranges_parse_templates() {
+        use mekong_kernel::Expr;
+        let src = "\
+// @mekong hist range off : $0 * 64 .. ($0 + 1) * 64
+// @mekong spmv range cols : $0 - w .. $0 + w
+";
+        let anns = scan_annotations(src).unwrap();
+        let ranges = value_ranges(&anns).unwrap();
+        let (lo, hi) = &ranges["hist"]["off"];
+        assert_eq!(lo, &(Expr::Var("$0".into()) * Expr::Int(64)));
+        assert_eq!(
+            hi,
+            &((Expr::Var("$0".into()) + Expr::Int(1)) * Expr::Int(64))
+        );
+        let (lo, _) = &ranges["spmv"]["cols"];
+        assert_eq!(lo, &(Expr::Var("$0".into()) - Expr::Var("w".into())));
+    }
+
+    #[test]
+    fn range_parser_rejects_garbage() {
+        assert!(parse_range_expr("$0 +").is_err());
+        assert!(parse_range_expr("($0").is_err());
+        assert!(parse_range_expr("a ? b").is_err());
+        // Missing '..' separator surfaces from value_ranges.
+        let anns = vec![Annotation {
+            kernel: "k".into(),
+            kind: AnnotationKind::Range,
+            arg: "a".into(),
+            map_text: "$0 + 1".into(),
+            line: 3,
+        }];
+        assert!(value_ranges(&anns).is_err());
     }
 }

@@ -1,15 +1,26 @@
 //! Access-map extraction: symbolic walk of the kernel IR.
 //!
-//! The walker abstract-interprets each statement over the affine domain:
-//! integer expressions evaluate to affine forms over
-//! `[bo, bi, ti, loop dims | bd, gd, scalars]` when possible, `None`
-//! otherwise. Loops contribute fresh (existential) dimensions, guards
-//! contribute domain constraints, and every array access is recorded as a
-//! convex relation piece which is then projected down to the final
-//! `Z^6 → Z^d` map (threadIdx constrained by `0 ≤ ti < blockDim` and
-//! eliminated, paper §4.1).
+//! The walker abstract-interprets each statement over the *product* of
+//! two domains (see [`crate::interval`]): integer expressions evaluate
+//! to an [`AbsVal`] — an exact affine form over
+//! `[bo, bi, ti, loop dims | bd, gd, scalars]` when possible, joined
+//! with symbolic interval bounds for the non-affine remainder (products
+//! of variables, division, remainders, annotated indirect loads). Loops
+//! contribute fresh (existential) dimensions, guards contribute domain
+//! constraints, and every array access is recorded as a convex relation
+//! piece which is then projected down to the final `Z^6 → Z^d` map
+//! (threadIdx constrained by `0 ≤ ti < blockDim` and eliminated, paper
+//! §4.1).
+//!
+//! Affine indices become equality constraints (exact, as before);
+//! bounded non-affine indices become inequality *box* constraints
+//! clipped to the array extent — a sound may-read footprint (§4 allows
+//! over-approximated reads). Writes through non-affine indices keep
+//! rejecting partitioning: bounded boxes degrade the write to inexact,
+//! completely unknown indices leave it unmodeled.
 
 use crate::injective::is_block_injective;
+use crate::interval::{widen, AbsVal};
 use crate::model::{AccessKind, ArgModel, ArrayAccess, KernelModel, Verdict};
 use crate::space::{AnalysisSpace, N_GRID_DIMS, N_MAP_IN};
 use crate::strategy::suggest_split;
@@ -18,16 +29,44 @@ use mekong_kernel::{
     Axis, BinOp, Expr, Extent, GridVar, Kernel, KernelParam, ScalarTy, Stmt, UnOp,
 };
 use mekong_poly::{Constraint, LinExpr, Map, Polyhedron, Set, Space};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+
+/// Per-array value-range annotations for one kernel: array name →
+/// inclusive `(lo, hi)` bound templates over `$0, $1, …` index
+/// placeholders (see `// @mekong <kernel> range <array> : lo .. hi`).
+pub type ValueRanges = HashMap<String, (Expr, Expr)>;
 
 /// Analyze a kernel and produce its model record.
 pub fn analyze_kernel(kernel: &Kernel) -> Result<KernelModel> {
+    let ranges = ValueRanges::new();
+    analyze_kernel_with(kernel, &ranges)
+}
+
+/// Analyze a kernel with value-range annotations for indirect loads.
+pub fn analyze_kernel_with(kernel: &Kernel, ranges: &ValueRanges) -> Result<KernelModel> {
+    run_analysis(kernel, ranges, false)
+}
+
+/// Analyze a kernel with every *read* index forced through the interval
+/// domain (affine values demoted to `[e, e]` boxes). Used by the
+/// affine-vs-interval soundness cross-check: the boxed footprint must
+/// contain the exact polyhedral footprint on affine kernels.
+pub fn analyze_kernel_boxed(kernel: &Kernel) -> Result<KernelModel> {
+    let ranges = ValueRanges::new();
+    run_analysis(kernel, &ranges, true)
+}
+
+fn run_analysis(kernel: &Kernel, ranges: &ValueRanges, force_boxes: bool) -> Result<KernelModel> {
     kernel.validate()?;
     let space = AnalysisSpace::for_kernel(kernel);
-    let mut ex = Extractor::new(kernel, space);
+    let mut ex = Extractor::new(kernel, space, ranges, force_boxes);
     ex.walk_block(&kernel.body)?;
     ex.finish()
 }
+
+/// Recursion fuel for abstract evaluation: range templates substitute
+/// index expressions which may themselves contain annotated loads.
+const EVAL_DEPTH_LIMIT: u32 = 32;
 
 /// Accumulated accesses of one array. `Default` starts exact: an access
 /// only *loses* exactness when a contributing term cannot be modeled.
@@ -40,6 +79,8 @@ struct AccessRec {
     write_may: bool,
     read_unmodeled: bool,
     write_unmodeled: bool,
+    /// Some read piece used interval box constraints (bounded may-read).
+    read_interval: bool,
     has_read: bool,
     has_write: bool,
 }
@@ -55,6 +96,7 @@ impl Default for AccessRec {
             write_may: false,
             read_unmodeled: false,
             write_unmodeled: false,
+            read_interval: false,
             has_read: false,
             has_write: false,
         }
@@ -66,12 +108,16 @@ struct Extractor<'k> {
     space: AnalysisSpace,
     /// Current number of set dimensions: 9 grid dims + live loop dims.
     n_dims: usize,
-    /// Scoped symbolic values (name, affine value or `None`).
-    vars: Vec<(String, Option<LinExpr>)>,
+    /// Scoped symbolic values (name, abstract value).
+    vars: Vec<(String, AbsVal)>,
     /// Current path constraints over `[dims | params]`.
     domain: Vec<Constraint>,
     /// Below an unrepresentable condition: accesses become "may".
     approx: bool,
+    /// Value-range annotations for indirect loads.
+    ranges: &'k ValueRanges,
+    /// Demote affine read indices to boxes (soundness cross-check mode).
+    force_boxes: bool,
     accesses: BTreeMap<String, AccessRec>,
 }
 
@@ -84,7 +130,12 @@ struct CondSets {
 }
 
 impl<'k> Extractor<'k> {
-    fn new(kernel: &'k Kernel, space: AnalysisSpace) -> Self {
+    fn new(
+        kernel: &'k Kernel,
+        space: AnalysisSpace,
+        ranges: &'k ValueRanges,
+        force_boxes: bool,
+    ) -> Self {
         let n_dims = N_GRID_DIMS;
         let domain = space.base_domain(n_dims);
         Extractor {
@@ -94,6 +145,8 @@ impl<'k> Extractor<'k> {
             vars: Vec::new(),
             domain,
             approx: false,
+            ranges,
+            force_boxes,
             accesses: BTreeMap::new(),
         }
     }
@@ -102,12 +155,27 @@ impl<'k> Extractor<'k> {
         self.n_dims + self.space.n_params()
     }
 
-    // ---- affine evaluation -------------------------------------------
+    // ---- abstract evaluation -----------------------------------------
 
+    /// Affine shim over [`Extractor::abs_eval`]: the exact value, if the
+    /// expression is in the affine fragment. Conditions and blockOff
+    /// detection stay purely affine.
     fn eval(&self, e: &Expr) -> Option<LinExpr> {
+        self.abs_eval(e).affine
+    }
+
+    fn abs_eval(&self, e: &Expr) -> AbsVal {
+        self.abs_eval_at(e, 0)
+    }
+
+    fn abs_eval_at(&self, e: &Expr, depth: u32) -> AbsVal {
+        if depth > EVAL_DEPTH_LIMIT {
+            return AbsVal::top();
+        }
+        let w = self.width();
         match e {
-            Expr::Int(v) => Some(LinExpr::constant(self.width(), *v)),
-            Expr::Float(_) => None,
+            Expr::Int(v) => AbsVal::constant(w, *v),
+            Expr::Float(_) => AbsVal::top(),
             Expr::Var(name) => {
                 if let Some((_, v)) = self.vars.iter().rev().find(|(n, _)| n == name) {
                     return v.clone();
@@ -117,56 +185,97 @@ impl<'k> Extractor<'k> {
                     // Only integer scalars participate in index arithmetic.
                     if let Some(KernelParam::Scalar { ty, .. }) = self.kernel.param(name) {
                         if *ty == ScalarTy::I64 {
-                            return Some(self.space.param(self.n_dims, idx));
+                            return AbsVal::affine(self.space.param(self.n_dims, idx));
                         }
                     }
-                    return None;
                 }
-                None
+                AbsVal::top()
             }
-            Expr::Grid(g) => Some(match g {
+            Expr::Grid(g) => AbsVal::affine(match g {
                 GridVar::ThreadIdx(a) => self.space.var(self.n_dims, self.space.ti_dim(*a)),
                 GridVar::BlockIdx(a) => self.space.var(self.n_dims, self.space.bi_dim(*a)),
                 GridVar::BlockDim(a) => self.space.param(self.n_dims, self.space.bd_param(*a)),
                 GridVar::GridDim(a) => self.space.param(self.n_dims, self.space.gd_param(*a)),
             }),
-            Expr::Load { .. } => None,
-            Expr::Unary(UnOp::Neg, a) => Some(self.eval(a)?.neg()),
-            Expr::Unary(..) => None,
-            Expr::Binary(op, a, b) => self.eval_binary(*op, a, b),
-            Expr::Cast(ScalarTy::I64, a) => self.eval(a),
-            Expr::Cast(..) => None,
-            Expr::Select(..) => None,
+            Expr::Load { array, indices } => self.abs_eval_load(array, indices, depth),
+            Expr::Unary(UnOp::Neg, a) => self.abs_eval_at(a, depth + 1).neg(),
+            Expr::Unary(UnOp::Not, _) => bool_range(w),
+            Expr::Unary(UnOp::Abs, a) => {
+                // |x| ≥ 0 always; constant bounds give the magnitude cap.
+                let v = self.abs_eval_at(a, depth + 1);
+                let hi = match (v.lo_bound(), v.hi_bound()) {
+                    (Some(l), Some(h)) if l.is_constant() && h.is_constant() => {
+                        Some(LinExpr::constant(w, l.konst.abs().max(h.konst.abs())))
+                    }
+                    _ => None,
+                };
+                AbsVal::interval(Some(LinExpr::constant(w, 0)), hi)
+            }
+            Expr::Unary(..) => AbsVal::top(),
+            Expr::Binary(op, a, b) => self.abs_eval_binary(*op, a, b, depth),
+            Expr::Cast(ScalarTy::I64, a) => self.abs_eval_at(a, depth + 1),
+            Expr::Cast(..) => AbsVal::top(),
+            Expr::Select(_, a, b) => {
+                // Either branch may be taken: join.
+                self.abs_eval_at(a, depth + 1)
+                    .join(&self.abs_eval_at(b, depth + 1))
+            }
         }
     }
 
-    fn eval_binary(&self, op: BinOp, a: &Expr, b: &Expr) -> Option<LinExpr> {
+    fn abs_eval_binary(&self, op: BinOp, a: &Expr, b: &Expr, depth: u32) -> AbsVal {
         match op {
-            BinOp::Add => self.eval(a)?.add(&self.eval(b)?).ok(),
-            BinOp::Sub => self.eval(a)?.sub(&self.eval(b)?).ok(),
+            BinOp::Add => self
+                .abs_eval_at(a, depth + 1)
+                .add(&self.abs_eval_at(b, depth + 1)),
+            BinOp::Sub => self
+                .abs_eval_at(a, depth + 1)
+                .sub(&self.abs_eval_at(b, depth + 1)),
             BinOp::Mul => {
                 // blockOff encapsulation (paper eq. 6): the product
                 // blockIdx.w * blockDim.w becomes the blockOff.w dimension.
                 if let Some(axis) = self.blockoff_product(a, b) {
-                    return Some(self.space.var(self.n_dims, self.space.bo_dim(axis)));
+                    return AbsVal::affine(self.space.var(self.n_dims, self.space.bo_dim(axis)));
                 }
-                let av = self.eval(a);
-                let bv = self.eval(b);
-                match (av, bv) {
-                    (Some(x), Some(y)) => {
-                        if x.is_constant() {
-                            y.scale(x.konst).ok()
-                        } else if y.is_constant() {
-                            x.scale(y.konst).ok()
-                        } else {
-                            None // non-affine product
-                        }
-                    }
-                    _ => None,
-                }
+                self.abs_eval_at(a, depth + 1)
+                    .mul(&self.abs_eval_at(b, depth + 1))
             }
-            _ => None,
+            BinOp::Div => self
+                .abs_eval_at(a, depth + 1)
+                .div(&self.abs_eval_at(b, depth + 1)),
+            BinOp::Rem => self
+                .abs_eval_at(a, depth + 1)
+                .rem(&self.abs_eval_at(b, depth + 1)),
+            BinOp::Min => self
+                .abs_eval_at(a, depth + 1)
+                .min(&self.abs_eval_at(b, depth + 1)),
+            BinOp::Max => self
+                .abs_eval_at(a, depth + 1)
+                .max(&self.abs_eval_at(b, depth + 1)),
+            // Comparisons and logic as *values* are 0/1.
+            BinOp::Lt
+            | BinOp::Le
+            | BinOp::Gt
+            | BinOp::Ge
+            | BinOp::EqEq
+            | BinOp::Ne
+            | BinOp::And
+            | BinOp::Or => bool_range(self.width()),
         }
+    }
+
+    /// Abstract value of an indirect load. With a value-range annotation
+    /// the stored values are bounded by the `(lo, hi)` templates with
+    /// `$j` substituted by the j-th index expression; without one the
+    /// value is unknown (the *access* is still recorded and, as a read,
+    /// extent-clipped).
+    fn abs_eval_load(&self, array: &str, indices: &[Expr], depth: u32) -> AbsVal {
+        let Some((lo_t, hi_t)) = self.ranges.get(array) else {
+            return AbsVal::top();
+        };
+        let lo = self.abs_eval_at(&subst_template(lo_t, indices), depth + 1);
+        let hi = self.abs_eval_at(&subst_template(hi_t, indices), depth + 1);
+        AbsVal::interval(lo.lo_bound().cloned(), hi.hi_bound().cloned())
     }
 
     /// Detect `blockIdx.w * blockDim.w` (either operand order), also when
@@ -291,15 +400,13 @@ impl<'k> Extractor<'k> {
             match s {
                 Stmt::Let { var, value } => {
                     self.record_expr_reads(value);
-                    let v = self.eval(value);
+                    let v = self.abs_eval(value);
                     self.vars.push((var.clone(), v));
                 }
                 Stmt::Assign { var, value } => {
                     self.record_expr_reads(value);
-                    let v = self.eval(value);
-                    if let Some(slot) = self.vars.iter_mut().rev().find(|(n, _)| n == var) {
-                        slot.1 = v;
-                    }
+                    let v = self.abs_eval(value);
+                    self.set_var(var, v);
                 }
                 Stmt::Store {
                     array,
@@ -343,21 +450,35 @@ impl<'k> Extractor<'k> {
                 } => {
                     self.record_expr_reads(lo);
                     self.record_expr_reads(hi);
-                    let lo_v = self.eval(lo);
-                    let hi_v = self.eval(hi);
-                    match (lo_v, hi_v) {
+                    let lo_av = self.abs_eval(lo);
+                    let hi_av = self.abs_eval(hi);
+                    // Loop-head widening: outer variables reassigned in the
+                    // body are widened to an iteration-invariant state
+                    // *before* the body walk records any access through
+                    // them (a first-iteration value would be unsound).
+                    let widened = self.widen_loop_head(var, &lo_av, &hi_av, body);
+                    match (lo_av.affine.clone(), hi_av.affine.clone()) {
                         (Some(lo_e), Some(hi_e)) => {
                             self.enter_loop(var, &lo_e, &hi_e, *step, body)?;
                         }
                         _ => {
-                            // Non-affine bounds: iterate abstractly.
+                            // Non-affine bounds: iterate abstractly, with
+                            // the iterator bounded by the interval the
+                            // bounds expressions admit.
                             let a = self.approx;
                             self.approx = true;
-                            self.vars.push((var.clone(), None));
+                            let kv = loop_var_interval(&lo_av, &hi_av);
+                            self.vars.push((var.clone(), kv));
                             self.walk_block(body)?;
                             self.vars.pop();
                             self.approx = a;
                         }
+                    }
+                    // Post-loop state: restore the widened head values —
+                    // they are iteration-invariant and also cover the
+                    // zero-trip case.
+                    for (name, val) in widened {
+                        self.set_var(&name, val);
                     }
                 }
                 Stmt::Return => break,
@@ -394,12 +515,12 @@ impl<'k> Extractor<'k> {
                 self.approx = a;
             }
         }
-        // Conditionally-assigned outer variables are no longer affine.
+        // Conditionally-assigned outer variables are no longer known.
         let mut assigned = Vec::new();
         collect_assigned(body, &mut assigned);
         for (name, val) in self.vars.iter_mut() {
             if assigned.contains(name) {
-                *val = None;
+                *val = AbsVal::top();
             }
         }
         Ok(())
@@ -442,6 +563,125 @@ impl<'k> Extractor<'k> {
         }
     }
 
+    // ---- loops -----------------------------------------------------------
+
+    /// Widen outer variables assigned in a loop body to a loop-invariant
+    /// abstract state, iterating body simulation + [`widen`] at the loop
+    /// head until a fixpoint. Returns the widened `(name, value)` pairs
+    /// (already applied to `self.vars`) so the caller can restore them as
+    /// the post-loop state. Widening drops each bound component at most
+    /// once, so the fixpoint arrives within `3·|vars| + 2` rounds; if it
+    /// somehow does not, everything assigned degrades to ⊤.
+    fn widen_loop_head(
+        &mut self,
+        var: &str,
+        lo_av: &AbsVal,
+        hi_av: &AbsVal,
+        body: &[Stmt],
+    ) -> Vec<(String, AbsVal)> {
+        let mut assigned = Vec::new();
+        collect_assigned(body, &mut assigned);
+        assigned.sort();
+        assigned.dedup();
+        assigned.retain(|n| n != var && self.vars.iter().any(|(vn, _)| vn == n));
+        if assigned.is_empty() {
+            return Vec::new();
+        }
+        let kv = loop_var_interval(lo_av, hi_av);
+        let rounds = 3 * assigned.len() + 2;
+        let mut stable = false;
+        for _ in 0..rounds {
+            let head: Vec<AbsVal> = assigned.iter().map(|n| self.var_value(n)).collect();
+            self.vars.push((var.to_string(), kv.clone()));
+            self.sim_block(body);
+            self.vars.pop();
+            stable = true;
+            for (name, old) in assigned.iter().zip(&head) {
+                let new = self.var_value(name);
+                let w = widen(old, &new);
+                if &w != old {
+                    stable = false;
+                }
+                self.set_var(name, w);
+            }
+            if stable {
+                break;
+            }
+        }
+        if !stable {
+            for name in &assigned {
+                self.set_var(name, AbsVal::top());
+            }
+        }
+        assigned
+            .into_iter()
+            .map(|n| {
+                let v = self.var_value(&n);
+                (n, v)
+            })
+            .collect()
+    }
+
+    /// Abstractly simulate a loop body for the widening prepass: only
+    /// variable states update — no accesses are recorded, no domain
+    /// constraints or loop dimensions are introduced. Branches join;
+    /// nested loops conservatively drop whatever they assign. Early
+    /// returns are ignored, which only adds extra joined states (a
+    /// returning thread never re-enters the loop, so its state cannot
+    /// reach the head).
+    fn sim_block(&mut self, body: &[Stmt]) {
+        let depth = self.vars.len();
+        for s in body {
+            match s {
+                Stmt::Let { var, value } => {
+                    let v = self.abs_eval(value);
+                    self.vars.push((var.clone(), v));
+                }
+                Stmt::Assign { var, value } => {
+                    let v = self.abs_eval(value);
+                    self.set_var(var, v);
+                }
+                Stmt::If { then_, else_, .. } => {
+                    let saved = self.vars.clone();
+                    self.sim_block(then_);
+                    let then_state = std::mem::replace(&mut self.vars, saved);
+                    self.sim_block(else_);
+                    for (slot, t) in self.vars.iter_mut().zip(then_state.iter()) {
+                        slot.1 = slot.1.join(&t.1);
+                    }
+                }
+                Stmt::For {
+                    var: ivar, body, ..
+                } => {
+                    let mut inner = Vec::new();
+                    collect_assigned(body, &mut inner);
+                    for (n, v) in self.vars.iter_mut() {
+                        if n != ivar && inner.contains(n) {
+                            *v = AbsVal::top();
+                        }
+                    }
+                }
+                Stmt::Store { .. } | Stmt::Return | Stmt::SyncThreads => {}
+            }
+        }
+        self.vars.truncate(depth);
+    }
+
+    fn var_value(&self, name: &str) -> AbsVal {
+        self.vars
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.clone())
+            .unwrap_or_else(AbsVal::top)
+    }
+
+    fn set_var(&mut self, name: &str, value: AbsVal) {
+        if let Some(slot) = self.vars.iter_mut().rev().find(|(n, _)| n == name) {
+            slot.1 = value;
+        }
+    }
+
     /// Append a fresh loop dimension, widen all live state, add bounds,
     /// walk the body, and narrow back.
     fn enter_loop(
@@ -453,11 +693,9 @@ impl<'k> Extractor<'k> {
         body: &[Stmt],
     ) -> Result<()> {
         let at = self.n_dims;
-        // Widen all live affine state.
+        // Widen all live abstract state.
         for (_, v) in self.vars.iter_mut() {
-            if let Some(e) = v {
-                *e = e.insert_vars(at, 1);
-            }
+            *v = v.insert_vars(at, 1);
         }
         for c in self.domain.iter_mut() {
             c.expr = c.expr.insert_vars(at, 1);
@@ -479,21 +717,15 @@ impl<'k> Extractor<'k> {
             self.domain.push(Constraint::lt(&val, &hi_w).unwrap());
             val
         };
-        self.vars.push((var.to_string(), Some(value)));
+        self.vars.push((var.to_string(), AbsVal::affine(value)));
         self.walk_block(body)?;
         self.vars.pop();
         self.domain.truncate(dom_depth);
-        // Narrow state back: drop the loop dimension.
+        // Narrow state back: drop the loop dimension (components that
+        // depend on the departing iterator become unknown).
         self.n_dims -= 1;
         for (_, v) in self.vars.iter_mut() {
-            if let Some(e) = v {
-                if e.coeff(at) != 0 {
-                    // Value depends on the departing loop iterator.
-                    *v = None;
-                } else {
-                    *e = e.remove_var(at);
-                }
-            }
+            *v = v.remove_var(at);
         }
         for c in self.domain.iter_mut() {
             debug_assert_eq!(c.expr.coeff(at), 0, "outer domain leaked a loop dim");
@@ -519,22 +751,45 @@ impl<'k> Extractor<'k> {
     }
 
     fn record_access(&mut self, array: &str, indices: &[Expr], kind: AccessKind) -> Result<()> {
-        let idx_exprs: Option<Vec<LinExpr>> = indices.iter().map(|e| self.eval(e)).collect();
+        let mut idx_abs: Vec<AbsVal> = indices.iter().map(|e| self.abs_eval(e)).collect();
+        if self.force_boxes && kind == AccessKind::Read {
+            for v in idx_abs.iter_mut() {
+                *v = v.boxed();
+            }
+        }
+        let extents: Vec<Extent> = match self.kernel.param(array) {
+            Some(KernelParam::Array { extents, .. }) => extents.clone(),
+            _ => Vec::new(),
+        };
+        let all_affine = idx_abs.iter().all(|v| v.affine.is_some());
         let rec = self.accesses.entry(array.to_string()).or_default();
         match kind {
             AccessKind::Read => rec.has_read = true,
             AccessKind::Write => rec.has_write = true,
         }
-        let idx_exprs = match idx_exprs {
-            Some(v) => v,
-            None => {
-                match kind {
-                    AccessKind::Read => rec.read_unmodeled = true,
-                    AccessKind::Write => rec.write_unmodeled = true,
+        if !all_affine {
+            match kind {
+                AccessKind::Read => {
+                    // A bounded (or extent-clipped) box instead of the
+                    // whole array: sound may-read (§4).
+                    rec.read_may = true;
+                    rec.read_exact = false;
+                    rec.read_interval = true;
                 }
-                return Ok(());
+                AccessKind::Write => {
+                    if idx_abs.iter().any(|v| v.is_top()) {
+                        // Nothing known at all about some index.
+                        rec.write_unmodeled = true;
+                        return Ok(());
+                    }
+                    // Bounded but inexact: still rejects partitioning
+                    // (§4: writes must be exact). Record the box anyway
+                    // so diagnostics can show what was attempted.
+                    rec.write_may = true;
+                    rec.write_exact = false;
+                }
             }
-        };
+        }
         if self.approx {
             match kind {
                 AccessKind::Read => rec.read_may = true,
@@ -546,20 +801,50 @@ impl<'k> Extractor<'k> {
                 }
             }
         }
-        let d = idx_exprs.len();
+        let d = idx_abs.len();
         let n = self.n_dims;
+        let np = self.space.n_params();
+        let width = n + d + np;
         // Relation dims: [current dims | out dims]; widen everything.
-        let mut piece = Polyhedron::universe(n + d, self.space.n_params());
+        let mut piece = Polyhedron::universe(n + d, np);
         for c in &self.domain {
             piece.add_constraint(Constraint {
                 kind: c.kind,
                 expr: c.expr.insert_vars(n, d),
             });
         }
-        for (j, idx) in idx_exprs.iter().enumerate() {
-            let out = LinExpr::var(n + d + self.space.n_params(), n + j);
-            let rhs = idx.insert_vars(n, d);
-            piece.add_constraint(Constraint::eq(out.sub(&rhs).unwrap()));
+        for (j, v) in idx_abs.iter().enumerate() {
+            let out = LinExpr::var(width, n + j);
+            if let Some(idx) = &v.affine {
+                let rhs = idx.insert_vars(n, d);
+                piece.add_constraint(Constraint::eq(out.sub(&rhs).unwrap()));
+                continue;
+            }
+            // Interval box: whichever bounds are known...
+            if let Some(lo) = v.lo_bound() {
+                let lo = lo.insert_vars(n, d);
+                piece.add_constraint(Constraint::ge(&out, &lo).unwrap());
+            }
+            if let Some(hi) = v.hi_bound() {
+                let hi = hi.insert_vars(n, d);
+                piece.add_constraint(Constraint::le(&out, &hi).unwrap());
+            }
+            // ...clipped to the array extent (mirroring the enumerator
+            // clip) so the declared footprint is always in bounds.
+            if let Some(ext) = extents.get(j) {
+                let hi = match ext {
+                    Extent::Const(c) => LinExpr::constant(width, *c),
+                    Extent::Param(name) => {
+                        let idx = self
+                            .space
+                            .scalar_param_index(name)
+                            .expect("extent param must be a scalar kernel param");
+                        LinExpr::var(width, n + d + idx)
+                    }
+                };
+                piece.add_constraint(Constraint::ge0(out.clone()));
+                piece.add_constraint(Constraint::lt(&out, &hi).unwrap());
+            }
         }
         // Project out loop dims and threadIdx dims: keep [bo bi | outs].
         let (projected, exact) = piece.project_out_dims(N_MAP_IN..n)?;
@@ -568,11 +853,11 @@ impl<'k> Extractor<'k> {
         }
         match kind {
             AccessKind::Read => {
-                rec.read_exact &= exact;
+                rec.read_exact &= exact && all_affine;
                 rec.read_pieces.push(projected);
             }
             AccessKind::Write => {
-                rec.write_exact &= exact;
+                rec.write_exact &= exact && all_affine;
                 rec.write_pieces.push(projected);
             }
         }
@@ -610,6 +895,7 @@ impl<'k> Extractor<'k> {
                         rec.read_exact,
                         rec.read_may,
                         rec.read_unmodeled,
+                        rec.read_interval,
                         rec.has_read,
                         &param_names,
                     )?;
@@ -621,6 +907,7 @@ impl<'k> Extractor<'k> {
                         rec.write_exact,
                         rec.write_may,
                         rec.write_unmodeled,
+                        false,
                         rec.has_write,
                         &param_names,
                     )?;
@@ -684,6 +971,7 @@ impl<'k> Extractor<'k> {
         exact: bool,
         may: bool,
         unmodeled: bool,
+        interval: bool,
         has_access: bool,
         param_names: &[String],
     ) -> Result<Option<ArrayAccess>> {
@@ -723,6 +1011,7 @@ impl<'k> Extractor<'k> {
                 map: Map::from_relation(N_MAP_IN, set),
                 exact: false,
                 may: true,
+                interval: false,
             }));
         }
 
@@ -734,8 +1023,42 @@ impl<'k> Extractor<'k> {
             map: Map::from_relation(N_MAP_IN, set),
             exact,
             may,
+            interval,
         }))
     }
+}
+
+/// The abstract value of a loop iterator with non-affine bounds:
+/// `lo ≤ var ≤ hi − 1` from whichever bound expressions are known
+/// (sound for any positive step).
+fn loop_var_interval(lo_av: &AbsVal, hi_av: &AbsVal) -> AbsVal {
+    let hi = hi_av.hi_bound().map(|h| h.clone().with_konst(h.konst - 1));
+    AbsVal::interval(lo_av.lo_bound().cloned(), hi)
+}
+
+/// Substitute `$j` placeholders in a range-annotation template by the
+/// access's index expressions.
+fn subst_template(template: &Expr, indices: &[Expr]) -> Expr {
+    template.rewrite(&|e| {
+        if let Expr::Var(name) = &e {
+            if let Some(rest) = name.strip_prefix('$') {
+                if let Ok(j) = rest.parse::<usize>() {
+                    if let Some(ix) = indices.get(j) {
+                        return ix.clone();
+                    }
+                }
+            }
+        }
+        e
+    })
+}
+
+/// Boolean-valued expressions as integers: `[0, 1]`.
+fn bool_range(width: usize) -> AbsVal {
+    AbsVal::interval(
+        Some(LinExpr::constant(width, 0)),
+        Some(LinExpr::constant(width, 1)),
+    )
 }
 
 type Dnf = Option<Vec<Vec<Constraint>>>;
@@ -1013,6 +1336,35 @@ mod tests {
     }
 
     #[test]
+    fn annotated_indirect_write_is_still_rejected() {
+        // Even with a value-range annotation bounding the indices, an
+        // indirect *write* is only a box — inexact, so partitioning is
+        // refused (§4 requires exact writes).
+        let k = Kernel {
+            name: "scatter_bounded".into(),
+            params: vec![
+                scalar("n"),
+                array_f32("idx", &[ext("n")]),
+                array_f32("out", &[ext("n")]),
+            ],
+            body: vec![
+                let_("i", global_x()),
+                guard_return(v("i").ge(v("n"))),
+                store("out", vec![to_i64(load("idx", vec![v("i")]))], f(1.0)),
+            ],
+        };
+        let mut ranges = ValueRanges::new();
+        ranges.insert("idx".into(), (v("$0") - i(1), v("$0") + i(1)));
+        let m = analyze_kernel_with(&k, &ranges).unwrap();
+        assert_eq!(
+            m.verdict,
+            Verdict::InexactWrite {
+                array: "out".into()
+            }
+        );
+    }
+
+    #[test]
     fn conditional_write_under_unknown_guard_is_inexact() {
         // if (a[i] > 0) out[i] = 1.0 — data-dependent condition.
         let k = Kernel {
@@ -1123,5 +1475,203 @@ mod tests {
         let outs = apply(&wr.map, &[0, 0, 16, 0, 0, 2], &params);
         assert_eq!(outs.len(), 8);
         assert_eq!(outs[0], vec![16]);
+    }
+
+    // ---- interval-domain tests -------------------------------------------
+
+    #[test]
+    fn annotated_gather_read_is_a_bounded_box() {
+        // y[i] = x[idx[i]] with `range idx : $0 - 1 .. $0 + 1`: the read
+        // of x becomes a per-thread box [i-1, i+1] instead of the whole
+        // array, and the kernel stays partitionable (writes are affine).
+        let k = Kernel {
+            name: "gather".into(),
+            params: vec![
+                scalar("n"),
+                array_f32("idx", &[ext("n")]),
+                array_f32("x", &[ext("n")]),
+                array_f32("y", &[ext("n")]),
+            ],
+            body: vec![
+                let_("i", global_x()),
+                guard_return(v("i").ge(v("n"))),
+                store(
+                    "y",
+                    vec![v("i")],
+                    load("x", vec![to_i64(load("idx", vec![v("i")]))]),
+                ),
+            ],
+        };
+        let mut ranges = ValueRanges::new();
+        ranges.insert("idx".into(), (v("$0") - i(1), v("$0") + i(1)));
+        let m = analyze_kernel_with(&k, &ranges).unwrap();
+        assert!(m.verdict.is_partitionable(), "verdict: {:?}", m.verdict);
+        let rd = match m.arg("x").unwrap() {
+            ArgModel::Array { read, .. } => read.as_ref().unwrap(),
+            _ => panic!(),
+        };
+        assert!(!rd.exact);
+        assert!(rd.may);
+        assert!(rd.interval, "box read should carry the interval flag");
+        // Block bo=8, bi=1, bd=8, n=100: threads 8..16 read [7, 16].
+        let params = [1, 1, 8, 1, 1, 16, 100];
+        let outs = apply(&rd.map, &[0, 0, 8, 0, 0, 1], &params);
+        let expect: Vec<Vec<i64>> = (7..=16).map(|e| vec![e]).collect();
+        assert_eq!(outs, expect);
+        // The extent clip holds at the boundary: first block reads [0, 8].
+        let outs = apply(&rd.map, &[0, 0, 0, 0, 0, 0], &params);
+        let expect: Vec<Vec<i64>> = (0..=8).map(|e| vec![e]).collect();
+        assert_eq!(outs, expect);
+    }
+
+    #[test]
+    fn unannotated_gather_read_clips_to_extent() {
+        // Without an annotation the indirect read degrades to the whole
+        // array — but bounded by the extent, and the domain constraints
+        // (the guard) still apply to other, affine dimensions.
+        let k = Kernel {
+            name: "gather_plain".into(),
+            params: vec![
+                scalar("n"),
+                array_f32("idx", &[ext("n")]),
+                array_f32("x", &[ext("n")]),
+                array_f32("y", &[ext("n")]),
+            ],
+            body: vec![
+                let_("i", global_x()),
+                guard_return(v("i").ge(v("n"))),
+                store(
+                    "y",
+                    vec![v("i")],
+                    load("x", vec![to_i64(load("idx", vec![v("i")]))]),
+                ),
+            ],
+        };
+        let m = analyze_kernel(&k).unwrap();
+        assert!(m.verdict.is_partitionable(), "verdict: {:?}", m.verdict);
+        let rd = match m.arg("x").unwrap() {
+            ArgModel::Array { read, .. } => read.as_ref().unwrap(),
+            _ => panic!(),
+        };
+        assert!(!rd.exact);
+        assert!(rd.interval);
+        let params = [1, 1, 8, 1, 1, 2, 10];
+        let outs = apply(&rd.map, &[0, 0, 8, 0, 0, 1], &params);
+        let expect: Vec<Vec<i64>> = (0..10).map(|e| vec![e]).collect();
+        assert_eq!(outs, expect);
+    }
+
+    #[test]
+    fn annotated_loop_bounds_give_banded_box() {
+        // Histogram shape: for (k = off[b]; k < off[b+1]; k++) read
+        // val[k], with `range off : $0*64 .. $0*64 + 64`. The loop body
+        // read becomes the partition-dependent box [64·b, 64·b + 127].
+        let k = Kernel {
+            name: "hist".into(),
+            params: vec![
+                scalar("n"),
+                scalar("npp"),
+                array_f32("off", &[ext("npp")]),
+                array_f32("val", &[ext("n")]),
+                array_f32("out", &[ext("npp")]),
+            ],
+            body: vec![
+                let_("b", global_x()),
+                guard_return(v("b").ge(v("npp") - i(1))),
+                let_("acc", f(0.0)),
+                for_(
+                    "k",
+                    to_i64(load("off", vec![v("b")])),
+                    to_i64(load("off", vec![v("b") + i(1)])),
+                    vec![assign("acc", v("acc") + load("val", vec![v("k")]))],
+                ),
+                store("out", vec![v("b")], v("acc")),
+            ],
+        };
+        let mut ranges = ValueRanges::new();
+        ranges.insert("off".into(), (v("$0") * i(64), v("$0") * i(64) + i(64)));
+        let m = analyze_kernel_with(&k, &ranges).unwrap();
+        assert!(m.verdict.is_partitionable(), "verdict: {:?}", m.verdict);
+        let rd = match m.arg("val").unwrap() {
+            ArgModel::Array { read, .. } => read.as_ref().unwrap(),
+            _ => panic!(),
+        };
+        assert!(rd.interval);
+        // bd=4, block bi=1: buckets b in 4..8 → k in [256, 575].
+        // params: [bd, gd, n, npp]
+        let params = [1, 1, 4, 1, 1, 4, 4096, 16];
+        let outs = apply(&rd.map, &[0, 0, 4, 0, 0, 1], &params);
+        let expect: Vec<Vec<i64>> = (256..=575).map(|e| vec![e]).collect();
+        assert_eq!(outs, expect);
+    }
+
+    #[test]
+    fn widened_accumulator_index_stays_bounded() {
+        // x starts at 0 and climbs by 1 per iteration; a[x] inside the
+        // loop must not be recorded with the first-iteration value. The
+        // widened state keeps lo = 0 (after the in-body increment: 1),
+        // drops hi, and the extent clip bounds the box — and the analysis
+        // terminates (the widening-termination satellite).
+        let k = Kernel {
+            name: "climb".into(),
+            params: vec![
+                scalar("n"),
+                scalar("m"),
+                array_f32("a", &[ext("n")]),
+                array_f32("out", &[ext("n")]),
+            ],
+            body: vec![
+                let_("i", global_x()),
+                guard_return(v("i").ge(v("n"))),
+                let_("x", i(0)),
+                let_("acc", f(0.0)),
+                for_(
+                    "k",
+                    i(0),
+                    v("m"),
+                    vec![
+                        assign("x", v("x") + i(1)),
+                        assign("acc", v("acc") + load("a", vec![v("x")])),
+                    ],
+                ),
+                store("out", vec![v("i")], v("acc")),
+            ],
+        };
+        let m = analyze_kernel(&k).unwrap();
+        assert!(m.verdict.is_partitionable(), "verdict: {:?}", m.verdict);
+        let rd = match m.arg("a").unwrap() {
+            ArgModel::Array { read, .. } => read.as_ref().unwrap(),
+            _ => panic!(),
+        };
+        assert!(rd.interval);
+        // params: [bd, gd, n, m]; the box is [1, n-1] for every block.
+        let params = [1, 1, 4, 1, 1, 2, 10, 3];
+        let outs = apply(&rd.map, &[0, 0, 0, 0, 0, 0], &params);
+        let expect: Vec<Vec<i64>> = (1..10).map(|e| vec![e]).collect();
+        assert_eq!(outs, expect);
+    }
+
+    #[test]
+    fn boxed_mode_contains_affine_footprint() {
+        // Force-boxed reads must cover the exact footprint (here they
+        // coincide: the box of an affine index is [e, e]).
+        let exact = analyze_kernel(&stencil_1d()).unwrap();
+        let boxed = analyze_kernel_boxed(&stencil_1d()).unwrap();
+        assert!(boxed.verdict.is_partitionable());
+        let get = |m: &KernelModel| match m.arg("input").unwrap() {
+            ArgModel::Array { read, .. } => read.clone().unwrap(),
+            _ => panic!(),
+        };
+        let (e, b) = (get(&exact), get(&boxed));
+        assert!(b.interval);
+        let params = [1, 1, 8, 1, 1, 16, 100];
+        for bi in 0..4 {
+            let input = [0, 0, bi * 8, 0, 0, bi];
+            let exact_outs = apply(&e.map, &input, &params);
+            let boxed_outs = apply(&b.map, &input, &params);
+            for o in &exact_outs {
+                assert!(boxed_outs.contains(o), "box misses exact read {o:?}");
+            }
+        }
     }
 }

@@ -34,13 +34,15 @@
 pub mod annotate;
 pub mod extract;
 pub mod injective;
+pub mod interval;
 pub mod model;
 pub mod space;
 pub mod strategy;
 
-pub use annotate::{apply_annotations, scan_annotations, Annotation, AnnotationKind};
-pub use extract::analyze_kernel;
+pub use annotate::{apply_annotations, scan_annotations, value_ranges, Annotation, AnnotationKind};
+pub use extract::{analyze_kernel, analyze_kernel_boxed, analyze_kernel_with, ValueRanges};
 pub use injective::is_block_injective;
+pub use interval::{widen, AbsVal};
 pub use model::{AccessKind, AppModel, ArgModel, ArrayAccess, KernelModel, Verdict};
 pub use space::{AnalysisSpace, BD_OFF, GD_OFF, N_FIXED_PARAMS, N_GRID_DIMS, N_MAP_IN};
 pub use strategy::{suggest_split, SplitAxis};

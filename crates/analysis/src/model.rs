@@ -26,6 +26,12 @@ pub struct ArrayAccess {
     /// True if some contributing access was optional ("may"). Currently
     /// treated like "must" (paper: pessimistic but correct).
     pub may: bool,
+    /// True if some piece of the map is an interval *box* from the
+    /// abstract interpreter (bounded may-read footprint) rather than an
+    /// affine equality. Only reads carry this; boxed writes reject
+    /// partitioning before a model is consumed.
+    #[serde(default)]
+    pub interval: bool,
 }
 
 /// Model of one kernel argument.
@@ -176,6 +182,7 @@ mod tests {
                                 .unwrap(),
                             exact: true,
                             may: false,
+                            interval: false,
                         }),
                         write: None,
                     },

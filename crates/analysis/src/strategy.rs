@@ -109,6 +109,7 @@ mod tests {
                 map: Map::parse(map_text).unwrap(),
                 exact: true,
                 may: false,
+                interval: false,
             }),
         }
     }

@@ -11,7 +11,7 @@
 //! soundness gate.
 
 use mekong_analysis::AppModel;
-use mekong_check::{check_app, CheckReport, Severity};
+use mekong_check::{check_app, CheckReport, Severity, SCHEMA_VERSION};
 use serde::Serialize;
 use std::process::ExitCode;
 
@@ -22,25 +22,36 @@ struct FileReport {
     report: CheckReport,
 }
 
-const USAGE: &str = "usage: mekong-check [--json] MODEL.json...
+/// The whole `--json` document: a schema marker plus per-file reports.
+#[derive(Serialize)]
+struct JsonOutput {
+    schema_version: u32,
+    files: Vec<FileReport>,
+}
+
+const USAGE: &str = "usage: mekong-check [--json] [--deny-warnings] MODEL.json...
 
 Statically verifies partition safety of saved kernel models:
 cross-partition write races (with concrete witness points), inexact or
-may write maps, out-of-bounds access images, dead array arguments and
-enumerator-coverage gaps.
+may write maps, out-of-bounds access images, dead array arguments,
+bounded may-read boxes and enumerator-coverage gaps.
 
-  --json    emit machine-readable diagnostics instead of text
-  --help    show this message
+  --json            emit machine-readable diagnostics instead of text
+  --deny-warnings   also exit non-zero on Warning-severity diagnostics
+  --help            show this message
 
-Exits 0 when no Error-severity diagnostic was found, 1 otherwise.
+Exits 0 when no Error-severity diagnostic was found (no Warning either
+under --deny-warnings), 1 otherwise.
 ";
 
 fn main() -> ExitCode {
     let mut json = false;
+    let mut deny_warnings = false;
     let mut files: Vec<String> = Vec::new();
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--json" => json = true,
+            "--deny-warnings" => deny_warnings = true,
             "-h" | "--help" => {
                 print!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -84,7 +95,7 @@ fn main() -> ExitCode {
                 continue;
             }
         };
-        failed |= report.has_errors();
+        failed |= report.has_errors() || (deny_warnings && report.has_warnings());
         if json {
             json_out.push(FileReport {
                 file: file.clone(),
@@ -95,9 +106,13 @@ fn main() -> ExitCode {
         }
     }
     if json {
+        let doc = JsonOutput {
+            schema_version: SCHEMA_VERSION,
+            files: json_out,
+        };
         println!(
             "{}",
-            serde_json::to_string_pretty(&json_out).expect("serialization cannot fail")
+            serde_json::to_string_pretty(&doc).expect("serialization cannot fail")
         );
     }
     if failed {

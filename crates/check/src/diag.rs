@@ -52,7 +52,18 @@ pub mod codes {
     /// An access could not be modeled at all; the kernel falls back to
     /// single-device execution.
     pub const UNMODELED: &str = "unmodeled-array";
+    /// A read footprint is a bounded interval box from the abstract
+    /// interpreter — sound but over-approximated; the runtime fetches
+    /// the whole box.
+    pub const BOUNDED_MAY_READ: &str = "bounded-may-read";
 }
+
+/// Version of the JSON report schema emitted by `mekong-check --json`.
+///
+/// Bumped whenever the serialized shape of [`CheckReport`] (or the
+/// CLI's per-file wrapper) changes incompatibly, so CI consumers can
+/// detect skew between the binary and their parsers.
+pub const SCHEMA_VERSION: u32 = 1;
 
 /// A concrete point demonstrating a diagnostic.
 ///
@@ -213,6 +224,21 @@ impl CheckReport {
     /// Does any kernel carry an `Error`-severity diagnostic?
     pub fn has_errors(&self) -> bool {
         self.error_count() > 0
+    }
+
+    /// Number of `Warning`-severity diagnostics across all kernels.
+    pub fn warning_count(&self) -> usize {
+        self.kernels
+            .iter()
+            .flat_map(|k| k.diagnostics.iter())
+            .filter(|d| d.severity == Severity::Warning)
+            .count()
+    }
+
+    /// Does any kernel carry a `Warning`-severity (or worse) diagnostic?
+    /// Drives the CLI's `--deny-warnings` exit code.
+    pub fn has_warnings(&self) -> bool {
+        self.warning_count() > 0 || self.has_errors()
     }
 
     /// Serialize for `mekong-check --json`.

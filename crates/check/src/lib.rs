@@ -25,8 +25,10 @@ pub mod diag;
 pub mod lint;
 pub mod race;
 
-pub use diag::{codes, AxisMask, CheckReport, Diagnostic, KernelCheck, Severity, Witness};
-pub use lint::{coverage_gap, oob_finding, CoverageGap, OobFinding};
+pub use diag::{
+    codes, AxisMask, CheckReport, Diagnostic, KernelCheck, Severity, Witness, SCHEMA_VERSION,
+};
+pub use lint::{coverage_gap, may_read_box, oob_finding, CoverageGap, MayReadBox, OobFinding};
 pub use race::{check_axis, find_race_witness, AxisProof};
 
 use mekong_analysis::{
@@ -163,6 +165,44 @@ pub fn check_kernel(model: &KernelModel) -> Result<KernelCheck> {
         }
 
         if let Some(acc) = read {
+            if acc.interval {
+                // The abstract interpreter bounded a non-affine read with
+                // an interval box: sound, but the runtime fetches the whole
+                // box. Report its concrete shape at a sample binding so the
+                // over-fetch is visible before anything runs.
+                let message = match lint::may_read_box(&acc.map, extents, &space)? {
+                    Some(b) => {
+                        let dims: Vec<String> = b
+                            .bounds
+                            .iter()
+                            .map(|(lo, hi)| format!("[{lo}, {hi}]"))
+                            .collect();
+                        let ps: Vec<String> =
+                            b.params.iter().map(|(n, v)| format!("{n}={v}")).collect();
+                        format!(
+                            "read footprint is a bounded interval box (sound \
+                             over-approximation); with {}: box {} holds {} element(s), \
+                             {} touched (tightness {:.2})",
+                            ps.join(", "),
+                            dims.join("×"),
+                            b.volume,
+                            b.touched,
+                            b.tightness()
+                        )
+                    }
+                    None => "read footprint is a bounded interval box (sound \
+                             over-approximation); empty at the sample binding"
+                        .into(),
+                };
+                diags.push(diag(
+                    Severity::Info,
+                    codes::BOUNDED_MAY_READ,
+                    Some(name),
+                    None,
+                    message,
+                    None,
+                ));
+            }
             // Reads may legally over-approximate and the enumerators clip
             // them to the extents, so an escaping read image is only
             // suspicious, not unsound.
@@ -323,4 +363,137 @@ fn coverage_message(kind: &str, g: &CoverageGap) -> String {
         "enumerator misses {kind} element {:?} (linear offset {}) of partition {}",
         g.element, g.linear, g.partition
     )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mekong_analysis::ArrayAccess;
+    use mekong_kernel::{Extent, ScalarTy};
+    use mekong_poly::Map;
+
+    fn exact_write() -> ArrayAccess {
+        ArrayAccess {
+            map: Map::parse(
+                "[bdz, bdy, bdx, gdz, gdy, gdx, n] -> \
+                 { [boz, boy, box, biz, biy, bix] -> [e] : \
+                   box <= e and e < box + bdx and 0 <= e and e < n and \
+                   boz >= 0 and boy >= 0 and box >= 0 and \
+                   0 <= biz and biz < gdz and 0 <= biy and biy < gdy and \
+                   0 <= bix and bix < gdx }",
+            )
+            .unwrap(),
+            exact: true,
+            may: false,
+            interval: false,
+        }
+    }
+
+    fn boxed_read() -> ArrayAccess {
+        // A bounded interval box: every block may read e ∈ [7, 16],
+        // clipped to the declared extent — what the abstract interpreter
+        // emits for an annotated indirect load.
+        ArrayAccess {
+            map: Map::parse(
+                "[bdz, bdy, bdx, gdz, gdy, gdx, n] -> \
+                 { [boz, boy, box, biz, biy, bix] -> [e] : \
+                   7 <= e and e <= 16 and 0 <= e and e < n and \
+                   box >= 0 and 0 <= bix and bix < gdx }",
+            )
+            .unwrap(),
+            exact: false,
+            may: true,
+            interval: true,
+        }
+    }
+
+    fn model(
+        read: Option<ArrayAccess>,
+        write: Option<ArrayAccess>,
+        verdict: Verdict,
+    ) -> KernelModel {
+        KernelModel {
+            kernel_name: "k".into(),
+            partitioning: SplitAxis::X,
+            verdict,
+            args: vec![
+                ArgModel::Scalar {
+                    name: "n".into(),
+                    ty: ScalarTy::I64,
+                },
+                ArgModel::Array {
+                    name: "a".into(),
+                    elem: ScalarTy::F32,
+                    extents: vec![Extent::Param("n".into())],
+                    read,
+                    write: None,
+                },
+                ArgModel::Array {
+                    name: "out".into(),
+                    elem: ScalarTy::F32,
+                    extents: vec![Extent::Param("n".into())],
+                    read: None,
+                    write,
+                },
+            ],
+            scalar_params: vec!["n".into()],
+        }
+    }
+
+    #[test]
+    fn interval_read_gets_bounded_may_read_info() {
+        let m = model(
+            Some(boxed_read()),
+            Some(exact_write()),
+            Verdict::Partitionable,
+        );
+        let kc = check_kernel(&m).unwrap();
+        let d = kc
+            .diagnostics
+            .iter()
+            .find(|d| d.code == codes::BOUNDED_MAY_READ)
+            .expect("bounded-may-read diagnostic");
+        assert_eq!(d.severity, Severity::Info);
+        assert_eq!(d.array.as_deref(), Some("a"));
+        // The sampled box is [7, 16] under extents n = 32, fully touched.
+        assert!(d.message.contains("[7, 16]"), "message: {}", d.message);
+        assert!(
+            d.message.contains("tightness 1.00"),
+            "message: {}",
+            d.message
+        );
+        // Bounded reads do not cost the kernel its partitioning proof.
+        assert!(kc.proven_axes[SplitAxis::X.zyx_index()]);
+        assert!(kc.max_severity() < Some(Severity::Error));
+    }
+
+    #[test]
+    fn inexact_write_is_still_an_error() {
+        let mut w = exact_write();
+        w.exact = false;
+        let m = model(
+            Some(boxed_read()),
+            Some(w),
+            Verdict::InexactWrite {
+                array: "out".into(),
+            },
+        );
+        let kc = check_kernel(&m).unwrap();
+        assert!(kc
+            .diagnostics
+            .iter()
+            .any(|d| d.code == codes::INEXACT_WRITE && d.severity == Severity::Error));
+        assert_eq!(kc.proven_axes, [false; 3]);
+    }
+
+    #[test]
+    fn report_counts_warnings_for_deny_mode() {
+        let m = model(Some(boxed_read()), None, Verdict::Partitionable);
+        let report = check_app(&AppModel { kernels: vec![m] }).unwrap();
+        // `out` carries no access → dead-array warning; the interval
+        // read itself is only Info.
+        assert!(!report.has_errors());
+        assert!(report.has_warnings());
+        assert_eq!(report.warning_count(), 1);
+    }
 }

@@ -89,6 +89,107 @@ pub fn oob_finding(
     Ok(None)
 }
 
+/// The concrete shape of a bounded may-read footprint at one sampled
+/// parameter binding: the enclosing box, how many elements inside it
+/// the map actually touches, and the binding itself.
+#[derive(Debug, Clone)]
+pub struct MayReadBox {
+    /// Per-dimension inclusive bounds `[lo, hi]` of the whole-grid
+    /// footprint, outermost dimension first.
+    pub bounds: Vec<(i64, i64)>,
+    /// Box volume in elements: `Π (hi − lo + 1)`.
+    pub volume: u64,
+    /// Distinct elements inside the box the map actually touches.
+    pub touched: u64,
+    /// The sampled parameter binding `(name, value)`.
+    pub params: Vec<(String, i64)>,
+}
+
+impl MayReadBox {
+    /// Tightness of the box: touched / volume, in (0, 1]. 1.0 means the
+    /// box is exact; small values mean heavy over-fetch.
+    pub fn tightness(&self) -> f64 {
+        self.touched as f64 / (self.volume as f64).max(1.0)
+    }
+}
+
+/// Concretize an interval (boxed) read map at a small sample binding
+/// (`blockDim = (1,1,4)`, `gridDim = (1,1,4)`, scalars = 32) and
+/// measure its whole-grid footprint box and tightness.
+///
+/// Returns `None` when the footprint is empty at the sample binding or
+/// the declared extents make enumeration unreasonably large.
+pub fn may_read_box(
+    map: &Map,
+    extents: &[Extent],
+    space: &AnalysisSpace,
+) -> Result<Option<MayReadBox>> {
+    let d = map.n_out();
+    let mut params: Vec<i64> = vec![1, 1, 4, 1, 1, 4];
+    params.extend(std::iter::repeat_n(32i64, space.scalar_names.len()));
+    let exts: Vec<i64> = extents
+        .iter()
+        .map(|e| extent_value(e, space, &params).max(1))
+        .collect();
+    if exts.iter().product::<i64>() > 1 << 20 {
+        return Ok(None);
+    }
+    let mut seen: std::collections::HashSet<Vec<i64>> = std::collections::HashSet::new();
+    for piece in map.relation().pieces() {
+        let mut p = piece.bind_params(&params)?;
+        if p.is_marked_empty() {
+            continue;
+        }
+        let w = p.n_dims();
+        #[allow(clippy::needless_range_loop)]
+        for k in 0..3 {
+            // bo_k = bd_k · bi_k, blockIdx across the whole sampled grid.
+            let mut e = LinExpr::constant(w, 0);
+            e.coeffs[k] = 1;
+            e.coeffs[3 + k] = -params[k];
+            p.add_constraint(Constraint::eq(e));
+            let bi = LinExpr::var(w, 3 + k);
+            p.add_constraint(Constraint::ge0(bi.clone()));
+            p.add_constraint(Constraint::lt(&bi, &LinExpr::constant(w, params[3 + k]))?);
+        }
+        for (j, &e) in exts.iter().enumerate() {
+            let y = LinExpr::var(w, N_MAP_IN + j);
+            p.add_constraint(Constraint::ge0(y.clone()));
+            p.add_constraint(Constraint::lt(&y, &LinExpr::constant(w, e))?);
+        }
+        if p.is_marked_empty() {
+            continue;
+        }
+        p.for_each_point(&[], &mut |pt| {
+            seen.insert(pt[N_MAP_IN..N_MAP_IN + d].to_vec());
+        })?;
+    }
+    if seen.is_empty() {
+        return Ok(None);
+    }
+    let mut bounds = vec![(i64::MAX, i64::MIN); d];
+    for el in &seen {
+        for (j, &v) in el.iter().enumerate() {
+            bounds[j].0 = bounds[j].0.min(v);
+            bounds[j].1 = bounds[j].1.max(v);
+        }
+    }
+    let volume: u64 = bounds
+        .iter()
+        .map(|&(lo, hi)| (hi - lo + 1) as u64)
+        .product();
+    Ok(Some(MayReadBox {
+        bounds,
+        volume,
+        touched: seen.len() as u64,
+        params: space
+            .param_names()
+            .into_iter()
+            .zip(params.iter().copied())
+            .collect(),
+    }))
+}
+
 /// An element of the true access image that the compiled enumerator's
 /// row ranges miss.
 #[derive(Debug, Clone)]

@@ -14,7 +14,7 @@
 //! our pipeline.
 
 use crate::{MekongError, Result};
-use mekong_analysis::{analyze_kernel, AppModel};
+use mekong_analysis::{analyze_kernel_with, AppModel, ValueRanges};
 use mekong_frontend::parse_program;
 use mekong_rewriter::{rewrite_host, LaunchSite};
 use mekong_runtime::CompiledKernel;
@@ -100,9 +100,19 @@ pub fn compile_source(src: &str) -> Result<CompiledProgram> {
                 message: m,
             })
         })?;
+        // Value-range annotations feed the interval abstract interpreter
+        // *during* analysis (bounding indirect loads); map annotations
+        // replace finished access maps afterwards.
+        let ranges = mekong_analysis::value_ranges(&annotations).map_err(|m| {
+            MekongError::Parse(mekong_frontend::ParseError {
+                line: 0,
+                message: m,
+            })
+        })?;
+        let empty = ValueRanges::new();
         let mut model = AppModel::default();
         for k in &prog.kernels {
-            let mut km = analyze_kernel(k)?;
+            let mut km = analyze_kernel_with(k, ranges.get(&k.name).unwrap_or(&empty))?;
             mekong_analysis::apply_annotations(&mut km, &annotations)?;
             model.kernels.push(km);
         }

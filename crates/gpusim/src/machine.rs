@@ -112,6 +112,15 @@ pub struct OpCounters {
     pub replica_invalidations: u64,
     /// Peer-transfer bytes the replica hits avoided re-fetching.
     pub refetch_bytes_saved: u64,
+    /// Bytes fetched to satisfy *bounded may-read* footprints: interval
+    /// boxes the abstract interpreter emitted for non-affine reads
+    /// (see mekong-analysis). Counts the enumerated box bytes per
+    /// partitioned launch.
+    pub mayread_fetch_bytes: u64,
+    /// Over-fetch of those boxes: bytes fetched beyond what a
+    /// single-device run of the same launch would touch (the whole-grid
+    /// box). 0 when running unpartitioned.
+    pub mayread_overfetch_bytes: u64,
 }
 
 /// A kernel launch argument at the machine level.
@@ -357,6 +366,14 @@ impl Machine {
     /// Record replica copies evicted by a write or H2D upload.
     pub fn note_replica_invalidations(&mut self, n: u64) {
         self.counters.replica_invalidations += n;
+    }
+
+    /// Record bounded may-read box traffic of a partitioned launch: the
+    /// bytes enumerated from interval-box footprints, and how many of
+    /// them exceed the single-device (whole-grid) box.
+    pub fn note_mayread(&mut self, fetch_bytes: u64, overfetch_bytes: u64) {
+        self.counters.mayread_fetch_bytes += fetch_bytes;
+        self.counters.mayread_overfetch_bytes += overfetch_bytes;
     }
 
     /// Reset clocks, breakdown and counters (memory contents stay).

@@ -62,10 +62,17 @@ impl MemAccess for BufStore {
 struct ShadowMem<'a> {
     base: &'a BufStore,
     writes: HashMap<(usize, usize), Value>,
+    /// When set, every load is logged `(array, offset)` — the oracle
+    /// side of the may-read differential tests. `MemAccess::load` takes
+    /// `&self`, hence the cell; blocks never share a `ShadowMem`.
+    reads: Option<std::cell::RefCell<Vec<(usize, usize)>>>,
 }
 
 impl MemAccess for ShadowMem<'_> {
     fn load(&self, array: usize, offset: usize, ty: ScalarTy) -> Value {
+        if let Some(log) = &self.reads {
+            log.borrow_mut().push((array, offset));
+        }
         if let Some(v) = self.writes.get(&(array, offset)) {
             return *v;
         }
@@ -97,8 +104,16 @@ pub fn run_grid_parallel(
 /// Observed written byte ranges, keyed by buffer argument index.
 pub type ObservedWrites = HashMap<usize, Vec<(u64, u64)>>;
 
-/// One block's functional result plus its shadow write log.
-type BlockRecording = mekong_kernel::Result<(ExecStats, HashMap<(usize, usize), Value>)>;
+/// Observed read element ranges, keyed by buffer argument index — the
+/// dynamic ground truth that every static may-read box must contain.
+pub type ObservedReads = HashMap<usize, Vec<(u64, u64)>>;
+
+/// One block's functional result plus its shadow access logs.
+type BlockRecording = mekong_kernel::Result<(
+    ExecStats,
+    HashMap<(usize, usize), Value>,
+    Vec<(usize, usize)>,
+)>;
 
 pub fn run_grid_recording(
     kernel: &Kernel,
@@ -107,6 +122,23 @@ pub fn run_grid_recording(
     block_dim: Dim3,
     mem: &mut BufStore,
 ) -> mekong_kernel::Result<(ExecStats, ObservedWrites)> {
+    run_grid_recording_rw(kernel, args, grid_dim, block_dim, mem, false).map(|(s, w, _)| (s, w))
+}
+
+/// Like [`run_grid_recording`], but when `record_reads` is set it also
+/// returns the **observed read set**: for every buffer, the sorted,
+/// merged element ranges any thread loaded. This is the shadow-memory
+/// oracle the interval abstract interpreter is differentially tested
+/// against — every dynamic read must land inside the static may-read
+/// box.
+pub fn run_grid_recording_rw(
+    kernel: &Kernel,
+    args: &[KernelArg],
+    grid_dim: Dim3,
+    block_dim: Dim3,
+    mem: &mut BufStore,
+    record_reads: bool,
+) -> mekong_kernel::Result<(ExecStats, ObservedWrites, ObservedReads)> {
     let blocks: Vec<Dim3> = (0..grid_dim.z)
         .flat_map(|z| {
             (0..grid_dim.y).flat_map(move |y| (0..grid_dim.x).map(move |x| Dim3::new3(x, y, z)))
@@ -119,6 +151,7 @@ pub fn run_grid_recording(
             let mut shadow = ShadowMem {
                 base: mem,
                 writes: HashMap::new(),
+                reads: record_reads.then(|| std::cell::RefCell::new(Vec::new())),
             };
             let stats = execute_block(
                 kernel,
@@ -129,14 +162,16 @@ pub fn run_grid_recording(
                 &mut shadow,
                 ExecMode::Functional,
             )?;
-            Ok((stats, shadow.writes))
+            let reads = shadow.reads.map(|c| c.into_inner()).unwrap_or_default();
+            Ok((stats, shadow.writes, reads))
         })
         .collect();
 
     let mut total = ExecStats::default();
     let mut observed: ObservedWrites = HashMap::new();
+    let mut observed_reads: ObservedReads = HashMap::new();
     for r in results {
-        let (stats, writes) = r?;
+        let (stats, writes, reads) = r?;
         total.add(&stats);
         for ((array, offset), v) in writes {
             observed
@@ -145,9 +180,15 @@ pub fn run_grid_recording(
                 .push((offset as u64, offset as u64 + 1));
             mem.store(array, offset, v);
         }
+        for (array, offset) in reads {
+            observed_reads
+                .entry(array)
+                .or_default()
+                .push((offset as u64, offset as u64 + 1));
+        }
     }
     // Merge per-buffer ranges.
-    for ranges in observed.values_mut() {
+    for ranges in observed.values_mut().chain(observed_reads.values_mut()) {
         ranges.sort_unstable();
         let mut merged: Vec<(u64, u64)> = Vec::with_capacity(ranges.len());
         for &(s, e) in ranges.iter() {
@@ -161,7 +202,7 @@ pub fn run_grid_recording(
         }
         *ranges = merged;
     }
-    Ok((total, observed))
+    Ok((total, observed, observed_reads))
 }
 
 #[cfg(test)]

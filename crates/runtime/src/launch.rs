@@ -166,6 +166,32 @@ struct SyncPlan {
     replica_hits: u64,
     /// Bytes those replica hits avoided re-fetching.
     saved_bytes: u64,
+    /// Bytes of this partition's read footprint when the enumerator is
+    /// an *inexact* interval box (bounded may-read); 0 for exact maps.
+    fetch_bytes: u64,
+}
+
+/// Total length in bytes of a set of possibly-overlapping ranges.
+fn merged_len(ranges: &[(u64, u64)]) -> u64 {
+    let mut sorted = ranges.to_vec();
+    sorted.sort_unstable();
+    let mut total = 0u64;
+    let mut cur: Option<(u64, u64)> = None;
+    for (s, e) in sorted {
+        match &mut cur {
+            Some((_, ce)) if s <= *ce => *ce = (*ce).max(e),
+            _ => {
+                if let Some((cs, ce)) = cur {
+                    total += ce - cs;
+                }
+                cur = Some((s, e));
+            }
+        }
+    }
+    if let Some((cs, ce)) = cur {
+        total += ce - cs;
+    }
+    total
 }
 
 /// Plan the synchronization of `vb` for one partition (§8.3): enumerate
@@ -192,6 +218,15 @@ fn plan_sync(
         ranges.push((r.start * elem, r.end * elem));
     });
     let n_ranges = ranges.len();
+    // Inexact enumerators are interval boxes from the abstract
+    // interpreter: everything they enumerate is may-read over-fetch
+    // territory, so meter it (the whole-grid baseline is subtracted by
+    // the caller).
+    let fetch_bytes = if renum.is_exact() {
+        0
+    } else {
+        merged_len(&ranges)
+    };
     let mut plan = TransferPlan::new(gpu, max_gap, replica);
     let n_segments = if coalesce {
         // Merge adjacent/overlapping read ranges (e.g. consecutive rows
@@ -219,6 +254,7 @@ fn plan_sync(
         copies: plan.copies,
         replica_hits: plan.replica_hits,
         saved_bytes: plan.saved_bytes,
+        fetch_bytes,
     }
 }
 
@@ -664,6 +700,12 @@ impl MgpuRuntime {
             self.machine
                 .note_replica_hits(plan.replica_hits, plan.replica_saved_bytes);
         }
+        if plan.mayread_fetch_bytes > 0 {
+            // Same: replay skips the enumerator walk that meters
+            // bounded may-read boxes.
+            self.machine
+                .note_mayread(plan.mayread_fetch_bytes, plan.mayread_overfetch_bytes);
+        }
         let cost = self.machine.spec().host_per_replay;
         self.machine.charge_host(cost, TimeCat::Pattern);
         let replica = self.config.replica_coherence;
@@ -819,7 +861,9 @@ impl MgpuRuntime {
             } else {
                 tasks.iter().map(run).collect()
             };
+            let mut mayread_fetch = 0u64;
             for p in sync_plans {
+                mayread_fetch += p.fetch_bytes;
                 let cost = self.machine.spec().host_per_range * p.n_ranges as f64
                     + self.machine.spec().host_per_segment * p.n_segments as f64;
                 self.machine.charge_host(cost, TimeCat::Pattern);
@@ -888,6 +932,35 @@ impl MgpuRuntime {
                         }
                     }
                     i = j;
+                }
+            }
+            if mayread_fetch > 0 {
+                // Over-fetch = what the partitions fetch for their boxes
+                // beyond the single-device footprint of the same launch
+                // (the whole-grid box). With one partition the two sums
+                // coincide and the over-fetch is zero by construction.
+                let whole = Partition::whole(grid);
+                let mut baseline = 0u64;
+                for (arg_idx, renum) in &ck.enums.reads {
+                    if renum.is_exact() {
+                        continue;
+                    }
+                    let vb_id = match args[*arg_idx] {
+                        LaunchArg::Buf(b) => b,
+                        _ => unreachable!("validated"),
+                    };
+                    let elem = self.buffers[vb_id.index()].elem_size as u64;
+                    let mut ranges: Vec<(u64, u64)> = Vec::new();
+                    renum.for_each_range(&whole, block, grid, names, scalars, &mut |r| {
+                        ranges.push((r.start * elem, r.end * elem));
+                    });
+                    baseline += merged_len(&ranges);
+                }
+                let over = mayread_fetch.saturating_sub(baseline);
+                self.machine.note_mayread(mayread_fetch, over);
+                if let Some(cap) = &mut captured {
+                    cap.mayread_fetch_bytes = mayread_fetch;
+                    cap.mayread_overfetch_bytes = over;
                 }
             }
             // Figure 4, line 8: all_devs_synchronize().

@@ -39,7 +39,7 @@ use std::sync::Arc;
 /// Current snapshot format version. Bump on any incompatible change to
 /// the mirror types below; old snapshots are then rejected (and
 /// re-captured), never misread.
-pub const SNAPSHOT_VERSION: u32 = 1;
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct SnapshotFile {
@@ -79,6 +79,8 @@ struct PlanSnap {
     write_bufs: Vec<usize>,
     replica_hits: u64,
     replica_saved_bytes: u64,
+    mayread_fetch_bytes: u64,
+    mayread_overfetch_bytes: u64,
 }
 
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -240,6 +242,8 @@ fn snap_plan(p: &LaunchPlan) -> PlanSnap {
         write_bufs: p.write_bufs.iter().map(|b| b.0).collect(),
         replica_hits: p.replica_hits,
         replica_saved_bytes: p.replica_saved_bytes,
+        mayread_fetch_bytes: p.mayread_fetch_bytes,
+        mayread_overfetch_bytes: p.mayread_overfetch_bytes,
     }
 }
 
@@ -297,6 +301,8 @@ fn unsnap_plan(p: &PlanSnap) -> Result<LaunchPlan> {
         write_bufs: p.write_bufs.iter().map(|&b| VBufId(b)).collect(),
         replica_hits: p.replica_hits,
         replica_saved_bytes: p.replica_saved_bytes,
+        mayread_fetch_bytes: p.mayread_fetch_bytes,
+        mayread_overfetch_bytes: p.mayread_overfetch_bytes,
     })
 }
 
@@ -387,7 +393,10 @@ mod tests {
     #[test]
     fn version_mismatch_rejected_without_loading() {
         let c = ShardedPlanCache::new(0);
-        let json = snapshot_to_json(&c).replace("\"version\": 1", "\"version\": 999");
+        let json = snapshot_to_json(&c).replace(
+            &format!("\"version\": {SNAPSHOT_VERSION}"),
+            "\"version\": 999",
+        );
         let c2 = ShardedPlanCache::new(0);
         c2.insert(
             PlanKey {

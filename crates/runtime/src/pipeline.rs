@@ -203,6 +203,10 @@ impl MgpuRuntime {
             self.machine
                 .note_replica_hits(plan.replica_hits, plan.replica_saved_bytes);
         }
+        if plan.mayread_fetch_bytes > 0 {
+            self.machine
+                .note_mayread(plan.mayread_fetch_bytes, plan.mayread_overfetch_bytes);
+        }
         let cost = self.machine.spec().host_per_replay;
         self.machine.charge_host(cost, TimeCat::Pattern);
         let replica = self.config.replica_coherence;

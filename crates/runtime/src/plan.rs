@@ -141,6 +141,12 @@ pub struct LaunchPlan {
     pub replica_hits: u64,
     /// Peer-transfer bytes those replica hits avoided re-fetching.
     pub replica_saved_bytes: u64,
+    /// Bytes the capture enumerated from bounded may-read boxes
+    /// (interval-footprint reads), re-noted on every replay.
+    pub mayread_fetch_bytes: u64,
+    /// The portion of those bytes beyond the whole-grid (single-device)
+    /// box of the same launch.
+    pub mayread_overfetch_bytes: u64,
 }
 
 #[cfg(test)]

@@ -11,7 +11,7 @@ use mekong_kernel::{Dim3, Value};
 use mekong_runtime::persist::round_trip_entry;
 use mekong_runtime::{
     load_snapshot_json, snapshot_to_json, ArgKey, LaunchPlan, PlanCopy, PlanKey, PlanLaunch,
-    PlanUpdate, ShardedPlanCache, VBufId,
+    PlanUpdate, ShardedPlanCache, VBufId, SNAPSHOT_VERSION,
 };
 use proptest::prelude::*;
 
@@ -128,11 +128,19 @@ fn plan_strategy() -> impl Strategy<Value = LaunchPlan> {
         proptest::collection::vec(update_strategy(), 0..8),
         proptest::collection::vec(0usize..64, 0..6),
         proptest::collection::vec(0usize..64, 0..6),
-        0u64..u64::MAX,
-        0u64..u64::MAX,
+        (0u64..u64::MAX, 0u64..u64::MAX),
+        (0u64..u64::MAX, 0u64..u64::MAX),
     )
         .prop_map(
-            |(copies, launches, updates, reads, writes, replica_hits, replica_saved_bytes)| {
+            |(
+                copies,
+                launches,
+                updates,
+                reads,
+                writes,
+                (replica_hits, replica_saved_bytes),
+                (mayread_fetch_bytes, mayread_overfetch_bytes),
+            )| {
                 LaunchPlan {
                     copies,
                     launches,
@@ -147,6 +155,8 @@ fn plan_strategy() -> impl Strategy<Value = LaunchPlan> {
                         .collect(),
                     replica_hits,
                     replica_saved_bytes,
+                    mayread_fetch_bytes,
+                    mayread_overfetch_bytes,
                 }
             },
         )
@@ -192,7 +202,11 @@ proptest! {
         let cache = ShardedPlanCache::new(0);
         cache.insert(key, Arc::new(plan), 0);
         let good = snapshot_to_json(&cache);
-        let bumped = good.replacen("\"version\": 1", "\"version\": 2", 1);
+        let bumped = good.replacen(
+            &format!("\"version\": {SNAPSHOT_VERSION}"),
+            &format!("\"version\": {}", SNAPSHOT_VERSION + 1),
+            1,
+        );
         prop_assert!(bumped != good, "snapshot must carry its version");
 
         let target = ShardedPlanCache::new(0);

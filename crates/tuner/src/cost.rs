@@ -859,6 +859,76 @@ mod tests {
         assert!(strided_groups(&[]).is_empty());
     }
 
+    #[test]
+    fn mayread_boxes_drive_halo_pricing() {
+        use mekong_analysis::{analyze_kernel_with, ValueRanges};
+        use mekong_enumgen::KernelEnumerators;
+        use mekong_kernel::builder::*;
+        use mekong_kernel::Kernel;
+
+        // y[i] = x[cols[i]] with `range cols : $0 - w .. $0 + w`: the
+        // read of x is a bounded may-read box from the interval abstract
+        // interpreter, not an affine map — yet its enumerated volume
+        // flows through the same transfer pricing, so the cost model
+        // charges exactly the w-deep band halo at each partition seam.
+        let kernel = Kernel {
+            name: "banded_gather".into(),
+            params: vec![
+                scalar("n"),
+                scalar("w"),
+                array_f32("cols", &[ext("n")]),
+                array_f32("x", &[ext("n")]),
+                array_f32("y", &[ext("n")]),
+            ],
+            body: vec![
+                let_("i", global_x()),
+                guard_return(v("i").ge(v("n"))),
+                store(
+                    "y",
+                    vec![v("i")],
+                    load("x", vec![to_i64(load("cols", vec![v("i")]))]),
+                ),
+            ],
+        };
+        let mut ranges = ValueRanges::new();
+        ranges.insert("cols".into(), (v("$0") - v("w"), v("$0") + v("w")));
+        let model = analyze_kernel_with(&kernel, &ranges).unwrap();
+        let enums = KernelEnumerators::build(&model).unwrap();
+        let x_read = &enums.reads.iter().find(|(i, _)| *i == 3).unwrap().1;
+        assert!(!x_read.is_exact(), "the gather read must be a box");
+        let y_write = &enums.writes.iter().find(|(i, _)| *i == 4).unwrap().1;
+
+        let spec = MachineSpec::kepler_system(2);
+        let price = |w: i64| {
+            let scalars = [64i64, w];
+            let input = TunerInput {
+                spec: &spec,
+                grid: Dim3::new1(8),
+                block: Dim3::new1(8),
+                scalar_names: &enums.scalar_names,
+                scalars: &scalars,
+                reads: vec![ReadModel {
+                    enumerator: x_read,
+                    elem_size: 4,
+                    ownership: Ownership::SelfWrites(0),
+                }],
+                writes: vec![WriteModel {
+                    enumerator: y_write,
+                    elem_size: 4,
+                }],
+                profile: ThreadProfile::default(),
+                pattern_amortized: false,
+            };
+            evaluate(&input, &PartitionStrategy::even(SplitAxis::X, 2)).transfer_bytes
+        };
+        // Two-way split of 64 elements: each partition's box reaches `w`
+        // elements into the other half — 2 seam directions × w × 4 B —
+        // so the priced halo scales with the annotated band volume.
+        assert_eq!(price(0), 0);
+        assert_eq!(price(2), 2 * 2 * 4);
+        assert_eq!(price(8), 2 * 8 * 4);
+    }
+
     /// A 2-D access enumerator over an `n`×`n` row-major array covering
     /// the block's tile plus a `halo`-wide border in both dimensions
     /// (clipped to the array).

@@ -62,6 +62,12 @@ pub struct RunOutcome {
     pub plan_shared_hits: u64,
     /// Captured plans evicted by the plan cache's LRU capacity bound.
     pub plan_evictions: u64,
+    /// Bytes fetched for bounded may-read boxes (interval footprints of
+    /// non-affine reads, see mekong-analysis).
+    pub mayread_fetch_bytes: u64,
+    /// The portion of those bytes beyond the single-device footprint of
+    /// the same launches — the price of the interval over-approximation.
+    pub mayread_overfetch_bytes: u64,
 }
 
 impl RunOutcome {
@@ -81,6 +87,8 @@ impl RunOutcome {
             refetch_bytes_saved: counters.refetch_bytes_saved,
             plan_shared_hits: counters.plan_shared_hits,
             plan_evictions: counters.plan_evictions,
+            mayread_fetch_bytes: counters.mayread_fetch_bytes,
+            mayread_overfetch_bytes: counters.mayread_overfetch_bytes,
         }
     }
 
@@ -113,6 +121,13 @@ impl RunOutcome {
         }
         if self.plan_evictions > 0 {
             s.push_str(&format!(" | {} plan evictions", self.plan_evictions));
+        }
+        if self.mayread_fetch_bytes > 0 {
+            s.push_str(&format!(
+                " | may-read boxes {:.2} MiB fetched ({:.2} MiB over-fetch)",
+                self.mayread_fetch_bytes as f64 / (1024.0 * 1024.0),
+                self.mayread_overfetch_bytes as f64 / (1024.0 * 1024.0)
+            ));
         }
         let checked = self.counters.checked_safe + self.counters.checked_rejected;
         if checked > 0 {

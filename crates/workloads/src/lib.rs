@@ -21,15 +21,19 @@
 
 pub mod blur;
 pub mod harness;
+pub mod histogram;
 pub mod hotspot;
 pub mod matmul;
 pub mod nbody;
+pub mod spmv;
 
 pub use blur::Blur;
 pub use harness::{Benchmark, RunOutcome, SizeClass};
+pub use histogram::Histogram;
 pub use hotspot::Hotspot;
 pub use matmul::Matmul;
 pub use nbody::NBody;
+pub use spmv::Spmv;
 
 /// The paper's three benchmarks, in Table 1 order.
 pub fn benchmarks() -> Vec<Box<dyn Benchmark>> {
@@ -37,9 +41,11 @@ pub fn benchmarks() -> Vec<Box<dyn Benchmark>> {
 }
 
 /// Additional workloads beyond the paper's evaluation (toolchain
-/// generality; not part of the Table 1 figures).
+/// generality; not part of the Table 1 figures). Histogram and SpMV are
+/// *irregular*: their read footprints are data-dependent and rely on the
+/// interval abstract interpreter's bounded may-read boxes.
 pub fn extra_benchmarks() -> Vec<Box<dyn Benchmark>> {
-    vec![Box::new(Blur)]
+    vec![Box::new(Blur), Box::new(Histogram), Box::new(Spmv)]
 }
 
 /// The GPU counts evaluated in Figure 6.

@@ -21,6 +21,8 @@
 //! | `ablation_pipeline`    | A9 — launch-ahead pipelined scheduling    |
 //! | `ablation_tiling`      | A10 — 2-D grid tilings vs 1-D slabs       |
 //! | `ablation_serve`       | A11 — multi-tenant serving runtime        |
+//! | `ablation_interval`    | A12 — interval boxes on irregular kernels |
+//! | `ablation_backend`     | A13 — GPU-only vs CPU-only vs mixed       |
 //!
 //! All binaries accept `--quick` to scale down iteration counts for a fast
 //! smoke run; without it, the Table 1 configurations are used.

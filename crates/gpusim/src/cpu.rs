@@ -1,0 +1,788 @@
+//! A pure-host backend: CPU sockets as devices.
+//!
+//! `CpuBackend` implements [`crate::backend::Backend`] with no GPU and
+//! no PCIe anywhere: every device slot is a host CPU socket
+//! ([`crate::spec::DeviceClass::HostCpu`]), kernels execute each
+//! partition's grid range on host threads — the same rayon-fanned,
+//! block-isolated shadow-memory engine the simulator uses
+//! ([`crate::shadow::run_grid_parallel`]) — against real host buffers,
+//! and every "transfer" (H2D, D2H, peer) is a host memcpy priced with
+//! the [`crate::spec::MachineSpec`] host-memory constants.
+//!
+//! Execution is synchronous: there is no command-stream engine, so
+//! effects land at submission and the stream ops degenerate to no-ops
+//! (`stream_mark` → 0, `stream_wait_cross` → nothing). The clock
+//! algebra mirrors the simulator's — per-socket compute and copy-engine
+//! clocks, launches and async copies return immediately, syncs join —
+//! so the pipelined runtime paths schedule identically, just with
+//! host-scale constants.
+
+use crate::backend::{Backend, ObservedWriteSets};
+use crate::machine::{
+    sample_kernel_profile, DevBuf, KernelTimeKey, OpCounters, SimArg, SimTime, TimeBreakdown,
+    TimeCat,
+};
+use crate::shadow::{run_grid_parallel, run_grid_recording, BufStore};
+use crate::spec::{DeviceClass, MachineSpec};
+use crate::{Result, SimError};
+use mekong_kernel::interp::KernelArg;
+use mekong_kernel::{Dim3, Kernel};
+use std::collections::HashMap;
+
+/// One socket's memory: real bytes in functional mode, sizes otherwise.
+enum SocketMem {
+    Real(BufStore),
+    Virtual(Vec<usize>),
+}
+
+struct Socket {
+    mem: SocketMem,
+    busy_until: SimTime,
+    /// Copy-engine clock: pipelined copies land here so the runtime's
+    /// launch-ahead window overlaps "transfers" (memcpys on another
+    /// core) with compute, exactly like the simulator.
+    copy_busy_until: SimTime,
+}
+
+/// The rayon-based host executor.
+pub struct CpuBackend {
+    spec: MachineSpec,
+    functional: bool,
+    sockets: Vec<Socket>,
+    host_now: SimTime,
+    breakdown: TimeBreakdown,
+    counters: OpCounters,
+    transfer_timing: bool,
+    pattern_timing: bool,
+    kernel_time_cache: HashMap<KernelTimeKey, SimTime>,
+}
+
+impl CpuBackend {
+    /// Create a host backend over `spec`. Every device slot must be
+    /// `HostCpu`-class (build specs with [`MachineSpec::cpu_system`] or
+    /// a subset of a hybrid machine's CPU slots); mixed machines run on
+    /// [`crate::Machine`], which hosts both classes.
+    pub fn new(spec: MachineSpec, functional: bool) -> CpuBackend {
+        for d in 0..spec.n_devices {
+            assert_eq!(
+                spec.device_class(d),
+                DeviceClass::HostCpu,
+                "CpuBackend hosts HostCpu devices only (device {d} is {:?})",
+                spec.device_class(d)
+            );
+        }
+        let sockets = (0..spec.n_devices)
+            .map(|_| Socket {
+                mem: if functional {
+                    SocketMem::Real(BufStore::new())
+                } else {
+                    SocketMem::Virtual(Vec::new())
+                },
+                busy_until: 0.0,
+                copy_busy_until: 0.0,
+            })
+            .collect();
+        CpuBackend {
+            spec,
+            functional,
+            sockets,
+            host_now: 0.0,
+            breakdown: TimeBreakdown::default(),
+            counters: OpCounters::default(),
+            transfer_timing: true,
+            pattern_timing: true,
+            kernel_time_cache: HashMap::new(),
+        }
+    }
+
+    /// A functional host machine with `n_sockets` 16-core sockets.
+    pub fn system(n_sockets: usize, functional: bool) -> CpuBackend {
+        CpuBackend::new(MachineSpec::cpu_system(n_sockets), functional)
+    }
+
+    fn socket(&mut self, d: usize) -> Result<&mut Socket> {
+        let n = self.sockets.len();
+        self.sockets.get_mut(d).ok_or(SimError::NoSuchDevice {
+            device: d,
+            n_devices: n,
+        })
+    }
+
+    fn check_range(buf: &DevBuf, offset: usize, len: usize) -> Result<()> {
+        if offset + len > buf.len {
+            return Err(SimError::CopyOutOfRange {
+                buffer_len: buf.len,
+                offset,
+                len,
+            });
+        }
+        Ok(())
+    }
+
+    fn check_strided(
+        src: &DevBuf,
+        dst: &DevBuf,
+        offset: usize,
+        run: usize,
+        stride: usize,
+        count: usize,
+    ) -> Result<usize> {
+        if count == 0 || run == 0 {
+            return Ok(0);
+        }
+        if stride < run {
+            return Err(SimError::BadStride { run, stride });
+        }
+        let span = (count - 1) * stride + run;
+        Self::check_range(src, offset, span)?;
+        Self::check_range(dst, offset, span)?;
+        Ok(run * count)
+    }
+
+    /// Host memcpy cost: one setup latency plus the bytes over the host
+    /// copy bandwidth. Used for every transfer class this backend has.
+    fn memcpy_time(&self, len: usize) -> SimTime {
+        if self.transfer_timing {
+            self.spec.host_copy_lat() + len as f64 / self.spec.host_copy_bw()
+        } else {
+            0.0
+        }
+    }
+
+    /// Move `len` bytes between two sockets' stores (functional only).
+    fn move_bytes(
+        &mut self,
+        src: DevBuf,
+        src_offset: usize,
+        dst: DevBuf,
+        dst_offset: usize,
+        len: usize,
+    ) -> Result<()> {
+        if !self.functional || len == 0 {
+            return Ok(());
+        }
+        let data: Vec<u8> = match &self.sockets[src.device].mem {
+            SocketMem::Real(store) => {
+                store.bytes(src.handle)[src_offset..src_offset + len].to_vec()
+            }
+            SocketMem::Virtual(_) => Vec::new(),
+        };
+        if let SocketMem::Real(store) = &mut self.socket(dst.device)?.mem {
+            store.bytes_mut(dst.handle)[dst_offset..dst_offset + len].copy_from_slice(&data);
+        }
+        Ok(())
+    }
+
+    /// Memoized roofline time for one launch on socket `d`.
+    fn kernel_time(
+        &mut self,
+        d: usize,
+        kernel: &Kernel,
+        kargs: &[KernelArg],
+        grid_dim: Dim3,
+        block_dim: Dim3,
+        traffic: Option<u64>,
+    ) -> Result<SimTime> {
+        let key = KernelTimeKey {
+            kernel: kernel.name.clone(),
+            device: if self.spec.is_homogeneous() { 0 } else { d },
+            grid: grid_dim,
+            block: block_dim,
+            scalars: kargs
+                .iter()
+                .filter_map(|a| match a {
+                    KernelArg::Scalar(v) => Some(v.as_f64() as i64),
+                    _ => None,
+                })
+                .collect(),
+            traffic,
+        };
+        if let Some(&t) = self.kernel_time_cache.get(&key) {
+            return Ok(t);
+        }
+        let total_threads = grid_dim.count() * block_dim.count();
+        let t = if total_threads == 0 {
+            0.0
+        } else {
+            let profile = sample_kernel_profile(kernel, kargs, grid_dim, block_dim)?;
+            let flops = profile.flops_per_thread * total_threads as f64;
+            let intops = profile.intops_per_thread * total_threads as f64;
+            let bytes = match traffic {
+                Some(t) => t as f64,
+                None => profile.bytes_per_thread * total_threads as f64,
+            };
+            let spec = self.spec.device_spec(d);
+            (flops / spec.flops)
+                .max(intops / spec.int_ops)
+                .max(bytes / spec.mem_bw)
+        };
+        self.kernel_time_cache.insert(key, t);
+        Ok(t)
+    }
+
+    fn resolve_args(d: usize, args: &[SimArg]) -> Result<Vec<KernelArg>> {
+        let mut kargs = Vec::with_capacity(args.len());
+        for a in args {
+            match a {
+                SimArg::Scalar(v) => kargs.push(KernelArg::Scalar(*v)),
+                SimArg::Buf(b) => {
+                    if b.device != d {
+                        return Err(SimError::BadBuffer {
+                            device: d,
+                            handle: b.handle,
+                        });
+                    }
+                    kargs.push(KernelArg::Array(b.handle));
+                }
+            }
+        }
+        Ok(kargs)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn launch_core(
+        &mut self,
+        d: usize,
+        kernel: &Kernel,
+        args: &[SimArg],
+        grid_dim: Dim3,
+        block_dim: Dim3,
+        traffic: Option<u64>,
+        deps: &[SimTime],
+    ) -> Result<SimTime> {
+        self.counters.launches += 1;
+        let kargs = Self::resolve_args(d, args)?;
+        self.socket(d)?;
+        let t_kernel = self.kernel_time(d, kernel, &kargs, grid_dim, block_dim, traffic)?;
+        self.charge_host(self.spec.host_per_launch, TimeCat::Application);
+        // Eager execution: the grid range fans out over host threads
+        // right here — no stream to defer to.
+        if let SocketMem::Real(store) = &mut self.sockets[d].mem {
+            run_grid_parallel(kernel, &kargs, grid_dim, block_dim, store)?;
+        }
+        let overhead = self.spec.device_spec(d).launch_overhead;
+        let sock = &mut self.sockets[d];
+        let mut start = self.host_now.max(sock.busy_until);
+        for &dep in deps {
+            start = start.max(dep);
+        }
+        let t = overhead + t_kernel;
+        sock.busy_until = start + t;
+        self.breakdown.app += t;
+        Ok(start + t)
+    }
+}
+
+impl Backend for CpuBackend {
+    fn spec(&self) -> &MachineSpec {
+        &self.spec
+    }
+    fn n_devices(&self) -> usize {
+        self.spec.n_devices
+    }
+    fn is_functional(&self) -> bool {
+        self.functional
+    }
+    fn is_streamed(&self) -> bool {
+        false
+    }
+    fn set_streamed(&mut self, _on: bool) {}
+    fn set_transfer_timing(&mut self, on: bool) {
+        self.transfer_timing = on;
+    }
+    fn set_pattern_timing(&mut self, on: bool) {
+        self.pattern_timing = on;
+    }
+    fn now(&self) -> SimTime {
+        self.host_now
+    }
+    fn breakdown(&self) -> TimeBreakdown {
+        self.breakdown
+    }
+    fn counters(&self) -> OpCounters {
+        self.counters
+    }
+    fn reset_clock(&mut self) {
+        self.host_now = 0.0;
+        self.breakdown = TimeBreakdown::default();
+        self.counters = OpCounters::default();
+        for s in &mut self.sockets {
+            s.busy_until = 0.0;
+            s.copy_busy_until = 0.0;
+        }
+    }
+    fn note_plan_hit(&mut self) {
+        self.counters.plan_hits += 1;
+    }
+    fn note_plan_miss(&mut self) {
+        self.counters.plan_misses += 1;
+    }
+    fn note_plan_shared_hit(&mut self) {
+        self.counters.plan_shared_hits += 1;
+    }
+    fn note_plan_evictions(&mut self, n: u64) {
+        self.counters.plan_evictions += n;
+    }
+    fn note_tuner_choice(&mut self, encoded: u32, predict_bytes: u64) {
+        self.counters.strategy_chosen = encoded;
+        self.counters.tuner_predict_bytes = predict_bytes;
+    }
+    fn note_tuner_measured(&mut self, bytes_per_launch: u64) {
+        self.counters.tuner_measured_bytes = bytes_per_launch;
+    }
+    fn note_check_safe(&mut self) {
+        self.counters.checked_safe += 1;
+    }
+    fn note_check_rejected(&mut self) {
+        self.counters.checked_rejected += 1;
+    }
+    fn note_replica_hits(&mut self, runs: u64, bytes_saved: u64) {
+        self.counters.replica_hits += runs;
+        self.counters.refetch_bytes_saved += bytes_saved;
+    }
+    fn note_replica_invalidations(&mut self, n: u64) {
+        self.counters.replica_invalidations += n;
+    }
+    fn note_mayread(&mut self, fetch_bytes: u64, overfetch_bytes: u64) {
+        self.counters.mayread_fetch_bytes += fetch_bytes;
+        self.counters.mayread_overfetch_bytes += overfetch_bytes;
+    }
+    fn alloc(&mut self, d: usize, bytes: usize) -> Result<DevBuf> {
+        let sock = self.socket(d)?;
+        let handle = match &mut sock.mem {
+            SocketMem::Real(store) => store.alloc(bytes),
+            SocketMem::Virtual(sizes) => {
+                sizes.push(bytes);
+                sizes.len() - 1
+            }
+        };
+        Ok(DevBuf {
+            device: d,
+            handle,
+            len: bytes,
+        })
+    }
+    fn charge_host(&mut self, seconds: SimTime, cat: TimeCat) {
+        let seconds = match cat {
+            TimeCat::Pattern if !self.pattern_timing => 0.0,
+            TimeCat::Transfer if !self.transfer_timing => 0.0,
+            _ => seconds,
+        };
+        self.host_now += seconds;
+        match cat {
+            TimeCat::Application => self.breakdown.app += seconds,
+            TimeCat::Transfer => self.breakdown.transfer += seconds,
+            TimeCat::Pattern => self.breakdown.pattern += seconds,
+        }
+    }
+    fn copy_h2d(&mut self, src: &[u8], dst: DevBuf, dst_offset: usize, async_: bool) -> Result<()> {
+        Self::check_range(&dst, dst_offset, src.len())?;
+        self.counters.h2d_copies += 1;
+        self.counters.h2d_bytes += src.len() as u64;
+        let t = self.memcpy_time(src.len());
+        let host_now = self.host_now;
+        let sock = self.socket(dst.device)?;
+        if let SocketMem::Real(store) = &mut sock.mem {
+            store.bytes_mut(dst.handle)[dst_offset..dst_offset + src.len()].copy_from_slice(src);
+        }
+        let start = host_now.max(sock.busy_until);
+        sock.busy_until = start + t;
+        let busy = sock.busy_until;
+        self.breakdown.transfer += t;
+        if !async_ {
+            self.host_now = busy;
+        }
+        Ok(())
+    }
+    fn copy_d2h(
+        &mut self,
+        src: DevBuf,
+        src_offset: usize,
+        dst: &mut [u8],
+        async_: bool,
+    ) -> Result<()> {
+        Self::check_range(&src, src_offset, dst.len())?;
+        self.counters.d2h_copies += 1;
+        self.counters.d2h_bytes += dst.len() as u64;
+        let t = self.memcpy_time(dst.len());
+        let host_now = self.host_now;
+        let sock = self.socket(src.device)?;
+        if let SocketMem::Real(store) = &mut sock.mem {
+            dst.copy_from_slice(&store.bytes(src.handle)[src_offset..src_offset + dst.len()]);
+        }
+        let start = host_now.max(sock.busy_until);
+        sock.busy_until = start + t;
+        let busy = sock.busy_until;
+        self.breakdown.transfer += t;
+        if !async_ {
+            self.host_now = busy;
+        }
+        Ok(())
+    }
+    fn copy_h2d_timed(
+        &mut self,
+        dst: DevBuf,
+        dst_offset: usize,
+        len: usize,
+        async_: bool,
+    ) -> Result<()> {
+        Self::check_range(&dst, dst_offset, len)?;
+        self.counters.h2d_copies += 1;
+        self.counters.h2d_bytes += len as u64;
+        let t = self.memcpy_time(len);
+        let host_now = self.host_now;
+        let sock = self.socket(dst.device)?;
+        let start = host_now.max(sock.busy_until);
+        sock.busy_until = start + t;
+        let busy = sock.busy_until;
+        self.breakdown.transfer += t;
+        if !async_ {
+            self.host_now = busy;
+        }
+        Ok(())
+    }
+    fn copy_d2h_timed(
+        &mut self,
+        src: DevBuf,
+        src_offset: usize,
+        len: usize,
+        async_: bool,
+    ) -> Result<()> {
+        Self::check_range(&src, src_offset, len)?;
+        self.counters.d2h_copies += 1;
+        self.counters.d2h_bytes += len as u64;
+        let t = self.memcpy_time(len);
+        let host_now = self.host_now;
+        let sock = self.socket(src.device)?;
+        let start = host_now.max(sock.busy_until);
+        sock.busy_until = start + t;
+        let busy = sock.busy_until;
+        self.breakdown.transfer += t;
+        if !async_ {
+            self.host_now = busy;
+        }
+        Ok(())
+    }
+    fn copy_d2d(
+        &mut self,
+        src: DevBuf,
+        src_offset: usize,
+        dst: DevBuf,
+        dst_offset: usize,
+        len: usize,
+    ) -> Result<()> {
+        Self::check_range(&src, src_offset, len)?;
+        Self::check_range(&dst, dst_offset, len)?;
+        self.counters.d2d_copies += 1;
+        self.counters.d2d_bytes += len as u64;
+        let t = self.memcpy_time(len);
+        self.move_bytes(src, src_offset, dst, dst_offset, len)?;
+        // A socket-to-socket memcpy busies both endpoints' memory
+        // controllers; there is no shared staging engine to serialize on.
+        let start = self
+            .host_now
+            .max(self.sockets[src.device].busy_until)
+            .max(self.sockets[dst.device].busy_until);
+        let end = start + t;
+        self.sockets[src.device].busy_until = end;
+        self.sockets[dst.device].busy_until = end;
+        self.breakdown.transfer += t;
+        Ok(())
+    }
+    fn copy_d2d_pipelined(
+        &mut self,
+        src: DevBuf,
+        src_offset: usize,
+        dst: DevBuf,
+        dst_offset: usize,
+        len: usize,
+        deps: &[SimTime],
+    ) -> Result<SimTime> {
+        Self::check_range(&src, src_offset, len)?;
+        Self::check_range(&dst, dst_offset, len)?;
+        self.counters.d2d_copies += 1;
+        self.counters.d2d_bytes += len as u64;
+        let t = self.memcpy_time(len);
+        self.move_bytes(src, src_offset, dst, dst_offset, len)?;
+        let mut start = self
+            .host_now
+            .max(self.sockets[src.device].copy_busy_until)
+            .max(self.sockets[dst.device].copy_busy_until);
+        for &d in deps {
+            start = start.max(d);
+        }
+        let end = start + t;
+        self.sockets[src.device].copy_busy_until = end;
+        self.sockets[dst.device].copy_busy_until = end;
+        self.breakdown.transfer += t;
+        Ok(end)
+    }
+    fn copy_d2d_strided(
+        &mut self,
+        src: DevBuf,
+        dst: DevBuf,
+        offset: usize,
+        run: usize,
+        stride: usize,
+        count: usize,
+    ) -> Result<()> {
+        let bytes = Self::check_strided(&src, &dst, offset, run, stride, count)?;
+        if bytes == 0 {
+            return Ok(());
+        }
+        self.counters.d2d_copies += 1;
+        self.counters.d2d_bytes += bytes as u64;
+        let t = self.memcpy_time(bytes);
+        for i in 0..count {
+            let off = offset + i * stride;
+            self.move_bytes(src, off, dst, off, run)?;
+        }
+        let start = self
+            .host_now
+            .max(self.sockets[src.device].busy_until)
+            .max(self.sockets[dst.device].busy_until);
+        let end = start + t;
+        self.sockets[src.device].busy_until = end;
+        self.sockets[dst.device].busy_until = end;
+        self.breakdown.transfer += t;
+        Ok(())
+    }
+    fn copy_d2d_strided_pipelined(
+        &mut self,
+        src: DevBuf,
+        dst: DevBuf,
+        offset: usize,
+        run: usize,
+        stride: usize,
+        count: usize,
+        deps: &[SimTime],
+    ) -> Result<SimTime> {
+        let bytes = Self::check_strided(&src, &dst, offset, run, stride, count)?;
+        if bytes == 0 {
+            return Ok(self.host_now);
+        }
+        self.counters.d2d_copies += 1;
+        self.counters.d2d_bytes += bytes as u64;
+        let t = self.memcpy_time(bytes);
+        for i in 0..count {
+            let off = offset + i * stride;
+            self.move_bytes(src, off, dst, off, run)?;
+        }
+        let mut start = self
+            .host_now
+            .max(self.sockets[src.device].copy_busy_until)
+            .max(self.sockets[dst.device].copy_busy_until);
+        for &d in deps {
+            start = start.max(d);
+        }
+        let end = start + t;
+        self.sockets[src.device].copy_busy_until = end;
+        self.sockets[dst.device].copy_busy_until = end;
+        self.breakdown.transfer += t;
+        Ok(end)
+    }
+    fn launch(
+        &mut self,
+        d: usize,
+        kernel: &Kernel,
+        args: &[SimArg],
+        grid_dim: Dim3,
+        block_dim: Dim3,
+    ) -> Result<()> {
+        self.launch_core(d, kernel, args, grid_dim, block_dim, None, &[])
+            .map(|_| ())
+    }
+    fn launch_with_traffic(
+        &mut self,
+        d: usize,
+        kernel: &Kernel,
+        args: &[SimArg],
+        grid_dim: Dim3,
+        block_dim: Dim3,
+        traffic: Option<u64>,
+    ) -> Result<()> {
+        self.launch_core(d, kernel, args, grid_dim, block_dim, traffic, &[])
+            .map(|_| ())
+    }
+    fn launch_pipelined(
+        &mut self,
+        d: usize,
+        kernel: &Kernel,
+        args: &[SimArg],
+        grid_dim: Dim3,
+        block_dim: Dim3,
+        traffic: Option<u64>,
+        deps: &[SimTime],
+    ) -> Result<SimTime> {
+        self.launch_core(d, kernel, args, grid_dim, block_dim, traffic, deps)
+    }
+    fn launch_recording(
+        &mut self,
+        d: usize,
+        kernel: &Kernel,
+        args: &[SimArg],
+        grid_dim: Dim3,
+        block_dim: Dim3,
+    ) -> Result<ObservedWriteSets> {
+        const INSTRUMENTATION_FACTOR: f64 = 2.0;
+        if !self.functional {
+            return Err(SimError::BadBuffer {
+                device: d,
+                handle: usize::MAX,
+            });
+        }
+        self.counters.launches += 1;
+        let kargs = Self::resolve_args(d, args)?;
+        let t_kernel = self.kernel_time(d, kernel, &kargs, grid_dim, block_dim, None)?;
+        self.charge_host(self.spec.host_per_launch, TimeCat::Application);
+        let observed = match &mut self.socket(d)?.mem {
+            SocketMem::Real(store) => {
+                let (_, obs) = run_grid_recording(kernel, &kargs, grid_dim, block_dim, store)?;
+                obs
+            }
+            SocketMem::Virtual(_) => unreachable!("checked functional above"),
+        };
+        let overhead = self.spec.device_spec(d).launch_overhead;
+        let sock = &mut self.sockets[d];
+        let start = self.host_now.max(sock.busy_until);
+        let t = overhead + t_kernel * INSTRUMENTATION_FACTOR;
+        sock.busy_until = start + t;
+        self.breakdown.app += t;
+        Ok(observed)
+    }
+    fn sync_device(&mut self, d: usize) -> Result<()> {
+        let sock = self.socket(d)?;
+        let busy = sock.busy_until.max(sock.copy_busy_until);
+        self.host_now = self.host_now.max(busy);
+        Ok(())
+    }
+    fn sync_all(&mut self) {
+        self.try_sync_all().expect("CpuBackend sync_all");
+    }
+    fn try_sync_all(&mut self) -> Result<()> {
+        for s in &self.sockets {
+            self.host_now = self.host_now.max(s.busy_until).max(s.copy_busy_until);
+        }
+        Ok(())
+    }
+    fn join_host(&mut self, t: SimTime) {
+        self.host_now = self.host_now.max(t);
+    }
+    fn stream_mark(&self, _d: usize) -> u64 {
+        0
+    }
+    fn stream_wait_cross(&mut self, _waiter: usize, _source: usize, _event: u64) {}
+    fn debug_read(&self, buf: DevBuf) -> Option<Vec<u8>> {
+        match &self.sockets[buf.device].mem {
+            SocketMem::Real(store) => Some(store.bytes(buf.handle).to_vec()),
+            SocketMem::Virtual(_) => None,
+        }
+    }
+    fn debug_write(&mut self, buf: DevBuf, data: &[u8]) {
+        if let SocketMem::Real(store) = &mut self.sockets[buf.device].mem {
+            store.bytes_mut(buf.handle)[..data.len()].copy_from_slice(data);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mekong_kernel::builder::*;
+    use mekong_kernel::{Kernel, Value};
+
+    fn saxpy() -> Kernel {
+        Kernel {
+            name: "saxpy".into(),
+            params: vec![
+                scalar("n"),
+                array_f32("x", &[ext("n")]),
+                array_f32("y", &[ext("n")]),
+            ],
+            body: vec![
+                let_("i", global_x()),
+                guard_return(v("i").ge(v("n"))),
+                store(
+                    "y",
+                    vec![v("i")],
+                    load("x", vec![v("i")]) * f(2.0) + load("y", vec![v("i")]),
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn functional_roundtrip_on_host_sockets() {
+        let mut m = CpuBackend::system(2, true);
+        let n = 1024usize;
+        let x = m.alloc(0, n * 4).unwrap();
+        let y = m.alloc(0, n * 4).unwrap();
+        let host_x: Vec<u8> = (0..n).flat_map(|i| (i as f32).to_le_bytes()).collect();
+        m.copy_h2d(&host_x, x, 0, false).unwrap();
+        m.copy_h2d(&vec![0u8; n * 4], y, 0, false).unwrap();
+        m.launch(
+            0,
+            &saxpy(),
+            &[
+                SimArg::Scalar(Value::I64(n as i64)),
+                SimArg::Buf(x),
+                SimArg::Buf(y),
+            ],
+            Dim3::new1(8),
+            Dim3::new1(128),
+        )
+        .unwrap();
+        m.sync_all();
+        let mut out = vec![0u8; n * 4];
+        m.copy_d2h(y, 0, &mut out, false).unwrap();
+        for (i, c) in out.chunks_exact(4).enumerate() {
+            assert_eq!(f32::from_le_bytes(c.try_into().unwrap()), 2.0 * i as f32);
+        }
+        let c = m.counters();
+        assert_eq!((c.launches, c.h2d_copies, c.d2h_copies), (1, 2, 1));
+        assert!(m.now() > 0.0);
+    }
+
+    #[test]
+    fn host_copies_cost_memcpys_not_pcie() {
+        // The same 64 MiB transfer must be much cheaper on the host
+        // backend than over the simulated PCIe link.
+        let len = 64 << 20;
+        let mut cpu = CpuBackend::system(1, false);
+        let b = cpu.alloc(0, len).unwrap();
+        cpu.copy_h2d_timed(b, 0, len, false).unwrap();
+        let t_host = cpu.now();
+        let mut gpu = crate::Machine::new(MachineSpec::kepler_system(1), false);
+        let g = gpu.alloc(0, len).unwrap();
+        gpu.copy_h2d_timed(g, 0, len, false).unwrap();
+        assert!(t_host < gpu.now(), "{t_host} !< {}", gpu.now());
+        let spec = cpu.spec().clone();
+        let expect = spec.host_copy_lat() + len as f64 / spec.host_copy_bw();
+        assert!((t_host - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn peer_memcpy_moves_bytes_between_sockets() {
+        let mut m = CpuBackend::system(2, true);
+        let a = m.alloc(0, 64).unwrap();
+        let b = m.alloc(1, 64).unwrap();
+        m.debug_write(a, &[7u8; 64]);
+        m.copy_d2d(a, 16, b, 16, 32).unwrap();
+        let out = m.debug_read(b).unwrap();
+        assert_eq!(&out[16..48], &[7u8; 32]);
+        assert_eq!(&out[..16], &[0u8; 16]);
+        assert_eq!(m.counters().d2d_copies, 1);
+        assert_eq!(m.counters().d2d_bytes, 32);
+    }
+
+    #[test]
+    fn stream_ops_are_no_ops() {
+        let mut m = CpuBackend::system(2, true);
+        assert!(!m.is_streamed());
+        m.set_streamed(true);
+        assert!(!m.is_streamed());
+        assert_eq!(m.stream_mark(0), 0);
+        m.stream_wait_cross(0, 1, 5);
+        assert!(m.try_sync_all().is_ok());
+    }
+}

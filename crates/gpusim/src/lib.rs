@@ -23,16 +23,20 @@
 //! of the paper's results (who wins, where scaling saturates), not the
 //! testbed's absolute numbers.
 
+pub mod backend;
+pub mod cpu;
 pub mod machine;
 pub mod shadow;
 pub mod spec;
 pub mod stream;
 
+pub use backend::{Backend, ObservedWriteSets, SimMachine};
+pub use cpu::CpuBackend;
 pub use machine::{
     sample_kernel_profile, DevBuf, Machine, OpCounters, SimArg, SimTime, ThreadProfile,
     TimeBreakdown, TimeCat,
 };
-pub use spec::{DeviceSpec, LinkSpec, MachineSpec};
+pub use spec::{DeviceClass, DeviceSpec, LinkSpec, MachineSpec};
 
 /// Errors from the simulator.
 #[derive(Debug, Clone, PartialEq)]

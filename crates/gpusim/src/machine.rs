@@ -161,18 +161,18 @@ pub struct Machine {
     stream_error: Mutex<Option<SimError>>,
 }
 
-/// Cache key for the roofline estimate.
+/// Cache key for the roofline estimate (shared with the CPU backend).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct KernelTimeKey {
-    kernel: String,
+pub(crate) struct KernelTimeKey {
+    pub(crate) kernel: String,
     /// 0 on homogeneous machines (every device prices identically, so
     /// partitions share memo entries); the device index when overrides
     /// make the roofline device-dependent.
-    device: usize,
-    grid: Dim3,
-    block: Dim3,
-    scalars: Vec<i64>,
-    traffic: Option<u64>,
+    pub(crate) device: usize,
+    pub(crate) grid: Dim3,
+    pub(crate) block: Dim3,
+    pub(crate) scalars: Vec<i64>,
+    pub(crate) traffic: Option<u64>,
 }
 
 impl Machine {
@@ -452,7 +452,11 @@ impl Machine {
         self.counters.h2d_copies += 1;
         self.counters.h2d_bytes += src.len() as u64;
         let t = if self.transfer_timing {
-            self.spec.h2d_latency + src.len() as f64 / self.spec.h2d_bandwidth
+            // Class-aware: a HostCpu device "uploads" with a memcpy
+            // (host_copy constants), a GPU crosses PCIe. Identical to the
+            // pre-class expression on pure-GPU machines.
+            let (lat, bw) = self.spec.host_link_params(dst.device);
+            lat + src.len() as f64 / bw
         } else {
             0.0
         };
@@ -493,7 +497,8 @@ impl Machine {
         self.counters.d2h_copies += 1;
         self.counters.d2h_bytes += dst.len() as u64;
         let t = if self.transfer_timing {
-            self.spec.h2d_latency + dst.len() as f64 / self.spec.h2d_bandwidth
+            let (lat, bw) = self.spec.host_link_params(src.device);
+            lat + dst.len() as f64 / bw
         } else {
             0.0
         };
@@ -530,7 +535,8 @@ impl Machine {
         self.counters.h2d_copies += 1;
         self.counters.h2d_bytes += len as u64;
         let t = if self.transfer_timing {
-            self.spec.h2d_latency + len as f64 / self.spec.h2d_bandwidth
+            let (lat, bw) = self.spec.host_link_params(dst.device);
+            lat + len as f64 / bw
         } else {
             0.0
         };
@@ -560,7 +566,8 @@ impl Machine {
         self.counters.d2h_copies += 1;
         self.counters.d2h_bytes += len as u64;
         let t = if self.transfer_timing {
-            self.spec.h2d_latency + len as f64 / self.spec.h2d_bandwidth
+            let (lat, bw) = self.spec.host_link_params(src.device);
+            lat + len as f64 / bw
         } else {
             0.0
         };
@@ -592,8 +599,11 @@ impl Machine {
         Self::check_range(&dst, dst_offset, len)?;
         self.counters.d2d_copies += 1;
         self.counters.d2d_bytes += len as u64;
+        // Class-aware pair pricing: GPU↔GPU uses the interconnect (and
+        // its staging engine), CPU↔CPU a memcpy, mixed one PCIe hop.
+        let (lat, bw, staged) = self.spec.pair_copy_params(src.device, dst.device);
         let t = if self.transfer_timing {
-            self.spec.link.latency + len as f64 / self.spec.link.bandwidth
+            lat + len as f64 / bw
         } else {
             0.0
         };
@@ -605,13 +615,13 @@ impl Machine {
             .host_now
             .max(self.devices[src.device].busy_until)
             .max(self.devices[dst.device].busy_until);
-        if self.spec.link.host_staged {
+        if staged {
             start = start.max(self.link_busy_until);
         }
         let end = start + t;
         self.devices[src.device].busy_until = end;
         self.devices[dst.device].busy_until = end;
-        if self.spec.link.host_staged {
+        if staged {
             self.link_busy_until = end;
         }
         self.breakdown.transfer += t;
@@ -682,8 +692,9 @@ impl Machine {
         Self::check_range(&dst, dst_offset, len)?;
         self.counters.d2d_copies += 1;
         self.counters.d2d_bytes += len as u64;
+        let (lat, bw, staged) = self.spec.pair_copy_params(src.device, dst.device);
         let t = if self.transfer_timing {
-            self.spec.link.latency + len as f64 / self.spec.link.bandwidth
+            lat + len as f64 / bw
         } else {
             0.0
         };
@@ -695,13 +706,13 @@ impl Machine {
         for &d in deps {
             start = start.max(d);
         }
-        if self.spec.link.host_staged {
+        if staged {
             start = start.max(self.link_busy_until);
         }
         let end = start + t;
         self.devices[src.device].copy_busy_until = end;
         self.devices[dst.device].copy_busy_until = end;
-        if self.spec.link.host_staged {
+        if staged {
             self.link_busy_until = end;
         }
         self.breakdown.transfer += t;
@@ -728,8 +739,9 @@ impl Machine {
         }
         self.counters.d2d_copies += 1;
         self.counters.d2d_bytes += bytes as u64;
+        let (lat, bw, staged) = self.spec.pair_copy_params(src.device, dst.device);
         let t = if self.transfer_timing {
-            self.spec.link.latency + bytes as f64 / self.spec.link.bandwidth
+            lat + bytes as f64 / bw
         } else {
             0.0
         };
@@ -741,13 +753,13 @@ impl Machine {
             .host_now
             .max(self.devices[src.device].busy_until)
             .max(self.devices[dst.device].busy_until);
-        if self.spec.link.host_staged {
+        if staged {
             start = start.max(self.link_busy_until);
         }
         let end = start + t;
         self.devices[src.device].busy_until = end;
         self.devices[dst.device].busy_until = end;
-        if self.spec.link.host_staged {
+        if staged {
             self.link_busy_until = end;
         }
         self.breakdown.transfer += t;
@@ -775,8 +787,9 @@ impl Machine {
         }
         self.counters.d2d_copies += 1;
         self.counters.d2d_bytes += bytes as u64;
+        let (lat, bw, staged) = self.spec.pair_copy_params(src.device, dst.device);
         let t = if self.transfer_timing {
-            self.spec.link.latency + bytes as f64 / self.spec.link.bandwidth
+            lat + bytes as f64 / bw
         } else {
             0.0
         };
@@ -791,13 +804,13 @@ impl Machine {
         for &d in deps {
             start = start.max(d);
         }
-        if self.spec.link.host_staged {
+        if staged {
             start = start.max(self.link_busy_until);
         }
         let end = start + t;
         self.devices[src.device].copy_busy_until = end;
         self.devices[dst.device].copy_busy_until = end;
-        if self.spec.link.host_staged {
+        if staged {
             self.link_busy_until = end;
         }
         self.breakdown.transfer += t;

@@ -4,7 +4,7 @@
 
 use mekong_analysis::SplitAxis;
 use mekong_kernel::Dim3;
-use mekong_partition::{partition_grid_rect, partition_grid_weighted, Partition};
+use mekong_partition::{allocate_blocks, partition_grid_rect, partition_grid_weighted, Partition};
 use proptest::prelude::*;
 
 const AXES: [SplitAxis; 3] = [SplitAxis::Z, SplitAxis::Y, SplitAxis::X];
@@ -64,6 +64,30 @@ proptest! {
         let rect = partition_grid_rect(grid, AXES[a], &shares_a, AXES[b], &[1.0]);
         let slab = partition_grid_weighted(grid, AXES[a], &shares_a);
         prop_assert_eq!(rect, slab);
+    }
+
+    /// Weighted per-axis shares are respected exactly: the distinct
+    /// slice extents along each tiled axis equal `allocate_blocks` of
+    /// that axis's share vector — the lattice is the outer product of
+    /// the two 1-D weighted allocations.
+    #[test]
+    fn rect_weighted_extents_match_allocate_blocks(
+        gx in 1i64..=14, gy in 1i64..=14,
+        shares_a in arb_shares(4), shares_b in arb_shares(4),
+    ) {
+        let grid = Dim3::new2(gx as u32, gy as u32);
+        let tiles = partition_grid_rect(
+            grid, SplitAxis::X, &shares_a, SplitAxis::Y, &shares_b);
+        for (d, shares, extent) in [(2usize, &shares_a, gx), (1usize, &shares_b, gy)] {
+            let want: Vec<i64> = allocate_blocks(extent, shares)
+                .into_iter().filter(|&l| l > 0).collect();
+            let mut cuts: Vec<(i64, i64)> =
+                tiles.iter().map(|t| (t.lo[d], t.hi[d])).collect();
+            cuts.sort_unstable();
+            cuts.dedup();
+            let got: Vec<i64> = cuts.iter().map(|&(lo, hi)| hi - lo).collect();
+            prop_assert_eq!(&got, &want, "axis {} extents diverge", d);
+        }
     }
 
     /// Per axis the remainder goes to the leading tiles: along each

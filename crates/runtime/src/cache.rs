@@ -48,6 +48,10 @@ struct Entry {
     namespace: u32,
     /// Recency tick of the last touch (insert or hit).
     last_used: u64,
+    /// Installed from a snapshot (true) vs captured live (false).
+    loaded: bool,
+    /// Lookup hits since the entry was installed or captured.
+    hits: u64,
 }
 
 #[derive(Default)]
@@ -88,6 +92,7 @@ impl ShardedPlanCache {
         let tick = self.bump();
         shard.map.get_mut(key).map(|e| {
             e.last_used = tick;
+            e.hits += 1;
             (e.plan.clone(), e.namespace)
         })
     }
@@ -103,6 +108,8 @@ impl ShardedPlanCache {
                 plan,
                 namespace,
                 last_used: tick,
+                loaded: false,
+                hits: 0,
             },
         );
         self.enforce_capacity()
@@ -184,9 +191,36 @@ impl ShardedPlanCache {
         out
     }
 
+    /// [`ShardedPlanCache::export`] minus the dead weight: every entry
+    /// captured live in this process survives, but an entry *loaded*
+    /// from a snapshot survives only if it was hit at least once since
+    /// loading. Snapshotting through this method is the cache's
+    /// generational compaction — plans nobody replayed any more would
+    /// otherwise ride every snapshot/restore cycle forever.
+    pub fn export_live(&self) -> Vec<(PlanKey, Arc<LaunchPlan>, u32)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock();
+            for (k, e) in &shard.map {
+                if !e.loaded || e.hits > 0 {
+                    out.push((k.clone(), e.plan.clone(), e.namespace));
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of loaded-but-never-hit entries a compacting snapshot
+    /// would drop right now.
+    pub fn compactable(&self) -> usize {
+        self.len() - self.export_live().len()
+    }
+
     /// Install entries (from a snapshot) as most-recently-used, then
     /// enforce the capacity bound. Existing entries with the same key are
-    /// replaced.
+    /// replaced. Imported entries are marked *loaded* with zero hits:
+    /// they must prove their worth before the next compacting snapshot
+    /// carries them forward (see [`ShardedPlanCache::export_live`]).
     pub fn import(&self, entries: Vec<(PlanKey, Arc<LaunchPlan>, u32)>) -> u64 {
         for (key, plan, namespace) in entries {
             let tick = self.bump();
@@ -196,6 +230,8 @@ impl ShardedPlanCache {
                     plan,
                     namespace,
                     last_used: tick,
+                    loaded: true,
+                    hits: 0,
                 },
             );
         }
@@ -270,6 +306,28 @@ mod tests {
         for i in 7..10 {
             assert!(c.get(&key("k", i)).is_some());
         }
+    }
+
+    #[test]
+    fn export_live_drops_only_unhit_loaded_entries() {
+        let c = ShardedPlanCache::new(0);
+        c.insert(key("captured", 0), plan(), 1);
+        c.import(vec![
+            (key("hit", 0), plan(), 2),
+            (key("cold", 0), plan(), 2),
+        ]);
+        // One loaded entry proves its worth, the other never replays.
+        assert!(c.get(&key("hit", 0)).is_some());
+        assert_eq!(c.compactable(), 1);
+        let live = c.export_live();
+        let kernels: Vec<&str> = live.iter().map(|(k, _, _)| k.kernel.as_str()).collect();
+        assert!(kernels.contains(&"captured"));
+        assert!(kernels.contains(&"hit"));
+        assert!(!kernels.contains(&"cold"), "{kernels:?}");
+        // The full export still sees everything.
+        assert_eq!(c.export().len(), 3);
+        // A live capture is kept even with zero hits.
+        assert_eq!(live.len(), 2);
     }
 
     #[test]

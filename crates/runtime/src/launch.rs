@@ -82,7 +82,7 @@ impl TransferPlan {
 
     /// Break-even gap for a machine: bytes whose copy time equals one
     /// link latency.
-    fn break_even_gap(machine: &mekong_gpusim::Machine) -> u64 {
+    fn break_even_gap(machine: &dyn mekong_gpusim::Backend) -> u64 {
         (machine.spec().link.latency * machine.spec().link.bandwidth) as u64
     }
 
@@ -819,7 +819,7 @@ impl MgpuRuntime {
             let coalesce = self.config.coalesce_transfers;
             let replica = self.config.replica_coherence;
             let max_gap = if coalesce {
-                TransferPlan::break_even_gap(&self.machine)
+                TransferPlan::break_even_gap(&*self.machine)
             } else {
                 0
             };
@@ -1244,7 +1244,7 @@ impl MgpuRuntime {
         let vb = &self.buffers[b.index()];
         let instances = vb.instances.clone();
         let max_gap = if self.config.coalesce_transfers {
-            TransferPlan::break_even_gap(&self.machine)
+            TransferPlan::break_even_gap(&*self.machine)
         } else {
             0
         };

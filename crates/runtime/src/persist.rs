@@ -321,13 +321,19 @@ pub fn round_trip_entry(key: &PlanKey, plan: &LaunchPlan) -> Result<(PlanKey, La
     Ok((unsnap_key(&parsed.key), unsnap_plan(&parsed.plan)?))
 }
 
-/// Render every cached plan into a versioned JSON snapshot. Entries are
-/// sorted by their rendered form so the document is deterministic
-/// regardless of hash-map iteration order — two snapshots of the same
-/// cache state are byte-identical.
+/// Render the cache into a versioned JSON snapshot. Entries are sorted
+/// by their rendered form so the document is deterministic regardless
+/// of hash-map iteration order — two snapshots of the same cache state
+/// are byte-identical.
+///
+/// The snapshot **compacts**: entries that were themselves loaded from
+/// a snapshot and never hit since are dropped
+/// ([`ShardedPlanCache::export_live`]), so stale plans age out across
+/// snapshot/restore generations instead of accreting forever. Entries
+/// captured live are always persisted.
 pub fn snapshot_to_json(cache: &ShardedPlanCache) -> String {
     let mut entries: Vec<EntrySnap> = cache
-        .export()
+        .export_live()
         .into_iter()
         .map(|(key, plan, namespace)| EntrySnap {
             key: snap_key(&key),
@@ -413,6 +419,43 @@ mod tests {
         let err = load_snapshot_json(&c2, &json).unwrap_err();
         assert!(matches!(err, RuntimeError::Snapshot(_)), "{err:?}");
         assert_eq!(c2.len(), 1, "cache untouched on rejection");
+    }
+
+    #[test]
+    fn snapshot_compacts_unhit_loaded_entries_and_round_trips() {
+        let mk = |name: &str| PlanKey {
+            kernel: name.into(),
+            strategy: 0,
+            grid: Dim3::new1(1),
+            block: Dim3::new1(1),
+            bounds: vec![],
+            args: vec![],
+        };
+        // Generation 1: two plans captured live; both persist.
+        let g1 = ShardedPlanCache::new(0);
+        g1.insert(mk("used"), Arc::new(LaunchPlan::default()), 1);
+        g1.insert(mk("stale"), Arc::new(LaunchPlan::default()), 1);
+        let snap1 = snapshot_to_json(&g1);
+
+        // Generation 2: warm-start, but only "used" replays.
+        let g2 = ShardedPlanCache::new(0);
+        assert_eq!(load_snapshot_json(&g2, &snap1).unwrap(), 2);
+        assert!(g2.get(&mk("used")).is_some());
+        let snap2 = snapshot_to_json(&g2);
+
+        // Generation 3 carries the hit entry and sheds the stale one —
+        // and the compacted snapshot loads cleanly.
+        let g3 = ShardedPlanCache::new(0);
+        assert_eq!(load_snapshot_json(&g3, &snap2).unwrap(), 1);
+        assert!(g3.get(&mk("used")).is_some());
+        assert!(g3.get(&mk("stale")).is_none());
+
+        // An all-hit warm start round-trips byte-identically: nothing
+        // to compact means the snapshot is reproduced exactly.
+        let g4 = ShardedPlanCache::new(0);
+        load_snapshot_json(&g4, &snap2).unwrap();
+        assert!(g4.get(&mk("used")).is_some());
+        assert_eq!(snapshot_to_json(&g4), snap2);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use crate::cache::ShardedPlanCache;
 use crate::tracker::{Owner, Tracker, Validity};
 use crate::{Result, RuntimeError};
-use mekong_gpusim::{DevBuf, Machine, TimeCat};
+use mekong_gpusim::{Backend, DevBuf, TimeCat};
 use mekong_kernel::Dim3;
 use mekong_tuner::{Autotuner, PartitionStrategy};
 use serde::Serialize;
@@ -212,7 +212,12 @@ pub struct TunerReport {
 /// The multi-GPU runtime: owns the machine and all virtual buffers, and
 /// provides the CUDA Runtime API replacements (§8.4).
 pub struct MgpuRuntime {
-    pub(crate) machine: Machine,
+    /// The executor behind the runtime: the simulated multi-GPU machine,
+    /// the host CPU backend, or any other [`Backend`]. Every copy and
+    /// launch — eager and pipelined — dispatches through the trait;
+    /// trackers, validity sets and plan capture/replay above this line
+    /// are backend-agnostic.
+    pub(crate) machine: Box<dyn Backend>,
     pub(crate) buffers: Vec<VirtualBuffer>,
     pub(crate) config: RuntimeConfig,
     /// When γ disables dependency resolution, transfers are skipped
@@ -239,8 +244,17 @@ pub struct MgpuRuntime {
 }
 
 impl MgpuRuntime {
-    /// Wrap a machine.
-    pub fn new(machine: Machine) -> MgpuRuntime {
+    /// Wrap a machine-level executor — [`mekong_gpusim::Machine`] for
+    /// simulated (or mixed CPU+GPU) devices, [`mekong_gpusim::CpuBackend`]
+    /// for pure-host execution.
+    pub fn new(machine: impl Backend + 'static) -> MgpuRuntime {
+        MgpuRuntime::from_boxed(Box::new(machine))
+    }
+
+    /// [`MgpuRuntime::new`] for an already-boxed backend — lets callers
+    /// pick the executor at runtime (e.g. the cross-backend
+    /// differential tests).
+    pub fn from_boxed(machine: Box<dyn Backend>) -> MgpuRuntime {
         MgpuRuntime {
             machine,
             buffers: Vec::new(),
@@ -367,17 +381,17 @@ impl MgpuRuntime {
         out
     }
 
-    /// The wrapped machine.
-    pub fn machine(&self) -> &Machine {
-        &self.machine
+    /// The wrapped backend.
+    pub fn machine(&self) -> &dyn Backend {
+        &*self.machine
     }
 
-    /// Mutable access to the machine (benchmarks reset clocks etc.).
+    /// Mutable access to the backend (benchmarks reset clocks etc.).
     /// Flushes the launch-ahead window first: direct machine access must
     /// not observe clocks mid-window.
-    pub fn machine_mut(&mut self) -> &mut Machine {
+    pub fn machine_mut(&mut self) -> &mut dyn Backend {
         self.pipeline_flush();
-        &mut self.machine
+        &mut *self.machine
     }
 
     /// Real device count.
@@ -703,7 +717,7 @@ impl MgpuRuntime {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mekong_gpusim::MachineSpec;
+    use mekong_gpusim::{Machine, MachineSpec};
 
     fn runtime(n: usize) -> MgpuRuntime {
         MgpuRuntime::new(Machine::new(MachineSpec::kepler_system(n), true))

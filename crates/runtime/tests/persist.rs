@@ -189,8 +189,15 @@ proptest! {
         let restored = ShardedPlanCache::new(0);
         let loaded = load_snapshot_json(&restored, &json).expect("load");
         prop_assert_eq!(loaded, cache.len());
-        // Deterministic: re-rendering the restored cache reproduces the
+        // Loaded entries must prove their worth: before any hit, a
+        // compacting snapshot of the restored cache drops all of them.
+        prop_assert_eq!(restored.compactable(), restored.len());
+        // Replay every entry once; re-rendering then reproduces the
         // snapshot byte for byte, regardless of insertion order.
+        for (key, _, _) in &entries {
+            prop_assert!(restored.get(key).is_some());
+        }
+        prop_assert_eq!(restored.compactable(), 0);
         prop_assert_eq!(snapshot_to_json(&restored), json);
     }
 

@@ -84,7 +84,11 @@ pub enum ProbeArg {
 pub struct FleetServer {
     cfg: FleetConfig,
     cache: Arc<ShardedPlanCache>,
-    tenants: Vec<Tenant>,
+    /// Tenant slots in registration order. A removed tenant leaves a
+    /// `None` tombstone so every other tenant's [`TenantId`] (and its
+    /// namespace, which is the slot index + 1) stays valid for the
+    /// server's lifetime.
+    tenants: Vec<Option<Tenant>>,
     /// Tenants currently occupying each physical device.
     load: Vec<usize>,
 }
@@ -147,7 +151,7 @@ impl FleetServer {
         rt.set_namespace((id + 1) as u32)?;
         rt.set_plan_cache(self.cache.clone());
 
-        self.tenants.push(Tenant {
+        self.tenants.push(Some(Tenant {
             name: name.to_string(),
             rt,
             program,
@@ -158,8 +162,30 @@ impl FleetServer {
             bytes_d2h: 0,
             ops_submitted: 0,
             ops_completed: 0,
-        });
+        }));
         Ok(TenantId(id))
+    }
+
+    /// Deregister a tenant: its queued-but-unexecuted ops are discarded,
+    /// its namespace-isolated runtime (and every buffer in it) is
+    /// dropped, and the load it charged to its devices is returned to
+    /// the placement pool so later registrations can claim them. Plans
+    /// the tenant captured stay in the shared cache — they are keyed by
+    /// content and remain replayable by other namespaces. The slot is
+    /// tombstoned: other tenants' ids stay valid and the removed id
+    /// fails with `BadTenant` from then on. Returns the number of
+    /// discarded queued ops.
+    pub fn remove_tenant(&mut self, t: TenantId) -> Result<usize> {
+        let slot = self
+            .tenants
+            .get_mut(t.0)
+            .ok_or(ServeError::BadTenant(t.0))?;
+        let tenant = slot.take().ok_or(ServeError::BadTenant(t.0))?;
+        for &d in &tenant.devices {
+            debug_assert!(self.load[d] > 0);
+            self.load[d] = self.load[d].saturating_sub(1);
+        }
+        Ok(tenant.queue.len())
     }
 
     /// Occupancy-aware placement: the `want` least-loaded physical
@@ -179,11 +205,17 @@ impl FleetServer {
     }
 
     fn tenant_mut(&mut self, t: TenantId) -> Result<&mut Tenant> {
-        self.tenants.get_mut(t.0).ok_or(ServeError::BadTenant(t.0))
+        self.tenants
+            .get_mut(t.0)
+            .and_then(Option::as_mut)
+            .ok_or(ServeError::BadTenant(t.0))
     }
 
     fn tenant(&self, t: TenantId) -> Result<&Tenant> {
-        self.tenants.get(t.0).ok_or(ServeError::BadTenant(t.0))
+        self.tenants
+            .get(t.0)
+            .and_then(Option::as_ref)
+            .ok_or(ServeError::BadTenant(t.0))
     }
 
     /// Allocate a virtual buffer in the tenant's namespace. Immediate
@@ -251,6 +283,7 @@ impl FleetServer {
         let tenant = self
             .tenants
             .get_mut(t.0)
+            .and_then(Option::as_mut)
             .ok_or(ServeError::BadTenant(t.0))?;
         let Some(op) = tenant.queue.pop_front() else {
             return Ok(false);
@@ -290,7 +323,9 @@ impl FleetServer {
         loop {
             let mut progressed = false;
             for i in 0..self.tenants.len() {
-                progressed |= self.step(TenantId(i))?;
+                if self.tenants[i].is_some() {
+                    progressed |= self.step(TenantId(i))?;
+                }
             }
             if !progressed {
                 return Ok(());
@@ -310,13 +345,18 @@ impl FleetServer {
         Ok(self.tenant(t)?.stats())
     }
 
-    /// Accounting snapshots of all tenants, in registration order.
+    /// Accounting snapshots of all *live* tenants, in registration
+    /// order (removed tenants are skipped).
     pub fn fleet_stats(&self) -> Vec<TenantStats> {
-        self.tenants.iter().map(Tenant::stats).collect()
+        self.tenants
+            .iter()
+            .filter_map(|t| t.as_ref().map(Tenant::stats))
+            .collect()
     }
 
+    /// Number of live (not removed) tenants.
     pub fn tenant_count(&self) -> usize {
-        self.tenants.len()
+        self.tenants.iter().filter(|t| t.is_some()).count()
     }
 
     /// Tenants currently occupying each physical device.

@@ -157,6 +157,47 @@ fn warm_start_from_snapshot_replays_with_zero_captures() {
 }
 
 #[test]
+fn remove_tenant_frees_load_and_keeps_other_ids_valid() {
+    let mut server = FleetServer::new(FleetConfig {
+        max_devices_per_tenant: 2,
+        ..FleetConfig::functional_fleet(4)
+    });
+    let (t0, _k0) = submit_hotspot(&mut server, "alice", 96, 2, 1);
+    let (t1, k1) = submit_hotspot(&mut server, "bob", 96, 2, 2);
+    assert_eq!(server.tenant_count(), 2);
+    let d0 = server.stats(t0).unwrap().devices;
+
+    // Removing alice discards her queued ops and returns her devices to
+    // the pool; bob's id and queue are untouched.
+    let dropped = server.remove_tenant(t0).unwrap();
+    assert!(dropped > 0, "alice had queued ops");
+    assert_eq!(server.tenant_count(), 1);
+    for &d in &d0 {
+        assert_eq!(server.device_load()[d], 0, "load not returned on {d}");
+    }
+    // Every later operation on the removed id fails cleanly...
+    assert!(matches!(
+        server.remove_tenant(t0),
+        Err(ServeError::BadTenant(_))
+    ));
+    assert!(matches!(server.stats(t0), Err(ServeError::BadTenant(_))));
+    // ...and the fleet still drains bob to the same bytes a solo run
+    // produces.
+    server.drain().unwrap();
+    let out = server.take_output(t1, k1).unwrap().expect("bob executed");
+    let mut solo = FleetServer::new(FleetConfig::functional_fleet(4));
+    let (s, sk) = submit_hotspot(&mut solo, "bob", 96, 2, 2);
+    solo.drain().unwrap();
+    assert_eq!(solo.take_output(s, sk).unwrap().unwrap(), out);
+
+    // A new tenant reuses the freed devices (least-loaded placement).
+    let (t2, _) = submit_hotspot(&mut server, "carol", 96, 1, 3);
+    let d2 = server.stats(t2).unwrap().devices;
+    assert!(!d2.is_empty());
+    server.drain().unwrap();
+}
+
+#[test]
 fn placement_spreads_tenants_over_least_loaded_devices() {
     let mut server = FleetServer::new(FleetConfig {
         max_devices_per_tenant: 2,

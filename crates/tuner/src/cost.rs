@@ -318,11 +318,35 @@ pub fn evaluate(input: &TunerInput<'_>, strategy: &PartitionStrategy) -> CostEst
     let mut incoming_bytes = vec![0u64; k];
     let mut incoming_copies = vec![0u64; k];
     let mut incoming_lat_units = vec![0.0f64; k];
+    // Mixed-class machines price each source→dest pair by its device
+    // classes (GPU↔GPU over the link, CPU↔CPU as a memcpy, mixed as one
+    // PCIe hop), accumulated in seconds per destination. Pure-GPU
+    // machines skip this and keep the exact legacy expressions below.
+    let hybrid = spec.has_host_cpu();
+    let mut incoming_direct_time = vec![0.0f64; k];
+    let mut incoming_staged_time = vec![0.0f64; k];
     let mut note = |p: usize, q: usize, bytes: u64, pieces: &[(u64, u64)]| {
         let txns = strided_groups(pieces).len() as u64;
         incoming_bytes[p] += bytes;
         incoming_copies[p] += txns;
         incoming_lat_units[p] += txns as f64 * f64::from(MachineSpec::link_hops(q, p));
+        if hybrid {
+            let (lat, bw, staged) = spec.pair_copy_params(q, p);
+            use mekong_gpusim::DeviceClass::SimGpu;
+            // Hop-weight the setup latency only on the GPU interconnect;
+            // host memcpys and single PCIe crossings have no hop tree.
+            let hops = if spec.device_class(q) == SimGpu && spec.device_class(p) == SimGpu {
+                f64::from(MachineSpec::link_hops(q, p))
+            } else {
+                1.0
+            };
+            let t = txns as f64 * lat * hops + bytes as f64 / bw;
+            if staged {
+                incoming_staged_time[p] += t;
+            } else {
+                incoming_direct_time[p] += t;
+            }
+        }
     };
     for read in &input.reads {
         for (p, part) in parts.iter().enumerate() {
@@ -381,7 +405,15 @@ pub fn evaluate(input: &TunerInput<'_>, strategy: &PartitionStrategy) -> CostEst
     let per_dest = |d: usize| {
         incoming_lat_units[d] * spec.link.latency + incoming_bytes[d] as f64 / spec.link.bandwidth
     };
-    est.transfer_time = if spec.link.host_staged {
+    est.transfer_time = if hybrid {
+        // Staged (GPU↔GPU on a PCIe tree) copies serialize on the
+        // staging engine; everything else — memcpys, single PCIe
+        // crossings, direct links — overlaps, so the slowest
+        // destination bounds.
+        let staged: f64 = incoming_staged_time.iter().sum();
+        let direct = incoming_direct_time.iter().cloned().fold(0.0, f64::max);
+        staged + direct
+    } else if spec.link.host_staged {
         (0..k).map(per_dest).sum()
     } else {
         (0..k).map(per_dest).fold(0.0, f64::max)
@@ -488,6 +520,23 @@ pub fn enumerate_strategies_opts(
                 for ka in 2..=spec.n_devices / 2 {
                     for kb in 2..=spec.n_devices / ka {
                         out.push(PartitionStrategy::tiled(a, ka, b, kb));
+                        if !spec.is_homogeneous() {
+                            // Weighted lattice: tile (i, j) runs on
+                            // device i·kb + j, so the per-axis shares
+                            // are the marginals of the per-device
+                            // proportional weights over the lattice.
+                            let w = proportional_shares(spec, profile, ka * kb);
+                            let shares_a: Vec<f64> = (0..ka)
+                                .map(|i| w[i * kb..(i + 1) * kb].iter().sum())
+                                .collect();
+                            let shares_b: Vec<f64> = (0..kb)
+                                .map(|j| (0..ka).map(|i| w[i * kb + j]).sum())
+                                .collect();
+                            let prop = PartitionStrategy::tiled_weighted(a, shares_a, b, shares_b);
+                            if prop.is_weighted() {
+                                out.push(prop);
+                            }
+                        }
                     }
                 }
             }
@@ -750,6 +799,67 @@ mod tests {
             .find(|c| c.strategy.n_parts() == 2 && !c.strategy.is_weighted())
             .unwrap();
         assert!(best.predict.total_time() < even.predict.total_time());
+    }
+
+    #[test]
+    fn mixed_class_machines_enumerate_and_rank_cpu_gpu_shares() {
+        // 2 Kepler dies + 1 host socket: candidates spanning all three
+        // devices place a partition on the CPU, and the proportional
+        // weights must size that partition by the host roofline.
+        let spec = MachineSpec::hybrid_system(2, 1);
+        assert!(spec.has_host_cpu() && !spec.is_homogeneous());
+        let write = enum_1d(0, 0);
+        let read = enum_1d(0, 0);
+        let scalar_names = names();
+        let input = TunerInput {
+            spec: &spec,
+            grid: Dim3::new1(1024),
+            block: Dim3::new1(256),
+            scalar_names: &scalar_names,
+            scalars: &[1024 * 256],
+            reads: vec![ReadModel {
+                enumerator: &read,
+                elem_size: 4,
+                ownership: Ownership::SelfWrites(0),
+            }],
+            writes: vec![WriteModel {
+                enumerator: &write,
+                elem_size: 4,
+            }],
+            profile: ThreadProfile {
+                flops_per_thread: 5e4,
+                intops_per_thread: 10.0,
+                bytes_per_thread: 8.0,
+            },
+            pattern_amortized: false,
+        };
+        // The CPU socket (device 2) is far slower than a K80 die on this
+        // flop-bound profile, so its share must be the smallest.
+        let shares = proportional_shares(&spec, input.profile, 3);
+        assert!(shares[2] < shares[0] && shares[2] < shares[1], "{shares:?}");
+        assert!(shares[2] > 0.0);
+        // A weighted 3-part candidate — a genuinely mixed CPU+GPU share
+        // vector — is enumerated...
+        let cands = enumerate_strategies(&spec, input.grid, input.profile);
+        assert!(
+            cands.iter().any(|s| s.n_parts() == 3 && s.is_weighted()),
+            "no mixed-class weighted candidate in {:?}",
+            cands.iter().map(|s| s.describe()).collect::<Vec<_>>()
+        );
+        // ...and ranked with a finite prediction; among the 3-part
+        // candidates the weighted shares beat the even split (the even
+        // split stalls every launch on the slow socket).
+        let ranked = rank_candidates(&input);
+        let weighted3 = ranked
+            .iter()
+            .find(|c| c.strategy.n_parts() == 3 && c.strategy.is_weighted())
+            .expect("mixed-class candidate must be ranked");
+        assert!(weighted3.predict.total_time().is_finite());
+        let even3 = ranked
+            .iter()
+            .find(|c| c.strategy.n_parts() == 3 && !c.strategy.is_weighted())
+            .unwrap();
+        assert!(weighted3.predict.total_time() < even3.predict.total_time());
     }
 
     #[test]

@@ -65,6 +65,27 @@ impl PartitionStrategy {
         }
     }
 
+    /// A rectangular tiling with weighted per-axis shares: `shares_a`
+    /// slices along `axis_a` sized proportionally to their weights,
+    /// each cut along `axis_b` by `shares_b`. [`PartitionStrategy::tiled`]
+    /// is the equal-share special case; uneven shares let a lattice of
+    /// mixed-speed devices take proportionally sized tiles.
+    pub fn tiled_weighted(
+        axis_a: SplitAxis,
+        shares_a: Vec<f64>,
+        axis_b: SplitAxis,
+        shares_b: Vec<f64>,
+    ) -> PartitionStrategy {
+        assert!(!shares_a.is_empty() && !shares_b.is_empty());
+        assert_ne!(axis_a, axis_b, "tiling axes must differ");
+        PartitionStrategy {
+            axis: axis_a,
+            shares: shares_a,
+            axis2: Some(axis_b),
+            shares2: shares_b,
+        }
+    }
+
     /// Is this a 2-D rectangular tiling (as opposed to a 1-D slab split)?
     pub fn is_tiled(&self) -> bool {
         self.axis2.is_some()
@@ -242,6 +263,27 @@ mod tests {
         assert!(!PartitionStrategy::even(SplitAxis::Y, 8).is_weighted());
         assert!(PartitionStrategy::weighted(SplitAxis::Y, vec![1.0, 1.0 + 1e-3]).is_weighted());
         assert!(!PartitionStrategy::tiled(SplitAxis::Y, 2, SplitAxis::X, 3).is_weighted());
+    }
+
+    #[test]
+    fn tiled_weighted_shares_size_the_lattice() {
+        let s = PartitionStrategy::tiled_weighted(
+            SplitAxis::Y,
+            vec![3.0, 1.0],
+            SplitAxis::X,
+            vec![1.0, 1.0],
+        );
+        assert!(s.is_tiled() && s.is_weighted());
+        assert_eq!(s.n_parts(), 4);
+        assert_eq!(s.describe(), "y:2×x:2:w");
+        assert_eq!(decode_strategy(s.encode()).as_deref(), Some("y:2×x:2:w"));
+        let parts = s.partitions(Dim3::new2(8, 16));
+        assert_eq!(parts.len(), 4);
+        // 3:1 y shares over 16 rows: the top row of tiles gets 12.
+        assert_eq!(parts[0].hi[1] - parts[0].lo[1], 12);
+        assert_eq!(parts[2].hi[1] - parts[2].lo[1], 4);
+        // Equal x shares cut each row in half.
+        assert_eq!(parts[0].hi[2] - parts[0].lo[2], 4);
     }
 
     #[test]

@@ -225,7 +225,7 @@ impl Benchmark for Blur {
         RunOutcome::from_runtime(&rt)
     }
 
-    fn verify(&self, gpus: usize) -> bool {
+    fn verify_output(&self, machine: Box<dyn Backend>) -> Vec<u8> {
         let n = 64usize;
         let iters = 3;
         let program = mekong_core::compile_source(SOURCE).expect("blur compiles");
@@ -233,9 +233,8 @@ impl Benchmark for Blur {
         let col = program.kernel("blur_col").unwrap();
         let (grid, block) = geometry(n);
         let img: Vec<f32> = (0..n * n).map(|i| ((i * 41) % 211) as f32).collect();
-        let want = cpu_reference(n, &img, iters);
 
-        let mut rt = MgpuRuntime::new(Machine::new(MachineSpec::kepler_system(gpus), true));
+        let mut rt = MgpuRuntime::from_boxed(machine);
         let bytes = n * n * 4;
         let a = rt.malloc(bytes, 4).unwrap();
         let tmp = rt.malloc(bytes, 4).unwrap();
@@ -243,33 +242,47 @@ impl Benchmark for Blur {
         rt.memcpy_h2d(a, &img_b).unwrap();
         let n_arg = LaunchArg::Scalar(Value::I64(n as i64));
         for _ in 0..iters {
-            if rt
-                .launch(
-                    row,
-                    grid,
-                    block,
-                    &[n_arg, LaunchArg::Buf(a), LaunchArg::Buf(tmp)],
-                )
-                .is_err()
-            {
-                return false;
-            }
-            if rt
-                .launch(
-                    col,
-                    grid,
-                    block,
-                    &[n_arg, LaunchArg::Buf(tmp), LaunchArg::Buf(a)],
-                )
-                .is_err()
-            {
-                return false;
-            }
+            rt.launch(
+                row,
+                grid,
+                block,
+                &[n_arg, LaunchArg::Buf(a), LaunchArg::Buf(tmp)],
+            )
+            .expect("blur_row launch");
+            rt.launch(
+                col,
+                grid,
+                block,
+                &[n_arg, LaunchArg::Buf(tmp), LaunchArg::Buf(a)],
+            )
+            .expect("blur_col launch");
         }
         rt.synchronize();
         let mut out = vec![0u8; bytes];
         rt.memcpy_d2h(a, &mut out).unwrap();
+        out
+    }
+
+    fn reference_output(&self) -> Vec<u8> {
+        let n = 64usize;
+        let img: Vec<f32> = (0..n * n).map(|i| ((i * 41) % 211) as f32).collect();
+        cpu_reference(n, &img, 3)
+            .iter()
+            .flat_map(|v| v.to_le_bytes())
+            .collect()
+    }
+
+    fn verify(&self, gpus: usize) -> bool {
+        let out = self.verify_output(Box::new(Machine::new(
+            MachineSpec::kepler_system(gpus),
+            true,
+        )));
         let got: Vec<f32> = out
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        let want: Vec<f32> = self
+            .reference_output()
             .chunks_exact(4)
             .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
             .collect();

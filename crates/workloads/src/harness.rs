@@ -1,6 +1,6 @@
 //! Shared benchmark harness types.
 
-use mekong_gpusim::{OpCounters, TimeBreakdown};
+use mekong_gpusim::{Backend, OpCounters, TimeBreakdown};
 use mekong_runtime::{decode_strategy, MgpuRuntime, RuntimeConfig};
 
 /// Problem-size class (Table 1 columns).
@@ -197,8 +197,22 @@ pub trait Benchmark {
         )
     }
 
+    /// Functional verification run on an arbitrary machine-level
+    /// backend at the scaled-down verify size (fixed seeded inputs):
+    /// runs the workload through the Mekong runtime and returns the raw
+    /// little-endian output bytes. Every backend interprets kernels
+    /// through the same block-parallel interpreter, so the bytes must
+    /// be identical across sim-GPU, host-CPU and mixed machines — the
+    /// cross-backend differential tests assert exactly that.
+    fn verify_output(&self, machine: Box<dyn Backend>) -> Vec<u8>;
+
+    /// CPU-reference output bytes for the same fixed verify problem.
+    fn reference_output(&self) -> Vec<u8>;
+
     /// Functional verification at a scaled-down size on `gpus` devices:
-    /// multi-GPU result must match the CPU reference.
+    /// multi-GPU result must match the CPU reference (each workload
+    /// applies its own comparison — exact for integer outputs,
+    /// tolerance-based for floating-point chains).
     fn verify(&self, gpus: usize) -> bool;
 
     /// Speedup of `gpus` devices over the single-GPU reference at `size`

@@ -183,16 +183,15 @@ impl Benchmark for Histogram {
         RunOutcome::from_runtime(&rt)
     }
 
-    fn verify(&self, gpus: usize) -> bool {
+    fn verify_output(&self, machine: Box<dyn Backend>) -> Vec<u8> {
         let nbins = 512usize;
         let program = mekong_core::compile_source(SOURCE).expect("histogram compiles");
         let k = program.kernel("histogram").unwrap();
         let (grid, block) = geometry(nbins);
         let off = offsets(nbins);
         let val = values(nbins);
-        let want = cpu_reference(nbins, &off, &val);
 
-        let mut rt = MgpuRuntime::new(Machine::new(MachineSpec::kepler_system(gpus), true));
+        let mut rt = MgpuRuntime::from_boxed(machine);
         let off_b = rt.malloc((nbins + 1) * 8, 8).unwrap();
         let val_b = rt.malloc(val.len() * 4, 4).unwrap();
         let hist_b = rt.malloc(nbins * 4, 4).unwrap();
@@ -201,32 +200,40 @@ impl Benchmark for Histogram {
         rt.memcpy_h2d(off_b, &off_bytes).unwrap();
         rt.memcpy_h2d(val_b, &val_bytes).unwrap();
         let [a0, a1, a2] = scalar_args(nbins);
-        if rt
-            .launch(
-                k,
-                grid,
-                block,
-                &[
-                    a0,
-                    a1,
-                    a2,
-                    LaunchArg::Buf(off_b),
-                    LaunchArg::Buf(val_b),
-                    LaunchArg::Buf(hist_b),
-                ],
-            )
-            .is_err()
-        {
-            return false;
-        }
+        rt.launch(
+            k,
+            grid,
+            block,
+            &[
+                a0,
+                a1,
+                a2,
+                LaunchArg::Buf(off_b),
+                LaunchArg::Buf(val_b),
+                LaunchArg::Buf(hist_b),
+            ],
+        )
+        .expect("histogram launch");
         rt.synchronize();
         let mut out = vec![0u8; nbins * 4];
         rt.memcpy_d2h(hist_b, &mut out).unwrap();
-        let got: Vec<f32> = out
-            .chunks_exact(4)
-            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
-            .collect();
-        got == want
+        out
+    }
+
+    fn reference_output(&self) -> Vec<u8> {
+        let nbins = 512usize;
+        cpu_reference(nbins, &offsets(nbins), &values(nbins))
+            .iter()
+            .flat_map(|v| v.to_le_bytes())
+            .collect()
+    }
+
+    fn verify(&self, gpus: usize) -> bool {
+        let out = self.verify_output(Box::new(Machine::new(
+            MachineSpec::kepler_system(gpus),
+            true,
+        )));
+        out == self.reference_output()
     }
 }
 

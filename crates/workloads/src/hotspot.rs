@@ -163,7 +163,7 @@ impl Benchmark for Hotspot {
         RunOutcome::from_runtime(&rt)
     }
 
-    fn verify(&self, gpus: usize) -> bool {
+    fn verify_output(&self, machine: Box<dyn Backend>) -> Vec<u8> {
         let n = 96usize;
         let iters = 7;
         let program = mekong_core::compile_source(SOURCE).expect("hotspot compiles");
@@ -172,9 +172,8 @@ impl Benchmark for Hotspot {
 
         let temp: Vec<f32> = (0..n * n).map(|i| ((i * 31) % 173) as f32 * 0.1).collect();
         let power: Vec<f32> = (0..n * n).map(|i| ((i * 17) % 97) as f32 * 0.01).collect();
-        let want = cpu_reference(n, &temp, &power, iters);
 
-        let mut rt = MgpuRuntime::new(Machine::new(MachineSpec::kepler_system(gpus), true));
+        let mut rt = MgpuRuntime::from_boxed(machine);
         let bytes = n * n * 4;
         let a = rt.malloc(bytes, 4).unwrap();
         let b = rt.malloc(bytes, 4).unwrap();
@@ -204,7 +203,30 @@ impl Benchmark for Hotspot {
         rt.synchronize();
         let mut out = vec![0u8; bytes];
         rt.memcpy_d2h(src, &mut out).unwrap();
+        out
+    }
+
+    fn reference_output(&self) -> Vec<u8> {
+        let n = 96usize;
+        let temp: Vec<f32> = (0..n * n).map(|i| ((i * 31) % 173) as f32 * 0.1).collect();
+        let power: Vec<f32> = (0..n * n).map(|i| ((i * 17) % 97) as f32 * 0.01).collect();
+        cpu_reference(n, &temp, &power, 7)
+            .iter()
+            .flat_map(|v| v.to_le_bytes())
+            .collect()
+    }
+
+    fn verify(&self, gpus: usize) -> bool {
+        let out = self.verify_output(Box::new(Machine::new(
+            MachineSpec::kepler_system(gpus),
+            true,
+        )));
         let got: Vec<f32> = out
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        let want: Vec<f32> = self
+            .reference_output()
             .chunks_exact(4)
             .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
             .collect();

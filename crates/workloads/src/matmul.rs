@@ -138,16 +138,15 @@ impl Benchmark for Matmul {
         RunOutcome::from_runtime(&rt)
     }
 
-    fn verify(&self, gpus: usize) -> bool {
+    fn verify_output(&self, machine: Box<dyn Backend>) -> Vec<u8> {
         let n = 64usize;
         let program = mekong_core::compile_source(SOURCE).expect("matmul compiles");
         let ck = program.kernel("matmul").unwrap();
         let (grid, block) = geometry(n);
         let a: Vec<f32> = (0..n * n).map(|i| ((i * 13) % 7) as f32 - 3.0).collect();
         let b: Vec<f32> = (0..n * n).map(|i| ((i * 11) % 5) as f32 - 2.0).collect();
-        let want = cpu_reference(n, &a, &b);
 
-        let mut rt = MgpuRuntime::new(Machine::new(MachineSpec::kepler_system(gpus), true));
+        let mut rt = MgpuRuntime::from_boxed(machine);
         let bytes = n * n * 4;
         let va = rt.malloc(bytes, 4).unwrap();
         let vb = rt.malloc(bytes, 4).unwrap();
@@ -171,7 +170,30 @@ impl Benchmark for Matmul {
         rt.synchronize();
         let mut out = vec![0u8; bytes];
         rt.memcpy_d2h(vc, &mut out).unwrap();
+        out
+    }
+
+    fn reference_output(&self) -> Vec<u8> {
+        let n = 64usize;
+        let a: Vec<f32> = (0..n * n).map(|i| ((i * 13) % 7) as f32 - 3.0).collect();
+        let b: Vec<f32> = (0..n * n).map(|i| ((i * 11) % 5) as f32 - 2.0).collect();
+        cpu_reference(n, &a, &b)
+            .iter()
+            .flat_map(|v| v.to_le_bytes())
+            .collect()
+    }
+
+    fn verify(&self, gpus: usize) -> bool {
+        let out = self.verify_output(Box::new(Machine::new(
+            MachineSpec::kepler_system(gpus),
+            true,
+        )));
         let got: Vec<f32> = out
+            .chunks_exact(4)
+            .map(|x| f32::from_le_bytes(x.try_into().unwrap()))
+            .collect();
+        let want: Vec<f32> = self
+            .reference_output()
             .chunks_exact(4)
             .map(|x| f32::from_le_bytes(x.try_into().unwrap()))
             .collect();

@@ -196,14 +196,14 @@ impl Benchmark for NBody {
         RunOutcome::from_runtime(&rt)
     }
 
-    fn verify(&self, gpus: usize) -> bool {
+    fn verify_output(&self, machine: Box<dyn Backend>) -> Vec<u8> {
         let n = 192usize;
         let steps = 3;
         let program = mekong_core::compile_source(SOURCE).expect("nbody compiles");
         let ck = program.kernel("nbody").unwrap();
         let (grid, block) = geometry(n);
 
-        let mut posm: Vec<f32> = (0..n * 4)
+        let posm: Vec<f32> = (0..n * 4)
             .map(|i| {
                 if i % 4 == 3 {
                     1.0 + (i % 7) as f32 * 0.1 // mass
@@ -212,12 +212,10 @@ impl Benchmark for NBody {
                 }
             })
             .collect();
-        let mut vel: Vec<f32> = vec![0.0; n * 4];
         let posm0: Vec<u8> = posm.iter().flat_map(|v| v.to_le_bytes()).collect();
-        let vel0: Vec<u8> = vel.iter().flat_map(|v| v.to_le_bytes()).collect();
-        cpu_reference(n, &mut posm, &mut vel, steps);
+        let vel0: Vec<u8> = vec![0u8; n * 4 * 4];
 
-        let mut rt = MgpuRuntime::new(Machine::new(MachineSpec::kepler_system(gpus), true));
+        let mut rt = MgpuRuntime::from_boxed(machine);
         let bytes = n * 4 * 4;
         let a = rt.malloc(bytes, 4).unwrap();
         let b = rt.malloc(bytes, 4).unwrap();
@@ -233,12 +231,41 @@ impl Benchmark for NBody {
         rt.synchronize();
         let mut out = vec![0u8; bytes];
         rt.memcpy_d2h(src, &mut out).unwrap();
+        out
+    }
+
+    fn reference_output(&self) -> Vec<u8> {
+        let n = 192usize;
+        let mut posm: Vec<f32> = (0..n * 4)
+            .map(|i| {
+                if i % 4 == 3 {
+                    1.0 + (i % 7) as f32 * 0.1 // mass
+                } else {
+                    ((i * 29) % 83) as f32 * 0.05 - 2.0
+                }
+            })
+            .collect();
+        let mut vel: Vec<f32> = vec![0.0; n * 4];
+        cpu_reference(n, &mut posm, &mut vel, 3);
+        posm.iter().flat_map(|v| v.to_le_bytes()).collect()
+    }
+
+    fn verify(&self, gpus: usize) -> bool {
+        let out = self.verify_output(Box::new(Machine::new(
+            MachineSpec::kepler_system(gpus),
+            true,
+        )));
         let got: Vec<f32> = out
             .chunks_exact(4)
             .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
             .collect();
+        let want: Vec<f32> = self
+            .reference_output()
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
         got.iter()
-            .zip(&posm)
+            .zip(&want)
             .all(|(g, w)| (g - w).abs() <= 1e-2 * w.abs().max(1.0))
     }
 }

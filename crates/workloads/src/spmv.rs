@@ -191,7 +191,7 @@ impl Benchmark for Spmv {
         RunOutcome::from_runtime(&rt)
     }
 
-    fn verify(&self, gpus: usize) -> bool {
+    fn verify_output(&self, machine: Box<dyn Backend>) -> Vec<u8> {
         let n = 1024usize;
         let program = mekong_core::compile_source(SOURCE).expect("spmv compiles");
         let k = program.kernel("spmv").unwrap();
@@ -199,9 +199,8 @@ impl Benchmark for Spmv {
         let cols = columns(n);
         let vals = matrix_values(n);
         let x = vector(n);
-        let want = cpu_reference(n, &cols, &vals, &x);
 
-        let mut rt = MgpuRuntime::new(Machine::new(MachineSpec::kepler_system(gpus), true));
+        let mut rt = MgpuRuntime::from_boxed(machine);
         let cols_b = rt.malloc(n * M * 8, 8).unwrap();
         let vals_b = rt.malloc(n * M * 4, 4).unwrap();
         let x_b = rt.malloc(n * 4, 4).unwrap();
@@ -213,33 +212,41 @@ impl Benchmark for Spmv {
         rt.memcpy_h2d(vals_b, &vals_bytes).unwrap();
         rt.memcpy_h2d(x_b, &x_bytes).unwrap();
         let [a0, a1, a2] = scalar_args(n);
-        if rt
-            .launch(
-                k,
-                grid,
-                block,
-                &[
-                    a0,
-                    a1,
-                    a2,
-                    LaunchArg::Buf(cols_b),
-                    LaunchArg::Buf(vals_b),
-                    LaunchArg::Buf(x_b),
-                    LaunchArg::Buf(y_b),
-                ],
-            )
-            .is_err()
-        {
-            return false;
-        }
+        rt.launch(
+            k,
+            grid,
+            block,
+            &[
+                a0,
+                a1,
+                a2,
+                LaunchArg::Buf(cols_b),
+                LaunchArg::Buf(vals_b),
+                LaunchArg::Buf(x_b),
+                LaunchArg::Buf(y_b),
+            ],
+        )
+        .expect("spmv launch");
         rt.synchronize();
         let mut out = vec![0u8; n * 4];
         rt.memcpy_d2h(y_b, &mut out).unwrap();
-        let got: Vec<f32> = out
-            .chunks_exact(4)
-            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
-            .collect();
-        got == want
+        out
+    }
+
+    fn reference_output(&self) -> Vec<u8> {
+        let n = 1024usize;
+        cpu_reference(n, &columns(n), &matrix_values(n), &vector(n))
+            .iter()
+            .flat_map(|v| v.to_le_bytes())
+            .collect()
+    }
+
+    fn verify(&self, gpus: usize) -> bool {
+        let out = self.verify_output(Box::new(Machine::new(
+            MachineSpec::kepler_system(gpus),
+            true,
+        )));
+        out == self.reference_output()
     }
 }
 
